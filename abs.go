@@ -1,0 +1,159 @@
+package abs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/core"
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+	"abs/internal/qubo"
+	"abs/internal/randqubo"
+	"abs/internal/sa"
+)
+
+// Core problem and solution types, re-exported from the implementation
+// packages so that one import covers the whole public surface.
+type (
+	// Problem is a QUBO instance: an n×n symmetric matrix of 16-bit
+	// weights whose energy Xᵀ W X is to be minimized over n-bit X.
+	Problem = qubo.Problem
+	// Vector is an n-bit candidate solution.
+	Vector = bitvec.Vector
+	// Options configures Solve; see DefaultOptions and PaperOptions.
+	Options = core.Options
+	// Result reports a finished solve.
+	Result = core.Result
+	// GAConfig tunes the host genetic algorithm.
+	GAConfig = ga.Config
+	// DeviceSpec describes a simulated GPU model.
+	DeviceSpec = gpusim.DeviceSpec
+	// Storage selects the search-engine representation (auto, dense,
+	// sparse).
+	Storage = core.Storage
+)
+
+// Storage constants, re-exported from the core package.
+const (
+	// StorageAuto picks dense or sparse per instance density.
+	StorageAuto = core.StorageAuto
+	// StorageDense always uses the paper's dense kernel.
+	StorageDense = core.StorageDense
+	// StorageSparse always uses the adjacency engine.
+	StorageSparse = core.StorageSparse
+)
+
+// NewProblem returns an all-zero n-variable QUBO instance; fill it with
+// SetWeight/AddWeight.
+func NewProblem(n int) *Problem { return qubo.New(n) }
+
+// RandomProblem returns the paper's §4.1.3 synthetic benchmark: a dense
+// instance with uniform 16-bit weights, deterministic in seed.
+func RandomProblem(n int, seed uint64) *Problem { return randqubo.Generate(n, seed) }
+
+// ReadProblem parses an instance in the text format (see
+// internal/qubo's documentation; qbsolv-style "p qubo n m" header plus
+// "i j w" entries).
+func ReadProblem(r io.Reader) (*Problem, error) { return qubo.ReadText(r) }
+
+// WriteProblem serializes an instance in the text format.
+func WriteProblem(w io.Writer, p *Problem) error { return qubo.WriteText(w, p) }
+
+// ReadProblemBinary parses the compact binary format used for large
+// instances.
+func ReadProblemBinary(r io.Reader) (*Problem, error) { return qubo.ReadBinary(r) }
+
+// WriteProblemBinary serializes the compact binary format.
+func WriteProblemBinary(w io.Writer, p *Problem) error { return qubo.WriteBinary(w, p) }
+
+// DefaultOptions returns solver options sized for this host; callers
+// must set a stop condition (TargetEnergy, MaxDuration or MaxFlips).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// PaperOptions returns options reconstructing the paper's hardware
+// shape: four simulated RTX 2080 Ti at 100 % occupancy.
+func PaperOptions() Options { return core.PaperOptions() }
+
+// Solve runs the Adaptive Bulk Search until a stop condition fires.
+func Solve(p *Problem, opt Options) (*Result, error) { return core.Solve(p, opt) }
+
+// SolveFor is a convenience wrapper: best solution within a wall-clock
+// budget.
+func SolveFor(p *Problem, budget time.Duration) (*Result, error) {
+	opt := core.DefaultOptions()
+	opt.MaxDuration = budget
+	return core.Solve(p, opt)
+}
+
+// SolveToTarget is a convenience wrapper: run until the energy target
+// is reached or the budget expires; Result.ReachedTarget distinguishes
+// the two.
+func SolveToTarget(p *Problem, target int64, budget time.Duration) (*Result, error) {
+	opt := core.DefaultOptions()
+	opt.TargetEnergy = &target
+	opt.MaxDuration = budget
+	return core.Solve(p, opt)
+}
+
+// ExactSolve enumerates all solutions of a small instance (≤ 30 bits)
+// exactly; it exists as a ground-truth oracle.
+func ExactSolve(p *Problem) (*Vector, int64, error) { return qubo.ExactSolve(p) }
+
+// SimulatedAnnealingBaseline runs the plain parallel-SA baseline solver
+// used in the paper-comparison experiments, for callers who want the
+// reference point the framework is measured against.
+func SimulatedAnnealingBaseline(p *Problem, budget time.Duration, seed uint64) (*Vector, int64, error) {
+	res, err := sa.Solve(p, sa.Options{Seed: seed, MaxDuration: budget})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Best, res.BestEnergy, nil
+}
+
+// Turing2080Ti returns the simulated device model of the paper's GPU.
+func Turing2080Ti() DeviceSpec { return gpusim.TuringRTX2080Ti() }
+
+// ScaledDevice returns a miniature device with sms multiprocessors,
+// keeping Turing's occupancy rules; use it to trade block population
+// against per-block speed on CPU hosts.
+func ScaledDevice(sms int) DeviceSpec { return gpusim.ScaledCPU(sms) }
+
+// PresolveResult describes a persistency-based reduction; see
+// Presolve.
+type PresolveResult = qubo.PresolveResult
+
+// Presolve applies first-order persistency rules to a fixpoint,
+// returning a (possibly much smaller) reduced instance plus the fixing
+// record needed to Expand reduced solutions back to the original
+// variable space.
+func Presolve(p *Problem) (*PresolveResult, error) { return qubo.Presolve(p) }
+
+// NewVector returns an all-zero n-bit solution vector.
+func NewVector(n int) *Vector { return bitvec.New(n) }
+
+// ParseVector parses a '0'/'1' string into a solution vector.
+func ParseVector(s string) (*Vector, error) { return bitvec.FromString(s) }
+
+// MustVector is ParseVector that panics on malformed input; it exists
+// for tests and examples with literal bit strings.
+func MustVector(s string) *Vector {
+	v, err := bitvec.FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Describe returns a one-line summary of an instance, for CLI output.
+func Describe(p *Problem) string {
+	name := p.Name()
+	if name == "" {
+		name = "unnamed"
+	}
+	return fmt.Sprintf("%s: %d bits, density %.3f", name, p.N(), p.Density())
+}

@@ -1,0 +1,112 @@
+package abs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSolveMaxCutFacade(t *testing.T) {
+	// K_{3,3}: optimal cut is 9.
+	g := NewGraph(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			if err := g.AddEdge(u, v, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	res, err := SolveMaxCut(g, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cut != 9 {
+		t.Errorf("cut = %d, want 9", res.Cut)
+	}
+	if res.Side.Len() != 6 {
+		t.Error("partition vector wrong length")
+	}
+}
+
+func TestSolveTSPFacade(t *testing.T) {
+	inst := RandomTSP(8, 3)
+	res, err := SolveTSP(inst, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.ValidateTour(res.Tour); err != nil {
+		t.Fatalf("returned tour invalid: %v", err)
+	}
+	if got, _ := inst.TourLength(res.Tour); got != res.Length {
+		t.Errorf("length %d does not match tour %d", res.Length, got)
+	}
+	// The warm start is a nearest-neighbour tour, so the result must be
+	// at least that good.
+	nnLen, err := inst.TourLength(nnTour(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Length > nnLen {
+		t.Errorf("result %d worse than its NN warm start %d", res.Length, nnLen)
+	}
+}
+
+// nnTour reproduces the warm start used by SolveTSP for comparison.
+func nnTour(inst *TSPInstance) []int {
+	c := inst.Cities()
+	tour := make([]int, 0, c)
+	used := make([]bool, c)
+	cur := 0
+	tour = append(tour, 0)
+	used[0] = true
+	for len(tour) < c {
+		best, bestD := -1, int32(1)<<30
+		for v := 0; v < c; v++ {
+			if !used[v] && inst.Dist(cur, v) < bestD {
+				best, bestD = v, inst.Dist(cur, v)
+			}
+		}
+		tour = append(tour, best)
+		used[best] = true
+		cur = best
+	}
+	return tour
+}
+
+func TestSolveIsingFacade(t *testing.T) {
+	m := NewIsingModel(10)
+	for i := 0; i < 9; i++ {
+		m.SetJ(i, i+1, 4) // ferromagnetic chain: ground state all-aligned
+	}
+	res, err := SolveIsing(m, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground state of a ferromagnetic chain: all spins equal, H = −9·4.
+	if res.H != -36 {
+		t.Errorf("H = %d, want -36", res.H)
+	}
+	first := res.Spins[0]
+	for i, s := range res.Spins {
+		if s != first {
+			t.Errorf("spin %d misaligned in ferromagnetic ground state", i)
+		}
+	}
+}
+
+func TestExactBranchAndBoundFacade(t *testing.T) {
+	p := RandomProblem(14, 9)
+	_, want, err := ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, e, err := ExactBranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != want || p.Energy(x) != e {
+		t.Errorf("B&B facade: %d, want %d", e, want)
+	}
+	if _, _, err := ExactBranchAndBound(RandomProblem(64, 1)); err == nil {
+		t.Error("oversized B&B accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Command abs-bench regenerates the tables and figures of the paper's
+// evaluation section (§4) plus the ablation studies, printing
+// paper-published values next to this host's measured and modelled
+// values.
+//
+// Usage:
+//
+//	abs-bench -all [-scale quick|medium|full]
+//	abs-bench -table 1a|1b|1c|2|3 [-scale quick|medium|full]
+//	abs-bench -figure 8
+//	abs-bench -ablation efficiency|straight|selection|pool|storage|
+//	                    adaptive|ladder|parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abs/internal/bench"
+)
+
+// renderFunc is one report section.
+type renderFunc = func(io.Writer, bench.Scale) error
+
+// parseScale maps the -scale flag value to a Scale.
+func parseScale(name string) (bench.Scale, error) {
+	switch name {
+	case "quick":
+		return bench.Quick(), nil
+	case "medium":
+		return bench.Medium(), nil
+	case "full":
+		return bench.Full(), nil
+	default:
+		return bench.Scale{}, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+// dispatch resolves the flag combination to a renderer; nil means the
+// combination is invalid and usage should be shown.
+func dispatch(all bool, table, figure, ablation string) renderFunc {
+	switch {
+	case all:
+		return bench.All
+	case table != "":
+		return map[string]renderFunc{
+			"1a": bench.Table1a,
+			"1b": bench.Table1b,
+			"1c": bench.Table1c,
+			"2":  bench.Table2,
+			"3":  bench.Table3,
+		}[table]
+	case figure == "8":
+		return bench.Figure8
+	case ablation != "":
+		return map[string]renderFunc{
+			"efficiency": bench.AblationEfficiency,
+			"straight":   bench.AblationStraight,
+			"selection":  bench.AblationSelection,
+			"pool":       bench.AblationPool,
+			"storage":    bench.AblationStorage,
+			"adaptive":   bench.AblationAdaptive,
+			"ladder":     bench.AblationLadder,
+			"parameters": bench.AblationParameters,
+		}[ablation]
+	default:
+		return nil
+	}
+}
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table, figure and ablation")
+		table    = flag.String("table", "", "regenerate one table: 1a, 1b, 1c, 2, 3")
+		figure   = flag.String("figure", "", "regenerate one figure: 8")
+		ablation = flag.String("ablation", "", "run one ablation: efficiency, straight, selection, pool, storage, adaptive, ladder, parameters")
+		scale    = flag.String("scale", "quick", "experiment scale: quick, medium or full")
+	)
+	flag.Parse()
+
+	s, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "abs-bench:", err)
+		os.Exit(2)
+	}
+	fn := dispatch(*all, *table, *figure, *ablation)
+	if fn == nil {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := fn(os.Stdout, s); err != nil {
+		fmt.Fprintln(os.Stderr, "abs-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"quick", "medium", "full"} {
+		s, err := parseScale(name)
+		if err != nil {
+			t.Errorf("parseScale(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("parseScale(%q) returned scale %q", name, s.Name)
+		}
+	}
+	if _, err := parseScale("bananas"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestDispatch(t *testing.T) {
+	if dispatch(true, "", "", "") == nil {
+		t.Error("-all not dispatched")
+	}
+	for _, tbl := range []string{"1a", "1b", "1c", "2", "3"} {
+		if dispatch(false, tbl, "", "") == nil {
+			t.Errorf("table %q not dispatched", tbl)
+		}
+	}
+	if dispatch(false, "", "8", "") == nil {
+		t.Error("figure 8 not dispatched")
+	}
+	for _, ab := range []string{"efficiency", "straight", "selection", "pool",
+		"storage", "adaptive", "ladder", "parameters"} {
+		if dispatch(false, "", "", ab) == nil {
+			t.Errorf("ablation %q not dispatched", ab)
+		}
+	}
+	// Invalid combinations yield nil → usage.
+	if dispatch(false, "", "", "") != nil {
+		t.Error("empty flags dispatched")
+	}
+	if dispatch(false, "9z", "", "") != nil {
+		t.Error("unknown table dispatched")
+	}
+	if dispatch(false, "", "", "bananas") != nil {
+		t.Error("unknown ablation dispatched")
+	}
+	if dispatch(false, "", "7", "") != nil {
+		t.Error("unknown figure dispatched")
+	}
+}

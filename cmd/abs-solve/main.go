@@ -1,0 +1,244 @@
+// Command abs-solve runs the Adaptive Bulk Search solver on a problem
+// file and prints the best solution found.
+//
+// Usage:
+//
+//	abs-solve -file problem.qubo [-format qubo|qubobin|gset|tsplib|ising]
+//	          [-time 5s] [-target -12345 -use-target] [-gpus 1] [-sms 2]
+//	          [-bits-per-thread 0] [-seed 1] [-solution] [-v] [-presolve]
+//
+// The format defaults from the file extension: .qubo/.txt → qubo text
+// (including qbsolv-style headers), .qbin → binary, .gset/.mc → G-set
+// Max-Cut, .tsp → TSPLIB, .ising → h/J Ising. Max-Cut inputs report the
+// cut value, TSP inputs decode and validate the tour, and Ising inputs
+// report the Hamiltonian, in addition to the raw energy. -presolve
+// applies persistency-based variable fixing before the search; -v
+// streams progress to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/core"
+	"abs/internal/gpusim"
+	"abs/internal/ising"
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+	"abs/internal/tsp"
+)
+
+func main() {
+	var (
+		file          = flag.String("file", "", "problem file (required)")
+		format        = flag.String("format", "", "qubo|qubobin|gset|tsplib (default: by extension)")
+		budget        = flag.Duration("time", 5*time.Second, "wall-clock budget")
+		target        = flag.Int64("target", 0, "target energy (stops early when reached)")
+		hasTarget     = flag.Bool("use-target", false, "enable the -target stop condition")
+		gpus          = flag.Int("gpus", 1, "number of simulated GPUs")
+		sms           = flag.Int("sms", 2, "SMs per simulated GPU (0 = full RTX 2080 Ti)")
+		bitsPerThread = flag.Int("bits-per-thread", 0, "bits per thread (0 = auto)")
+		seed          = flag.Uint64("seed", 1, "random seed")
+		showSolution  = flag.Bool("solution", false, "print the solution bit vector")
+		verbose       = flag.Bool("v", false, "print progress once per second")
+		presolve      = flag.Bool("presolve", false, "apply persistency-based variable fixing before solving")
+	)
+	flag.Parse()
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*file, *format, *budget, *target, *hasTarget, *gpus, *sms, *bitsPerThread, *seed, *showSolution, *verbose, *presolve); err != nil {
+		fmt.Fprintln(os.Stderr, "abs-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func detectFormat(file, format string) string {
+	if format != "" {
+		return format
+	}
+	switch strings.ToLower(filepath.Ext(file)) {
+	case ".qbin":
+		return "qubobin"
+	case ".gset", ".mc":
+		return "gset"
+	case ".tsp":
+		return "tsplib"
+	case ".ising":
+		return "ising"
+	default:
+		return "qubo"
+	}
+}
+
+func run(file, format string, budget time.Duration, target int64, hasTarget bool,
+	gpus, sms, bitsPerThread int, seed uint64, showSolution, verbose, presolve bool) error {
+
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		p           *qubo.Problem
+		g           *maxcut.Graph
+		enc         *tsp.Encoding
+		spins       *ising.Model
+		isingOffset int64
+	)
+	switch detectFormat(file, format) {
+	case "qubo":
+		p, err = qubo.ReadText(f)
+	case "qubobin":
+		p, err = qubo.ReadBinary(f)
+	case "ising":
+		spins, err = ising.Read(f)
+		if err == nil {
+			p, isingOffset, err = spins.ToQUBO()
+		}
+	case "gset":
+		g, err = maxcut.ReadGSet(f)
+		if err == nil {
+			if g.Name() == "" {
+				g.SetName(filepath.Base(file))
+			}
+			p, err = maxcut.ToQUBO(g)
+		}
+	case "tsplib":
+		var inst *tsp.Instance
+		inst, err = tsp.ReadTSPLIB(f)
+		if err == nil {
+			enc, err = tsp.Encode(inst)
+		}
+		if err == nil {
+			p = enc.Problem()
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if p.Name() == "" {
+		p.SetName(filepath.Base(file))
+	}
+
+	opt := core.DefaultOptions()
+	opt.MaxDuration = budget
+	opt.NumGPUs = gpus
+	opt.Seed = seed
+	opt.BitsPerThread = bitsPerThread
+	if sms == 0 {
+		opt.Device = gpusim.TuringRTX2080Ti()
+	} else {
+		opt.Device = gpusim.ScaledCPU(sms)
+	}
+	if hasTarget {
+		opt.TargetEnergy = &target
+	}
+	if verbose {
+		opt.Progress = func(pr core.Progress) {
+			best := "n/a"
+			if pr.BestKnown {
+				best = fmt.Sprintf("%d", pr.BestEnergy)
+			}
+			fmt.Fprintf(os.Stderr, "[%7.1fs] best %s, %d flips, %.3g sol/s\n",
+				pr.Elapsed.Seconds(), best, pr.Flips,
+				float64(pr.Evaluated)/pr.Elapsed.Seconds())
+		}
+	}
+
+	fmt.Printf("instance: %s (%d bits, density %.3f)\n", p.Name(), p.N(), p.Density())
+	fmt.Printf("cluster: %d × %s, %d bits/thread requested\n", gpus, opt.Device.Name, bitsPerThread)
+
+	// Optional presolve: solve the persistency-reduced instance and
+	// expand the answer back to the original variable space.
+	var pre *qubo.PresolveResult
+	solveProblem := p
+	if presolve {
+		pre, err = qubo.Presolve(p)
+		if err != nil {
+			return err
+		}
+		fixed := p.N()
+		if pre.Reduced != nil {
+			fixed -= pre.Reduced.N()
+		}
+		fmt.Printf("presolve: fixed %d of %d variables (offset %d)\n", fixed, p.N(), pre.Offset)
+		if pre.Reduced == nil {
+			// Everything fixed: the instance is solved outright.
+			x, err := pre.Expand(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("best energy: %d (exact, by presolve alone)\n", p.Energy(x))
+			if showSolution {
+				fmt.Println("solution:", x)
+			}
+			return nil
+		}
+		solveProblem = pre.Reduced
+		if hasTarget {
+			reduced := target - pre.Offset
+			opt.TargetEnergy = &reduced
+		}
+	}
+
+	res, err := core.Solve(solveProblem, opt)
+	if err != nil {
+		return err
+	}
+	if pre != nil {
+		full, err := pre.Expand(res.Best)
+		if err != nil {
+			return err
+		}
+		res.Best = full
+		res.BestEnergy += pre.Offset
+	}
+	fmt.Printf("blocks: %d (%d threads/block, %d blocks/GPU, occupancy %.0f%%)\n",
+		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100)
+	fmt.Printf("elapsed: %v   flips: %d   evaluated: %d   search rate: %.3g sol/s\n",
+		res.Elapsed.Round(time.Millisecond), res.Flips, res.Evaluated, res.SearchRate)
+	fmt.Printf("best energy: %d", res.BestEnergy)
+	if hasTarget {
+		fmt.Printf("   target %d reached: %v", target, res.ReachedTarget)
+	}
+	fmt.Println()
+
+	switch {
+	case g != nil:
+		cut := maxcut.CutValue(g, res.Best)
+		fmt.Printf("max-cut value: %d (of total weight %d)\n", cut, g.TotalWeight())
+	case enc != nil:
+		reportTour(enc, res.Best)
+	case spins != nil:
+		// 2E = H + C, so the Hamiltonian of the found state is 2E − C.
+		fmt.Printf("ising hamiltonian: %d\n", 2*res.BestEnergy-isingOffset)
+	}
+	if showSolution {
+		fmt.Println("solution:", res.Best)
+	}
+	return nil
+}
+
+func reportTour(enc *tsp.Encoding, x *bitvec.Vector) {
+	tour, err := enc.DecodeTour(x)
+	if err != nil {
+		fmt.Printf("tour: invalid (%v) — increase -time\n", err)
+		return
+	}
+	l, err := enc.Instance().TourLength(tour)
+	if err != nil {
+		fmt.Printf("tour: %v\n", err)
+		return
+	}
+	fmt.Printf("tour length: %d\ntour: %v\n", l, tour)
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"abs/internal/ising"
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+	"abs/internal/randqubo"
+	"abs/internal/tsp"
+)
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]string{
+		"a.qubo":  "qubo",
+		"a.txt":   "qubo",
+		"a.qbin":  "qubobin",
+		"a.gset":  "gset",
+		"a.mc":    "gset",
+		"a.tsp":   "tsplib",
+		"a.ising": "ising",
+		"a":       "qubo",
+	}
+	for file, want := range cases {
+		if got := detectFormat(file, ""); got != want {
+			t.Errorf("detectFormat(%q) = %q, want %q", file, got, want)
+		}
+	}
+	if detectFormat("a.tsp", "qubo") != "qubo" {
+		t.Error("explicit format not honoured")
+	}
+}
+
+func writeFile(t *testing.T, name string, write func(*os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEndQUBO(t *testing.T) {
+	p := randqubo.Generate(48, 1)
+	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	if err := run(path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEndBinary(t *testing.T) {
+	p := randqubo.Generate(32, 2)
+	path := writeFile(t, "t.qbin", func(f *os.File) error { return qubo.WriteBinary(f, p) })
+	if err := run(path, "", 50*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEndGSet(t *testing.T) {
+	g, err := maxcut.GenerateRandom(40, 120, maxcut.WeightsPlusMinusOne, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeFile(t, "t.gset", func(f *os.File) error { return maxcut.WriteGSet(f, g) })
+	if err := run(path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEndTSP(t *testing.T) {
+	inst := tsp.RandomEuclidean(6, 4)
+	path := writeFile(t, "t.tsp", func(f *os.File) error { return tsp.WriteTSPLIB(f, inst) })
+	if err := run(path, "", 150*time.Millisecond, 0, false, 1, 1, 0, 1, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEndToEndIsing(t *testing.T) {
+	m := ising.New(12)
+	m.SetJ(0, 1, 3)
+	m.SetJ(2, 5, -4)
+	m.SetH(7, 2)
+	path := writeFile(t, "t.ising", func(f *os.File) error { return ising.Write(f, m) })
+	if err := run(path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTargetStop(t *testing.T) {
+	p := randqubo.Generate(32, 5)
+	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	// Target of -1 is trivially reachable on a dense random instance.
+	if err := run(path, "", 5*time.Second, -1, true, 1, 1, 0, 1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.qubo"), "", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFile(t, "bad.qubo", func(f *os.File) error {
+		_, err := f.WriteString("not a qubo file\n")
+		return err
+	})
+	if err := run(bad, "", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+		t.Error("malformed file accepted")
+	}
+	good := writeFile(t, "g.qubo", func(f *os.File) error {
+		return qubo.WriteText(f, randqubo.Generate(16, 6))
+	})
+	if err := run(good, "nonsense", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunWithPresolve(t *testing.T) {
+	// An instance where persistency fixes variables: strongly negative
+	// diagonals with weak couplings.
+	p := qubo.New(20)
+	for i := 0; i < 20; i++ {
+		p.SetWeight(i, i, -50)
+	}
+	p.SetWeight(0, 1, 2)
+	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	if err := run(path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Command qubogen generates benchmark instances in the three families
+// of the paper's evaluation and writes them to disk, so experiments can
+// run on files like the paper ran on downloads.
+//
+// Usage:
+//
+//	qubogen -kind random   -n 1024 [-seed 7] -out rand1k.qubo
+//	qubogen -kind gset     -n 800 -m 19176 [-weights +1|pm1] -out g1.gset
+//	qubogen -kind torus    -rows 40 -cols 50 [-weights pm1] -out g35.gset
+//	qubogen -kind tsp      -n 52 [-seed 7] -out berlin.tsp
+//	qubogen -kind gset-paper -name G1 -out g1.gset
+//
+// random emits the text QUBO format (use -binary for the compact
+// binary form); gset/torus emit the G-set graph format; tsp emits a
+// TSPLIB FULL_MATRIX file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+	"abs/internal/randqubo"
+	"abs/internal/tsp"
+)
+
+// genSpec carries the parsed generation request.
+type genSpec struct {
+	kind       string
+	n, m       int
+	rows, cols int
+	weights    maxcut.WeightKind
+	name       string
+	seed       uint64
+	binary     bool
+}
+
+// emit generates the requested instance and writes it to w.
+func emit(spec genSpec, w io.Writer) error {
+	switch spec.kind {
+	case "random":
+		if spec.n <= 0 {
+			return fmt.Errorf("random: need -n")
+		}
+		p := randqubo.Generate(spec.n, spec.seed)
+		if spec.binary {
+			return qubo.WriteBinary(w, p)
+		}
+		return qubo.WriteText(w, p)
+	case "gset":
+		if spec.n <= 0 || spec.m <= 0 {
+			return fmt.Errorf("gset: need -n and -m")
+		}
+		g, err := maxcut.GenerateRandom(spec.n, spec.m, spec.weights, spec.seed)
+		if err != nil {
+			return err
+		}
+		return maxcut.WriteGSet(w, g)
+	case "torus":
+		if spec.rows < 2 || spec.cols < 2 {
+			return fmt.Errorf("torus: need -rows and -cols ≥ 2")
+		}
+		g, err := maxcut.GenerateToroidal(spec.rows, spec.cols, spec.weights, spec.seed)
+		if err != nil {
+			return err
+		}
+		return maxcut.WriteGSet(w, g)
+	case "tsp":
+		if spec.n < 3 {
+			return fmt.Errorf("tsp: need -n ≥ 3")
+		}
+		return tsp.WriteTSPLIB(w, tsp.RandomEuclidean(spec.n, spec.seed))
+	case "gset-paper":
+		for _, f := range maxcut.PaperGSet() {
+			if f.Name == spec.name {
+				g, err := f.Generate()
+				if err != nil {
+					return err
+				}
+				return maxcut.WriteGSet(w, g)
+			}
+		}
+		return fmt.Errorf("gset-paper: unknown name %q", spec.name)
+	default:
+		return fmt.Errorf("unknown kind %q", spec.kind)
+	}
+}
+
+func main() {
+	var (
+		kind    = flag.String("kind", "", "random | gset | torus | tsp | gset-paper")
+		n       = flag.Int("n", 0, "size: bits (random), vertices (gset), cities (tsp)")
+		m       = flag.Int("m", 0, "edge count (gset)")
+		rows    = flag.Int("rows", 0, "torus rows")
+		cols    = flag.Int("cols", 0, "torus cols")
+		weights = flag.String("weights", "+1", "edge weights: +1 or pm1")
+		name    = flag.String("name", "", "paper instance name (gset-paper): G1, G6, G22, G27, G35, G39, G55, G70")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		binary  = flag.Bool("binary", false, "write the binary QUBO format (random only)")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	wk := maxcut.WeightsPlusOne
+	if *weights == "pm1" {
+		wk = maxcut.WeightsPlusMinusOne
+	}
+	spec := genSpec{
+		kind: *kind, n: *n, m: *m, rows: *rows, cols: *cols,
+		weights: wk, name: *name, seed: *seed, binary: *binary,
+	}
+	if spec.kind == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := emit(spec, w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qubogen:", err)
+	os.Exit(1)
+}

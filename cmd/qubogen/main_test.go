@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+	"abs/internal/tsp"
+)
+
+func TestEmitRandomTextParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "random", n: 40, seed: 3}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	p, err := qubo.ReadText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 40 {
+		t.Errorf("n = %d", p.N())
+	}
+}
+
+func TestEmitRandomBinaryParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "random", n: 24, seed: 3, binary: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	p, err := qubo.ReadBinary(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 24 {
+		t.Errorf("n = %d", p.N())
+	}
+}
+
+func TestEmitGSetParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "gset", n: 30, m: 60, weights: maxcut.WeightsPlusMinusOne, seed: 4}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := maxcut.ReadGSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || g.M() != 60 {
+		t.Errorf("graph %d/%d", g.N(), g.M())
+	}
+}
+
+func TestEmitTorusParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "torus", rows: 4, cols: 5, weights: maxcut.WeightsPlusOne, seed: 5}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := maxcut.ReadGSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.M() != 40 {
+		t.Errorf("torus %d/%d", g.N(), g.M())
+	}
+}
+
+func TestEmitTSPParsesBack(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "tsp", n: 7, seed: 6}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := tsp.ReadTSPLIB(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cities() != 7 {
+		t.Errorf("cities = %d", inst.Cities())
+	}
+}
+
+func TestEmitGSetPaper(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(genSpec{kind: "gset-paper", name: "G1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	g, err := maxcut.ReadGSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 800 || g.M() != 19176 {
+		t.Errorf("G1 family %d/%d", g.N(), g.M())
+	}
+}
+
+func TestEmitErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := []genSpec{
+		{kind: "random"},
+		{kind: "gset", n: 10},
+		{kind: "torus", rows: 1, cols: 5},
+		{kind: "tsp", n: 2},
+		{kind: "gset-paper", name: "G999"},
+		{kind: "bananas"},
+	}
+	for _, spec := range cases {
+		if err := emit(spec, &sb); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package abs_test
+
+import (
+	"fmt"
+	"time"
+
+	"abs"
+)
+
+// ExampleSolveToTarget shows the basic target-driven workflow: build an
+// instance, compute a ground-truth target for this tiny size, and run
+// ABS until it is reached.
+func ExampleSolveToTarget() {
+	p := abs.RandomProblem(16, 7)
+	_, optimum, err := abs.ExactSolve(p) // tiny instance: exact oracle
+	if err != nil {
+		panic(err)
+	}
+	res, err := abs.SolveToTarget(p, optimum, 30*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reached optimum:", res.ReachedTarget)
+	fmt.Println("energies match:", p.Energy(res.Best) == optimum)
+	// Output:
+	// reached optimum: true
+	// energies match: true
+}
+
+// ExampleNewProblem builds an instance weight by weight and evaluates a
+// specific solution.
+func ExampleNewProblem() {
+	// E(X) = -5·x0 - 3·x1 + 2·2·x0·x1 (off-diagonals count twice).
+	p := abs.NewProblem(2)
+	p.SetWeight(0, 0, -5)
+	p.SetWeight(1, 1, -3)
+	p.SetWeight(0, 1, 2)
+
+	x := abs.MustVector("11")
+	fmt.Println(p.Energy(x))
+	// Output:
+	// -4
+}
+
+// ExampleSolveMaxCut runs the Max-Cut pipeline on a complete bipartite
+// graph, whose optimal cut takes every edge.
+func ExampleSolveMaxCut() {
+	g := abs.NewGraph(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			if err := g.AddEdge(u, v, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	res, err := abs.SolveMaxCut(g, 2*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut:", res.Cut)
+	// Output:
+	// cut: 9
+}

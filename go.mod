@@ -1,0 +1,3 @@
+module abs
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package bench is the measurement harness that regenerates every table
+// and figure of the paper's evaluation (§4): time-to-solution runs with
+// repetition and target calibration (Table 1), the throughput sweep
+// (Table 2), multi-GPU scaling (Figure 8), the system comparison
+// (Table 3), and the ablations that isolate the paper's design choices.
+//
+// Absolute numbers on a CPU host differ from four RTX 2080 Ti by
+// orders of magnitude; every renderer therefore prints the paper's
+// published value, this host's measured value, and (for throughput)
+// the calibrated cycle model's prediction for the paper's hardware, so
+// the reproduction claims live at the level of shape: who wins, what
+// rises, where the peaks sit.
+package bench
+
+import (
+	"time"
+
+	"abs/internal/core"
+	"abs/internal/qubo"
+)
+
+// Calibrate finds a "best-known" energy for an instance by running the
+// solver for a fixed budget, mirroring §4.1.3: "we compute good
+// solutions by repeating searches until convergence and regard them as
+// best-known".
+func Calibrate(p *qubo.Problem, budget time.Duration, opt core.Options) (int64, error) {
+	opt.TargetEnergy = nil
+	opt.MaxDuration = budget
+	opt.MaxFlips = 0
+	res, err := core.Solve(p, opt)
+	if err != nil {
+		return 0, err
+	}
+	return res.BestEnergy, nil
+}
+
+// RelaxTarget relaxes a calibrated best-known energy to a fraction of
+// its magnitude, the paper's "99 % of best-known" / "best-known +5 %"
+// notations. Energies here are negative for interesting instances, so
+// frac 0.99 moves the target 1 % of |best| toward zero; frac 1.05 on a
+// positive-length objective is handled by the TSP helpers instead.
+func RelaxTarget(best int64, frac float64) int64 {
+	return int64(float64(best) * frac)
+}
+
+// TTSSpec is one time-to-solution measurement.
+type TTSSpec struct {
+	// Name labels the row; Bits is the instance size.
+	Name string
+	Bits int
+	// Problem is the instance; TargetEnergy the stop threshold;
+	// TargetDesc the human-readable target provenance.
+	Problem      *qubo.Problem
+	TargetEnergy int64
+	TargetDesc   string
+	// PaperSec is the published time (0 when the paper has no row).
+	PaperSec float64
+	// Repeats is the number of measured runs (the paper averages ten).
+	Repeats int
+	// Cap bounds each run; runs that miss the target within Cap count
+	// as failures.
+	Cap time.Duration
+	// Opt configures the solver; stop fields are overwritten.
+	Opt core.Options
+}
+
+// TTSResult is the measured outcome.
+type TTSResult struct {
+	Spec      TTSSpec
+	Successes int
+	// MeanSec averages the successful runs' times; MinSec and MaxSec
+	// bound them (zero when no run succeeded).
+	MeanSec, MinSec, MaxSec float64
+	// BestSeen is the best energy observed across all runs.
+	BestSeen int64
+}
+
+// MeasureTTS runs the spec's instance Repeats times and averages the
+// successful times-to-target.
+func MeasureTTS(spec TTSSpec) (TTSResult, error) {
+	res := TTSResult{Spec: spec, BestSeen: int64(1) << 62}
+	var totalSec float64
+	for rep := 0; rep < spec.Repeats; rep++ {
+		opt := spec.Opt
+		opt.TargetEnergy = &spec.TargetEnergy
+		opt.MaxDuration = spec.Cap
+		opt.MaxFlips = 0
+		opt.Seed = spec.Opt.Seed + uint64(rep)*7919
+		r, err := core.Solve(spec.Problem, opt)
+		if err != nil {
+			return res, err
+		}
+		if r.BestEnergy < res.BestSeen {
+			res.BestSeen = r.BestEnergy
+		}
+		if r.ReachedTarget {
+			sec := r.Elapsed.Seconds()
+			if res.Successes == 0 || sec < res.MinSec {
+				res.MinSec = sec
+			}
+			if sec > res.MaxSec {
+				res.MaxSec = sec
+			}
+			res.Successes++
+			totalSec += sec
+		}
+	}
+	if res.Successes > 0 {
+		res.MeanSec = totalSec / float64(res.Successes)
+	}
+	return res, nil
+}
+
+// MeasureRate runs the solver for the budget and returns the measured
+// search rate (evaluated solutions per second) along with the result.
+func MeasureRate(p *qubo.Problem, opt core.Options, budget time.Duration) (*core.Result, error) {
+	opt.TargetEnergy = nil
+	opt.MaxDuration = budget
+	opt.MaxFlips = 0
+	return core.Solve(p, opt)
+}

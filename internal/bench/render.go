@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// newTab returns a tabwriter configured for the report tables.
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// FormatRate renders a search rate in the paper's units (T/s for
+// terasolutions per second, falling back to G/s, M/s, k/s).
+func FormatRate(r float64) string {
+	switch {
+	case r >= 1e12:
+		return fmt.Sprintf("%.3g T/s", r/1e12)
+	case r >= 1e9:
+		return fmt.Sprintf("%.3g G/s", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.3g M/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.3g k/s", r/1e3)
+	case r > 0:
+		return fmt.Sprintf("%.3g /s", r)
+	default:
+		return "-"
+	}
+}
+
+// FormatSeconds renders a time-to-solution like the paper's Table 1
+// ("0.0723", "1.79"), or "miss" when no run succeeded.
+func FormatSeconds(sec float64, ok bool) string {
+	if !ok {
+		return "miss"
+	}
+	switch {
+	case sec < 0.0001:
+		return fmt.Sprintf("%.2g", sec)
+	case sec < 1:
+		return fmt.Sprintf("%.3g", sec)
+	default:
+		return fmt.Sprintf("%.3g", sec)
+	}
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}

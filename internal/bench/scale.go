@@ -1,0 +1,68 @@
+package bench
+
+import "time"
+
+// Scale controls how much wall-clock the experiment renderers spend.
+// Quick keeps the full suite under a couple of minutes on a laptop
+// core for CI and `go test -bench`; Full reproduces the paper's
+// instance sizes end to end and is meant for a dedicated run of
+// cmd/abs-bench.
+type Scale struct {
+	// Name tags the report header.
+	Name string
+	// Calibration is the budget of each best-known calibration run.
+	Calibration time.Duration
+	// RunCap bounds each time-to-solution attempt.
+	RunCap time.Duration
+	// Repeats is the number of measured runs per row (paper: 10).
+	Repeats int
+	// RateBudget is the per-configuration budget of throughput rows.
+	RateBudget time.Duration
+	// MaxBits drops time-to-solution rows with larger instances.
+	MaxBits int
+	// MaxMeasuredBits caps the instance size for which throughput is
+	// *measured* (a dense 32 k instance weighs 2 GiB; beyond the cap
+	// only the modelled column is printed).
+	MaxMeasuredBits int
+}
+
+// Quick returns the fast scale used by tests and default bench runs.
+func Quick() Scale {
+	return Scale{
+		Name:            "quick",
+		Calibration:     400 * time.Millisecond,
+		RunCap:          2 * time.Second,
+		Repeats:         3,
+		RateBudget:      250 * time.Millisecond,
+		MaxBits:         2100,
+		MaxMeasuredBits: 4096,
+	}
+}
+
+// Medium sits between Quick and Full: paper sizes up to ~5 k bits,
+// tens of seconds per row. It exists so a laptop can produce at least
+// one data point per table beyond the quick cut-offs.
+func Medium() Scale {
+	return Scale{
+		Name:            "medium",
+		Calibration:     5 * time.Second,
+		RunCap:          30 * time.Second,
+		Repeats:         3,
+		RateBudget:      500 * time.Millisecond,
+		MaxBits:         4800,
+		MaxMeasuredBits: 8192,
+	}
+}
+
+// Full returns the paper-faithful scale.
+func Full() Scale {
+	return Scale{
+		Name:            "full",
+		Calibration:     20 * time.Second,
+		RunCap:          120 * time.Second,
+		Repeats:         10,
+		RateBudget:      2 * time.Second,
+		MaxBits:         1 << 30,
+		MaxMeasuredBits: 16384,
+	}
+}

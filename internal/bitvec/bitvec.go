@@ -1,0 +1,267 @@
+// Package bitvec implements fixed-length bit vectors used as QUBO
+// solution candidates.
+//
+// The paper represents a solution as an n-bit vector X = x0 x1 ... xn-1
+// (Eq. 1). Vectors here are backed by []uint64 words so that Hamming
+// distance, equality and diff enumeration — the operations on the
+// straight-search hot path (Algorithm 5) — run a word at a time with
+// hardware popcount.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"abs/internal/rng"
+)
+
+const wordBits = 64
+
+// Vector is an n-bit vector. The zero value is unusable; construct with
+// New or Random. Bits beyond n in the last word are always zero — every
+// mutating method maintains this invariant so that word-level equality,
+// Hamming distance and hashing are exact.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits. It panics if n <= 0, since a
+// QUBO instance always has at least one variable.
+func New(n int) *Vector {
+	if n <= 0 {
+		panic(fmt.Sprintf("bitvec: invalid length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Random returns a uniformly random vector of n bits.
+func Random(n int, r *rng.Rand) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = r.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// FromBits builds a vector from a slice of 0/1 values. Any non-zero
+// entry is treated as 1.
+func FromBits(bits []int) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+		}
+	}
+	return v
+}
+
+// FromString parses a string of '0' and '1' runes, most significant bit
+// index first, i.e. FromString("01") has bit 0 = 0 and bit 1 = 1.
+func FromString(s string) (*Vector, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("bitvec: empty string")
+	}
+	v := New(len(s))
+	for i, c := range s {
+		switch c {
+		case '1':
+			v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+		case '0':
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at %d", c, i)
+		}
+	}
+	return v, nil
+}
+
+// maskTail zeroes bits at positions >= n in the last word.
+func (v *Vector) maskTail() {
+	if r := uint(v.n) % wordBits; r != 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Bit returns bit k as 0 or 1.
+func (v *Vector) Bit(k int) int {
+	return int(v.words[k/wordBits] >> (uint(k) % wordBits) & 1)
+}
+
+// Set forces bit k to b (0 or 1).
+func (v *Vector) Set(k int, b int) {
+	mask := uint64(1) << (uint(k) % wordBits)
+	if b != 0 {
+		v.words[k/wordBits] |= mask
+	} else {
+		v.words[k/wordBits] &^= mask
+	}
+}
+
+// Flip inverts bit k, the flip_k operation of Eq. (2).
+func (v *Vector) Flip(k int) {
+	v.words[k/wordBits] ^= 1 << (uint(k) % wordBits)
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with src. The lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, src.n))
+	}
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and w hold identical bits.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i, x := range v.words {
+		if x != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of 1 bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Hamming returns the Hamming distance between v and w, the number of
+// flips a straight search needs to walk from v to w (§2.2.2).
+func (v *Vector) Hamming(w *Vector) int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: Hamming length mismatch %d != %d", v.n, w.n))
+	}
+	d := 0
+	for i, x := range v.words {
+		d += bits.OnesCount64(x ^ w.words[i])
+	}
+	return d
+}
+
+// DiffBits appends to dst the indices where v and w differ, in ascending
+// order, and returns the extended slice. It is allocation-free when dst
+// has capacity.
+func (v *Vector) DiffBits(dst []int, w *Vector) []int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: DiffBits length mismatch %d != %d", v.n, w.n))
+	}
+	for i, x := range v.words {
+		d := x ^ w.words[i]
+		base := i * wordBits
+		for d != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(d))
+			d &= d - 1
+		}
+	}
+	return dst
+}
+
+// Ones appends to dst the indices of set bits in ascending order and
+// returns the extended slice.
+func (v *Vector) Ones(dst []int) []int {
+	for i, x := range v.words {
+		base := i * wordBits
+		for x != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(x))
+			x &= x - 1
+		}
+	}
+	return dst
+}
+
+// Hash returns a 64-bit FNV-1a style hash of the contents, suitable for
+// the solution pool's distinctness check fast path.
+func (v *Vector) Hash() uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset) ^ uint64(v.n)
+	for _, w := range v.words {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> uint(s)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Compare orders vectors lexicographically by bit index (bit 0 most
+// significant for ordering purposes). It returns -1, 0 or +1. The pool
+// uses it as a total tiebreak among equal-energy solutions.
+func (v *Vector) Compare(w *Vector) int {
+	if v.n != w.n {
+		if v.n < w.n {
+			return -1
+		}
+		return 1
+	}
+	for i, x := range v.words {
+		y := w.words[i]
+		if x == y {
+			continue
+		}
+		// The differing bit with the lowest index decides; lower index
+		// set in w means v < w there iff v has 0.
+		bit := uint(bits.TrailingZeros64(x ^ y))
+		if x>>bit&1 == 0 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// String renders the bits as '0'/'1' runes in index order.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Words exposes the backing words read-only (the slice must not be
+// mutated). It exists for the solver's word-at-a-time scans.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// CrossUniform returns a uniform crossover of equal-length parents a
+// and b: each bit of the child is taken from a or b with probability ½
+// (§2.2.1: "each bit is randomly selected from either of the parents").
+// It works a word at a time with a random selection mask.
+func CrossUniform(a, b *Vector, r *rng.Rand) *Vector {
+	if a.n != b.n {
+		panic(fmt.Sprintf("bitvec: CrossUniform length mismatch %d != %d", a.n, b.n))
+	}
+	c := New(a.n)
+	for i := range c.words {
+		mask := r.Uint64()
+		c.words[i] = a.words[i]&mask | b.words[i]&^mask
+	}
+	c.maskTail()
+	return c
+}

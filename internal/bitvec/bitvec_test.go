@@ -1,0 +1,321 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/rng"
+)
+
+func TestNewZero(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if v.OnesCount() != 0 {
+			t.Fatalf("new vector of %d bits has %d ones", n, v.OnesCount())
+		}
+	}
+}
+
+func TestNewPanicsOnBadLength(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestSetBitFlip(t *testing.T) {
+	v := New(130)
+	v.Set(0, 1)
+	v.Set(64, 1)
+	v.Set(129, 1)
+	for _, k := range []int{0, 64, 129} {
+		if v.Bit(k) != 1 {
+			t.Errorf("bit %d not set", k)
+		}
+	}
+	if v.OnesCount() != 3 {
+		t.Fatalf("OnesCount = %d, want 3", v.OnesCount())
+	}
+	v.Flip(64)
+	if v.Bit(64) != 0 {
+		t.Error("flip did not clear bit 64")
+	}
+	v.Flip(64)
+	if v.Bit(64) != 1 {
+		t.Error("double flip did not restore bit 64")
+	}
+	v.Set(0, 0)
+	if v.Bit(0) != 0 {
+		t.Error("Set(0,0) did not clear")
+	}
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	in := []int{1, 0, 0, 1, 1, 0, 1}
+	v := FromBits(in)
+	for i, b := range in {
+		if v.Bit(i) != b {
+			t.Errorf("bit %d = %d, want %d", i, v.Bit(i), b)
+		}
+	}
+	if v.String() != "1001101" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestFromString(t *testing.T) {
+	v, err := FromString("0101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Bit(0) != 0 || v.Bit(1) != 1 || v.Bit(2) != 0 || v.Bit(3) != 1 {
+		t.Errorf("parsed bits wrong: %s", v)
+	}
+	if _, err := FromString(""); err == nil {
+		t.Error("empty string accepted")
+	}
+	if _, err := FromString("01x1"); err == nil {
+		t.Error("invalid rune accepted")
+	}
+}
+
+func TestRandomTailMasked(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 7, 63, 65, 100, 127} {
+		v := Random(n, r)
+		w := v.Words()
+		last := w[len(w)-1]
+		if rem := uint(n) % 64; rem != 0 && last>>rem != 0 {
+			t.Errorf("n=%d: tail bits beyond length are set: %#x", n, last)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	r := rng.New(2)
+	v := Random(200, r)
+	w := v.Clone()
+	if !v.Equal(w) {
+		t.Fatal("clone not equal")
+	}
+	w.Flip(100)
+	if v.Equal(w) {
+		t.Fatal("flip of clone affected original (or Equal broken)")
+	}
+	if v.Bit(100) == w.Bit(100) {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	r := rng.New(3)
+	v := Random(100, r)
+	w := New(100)
+	w.CopyFrom(v)
+	if !w.Equal(v) {
+		t.Error("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom length mismatch did not panic")
+		}
+	}()
+	New(50).CopyFrom(v)
+}
+
+func TestHamming(t *testing.T) {
+	v := New(300)
+	w := New(300)
+	if v.Hamming(w) != 0 {
+		t.Error("identical vectors have non-zero distance")
+	}
+	for _, k := range []int{0, 63, 64, 150, 299} {
+		w.Flip(k)
+	}
+	if d := v.Hamming(w); d != 5 {
+		t.Errorf("Hamming = %d, want 5", d)
+	}
+}
+
+func TestDiffBits(t *testing.T) {
+	v := New(200)
+	w := New(200)
+	flips := []int{3, 64, 65, 130, 199}
+	for _, k := range flips {
+		w.Flip(k)
+	}
+	got := v.DiffBits(nil, w)
+	if len(got) != len(flips) {
+		t.Fatalf("DiffBits len = %d, want %d", len(got), len(flips))
+	}
+	for i, k := range flips {
+		if got[i] != k {
+			t.Errorf("diff[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := New(130)
+	idx := []int{0, 5, 64, 128}
+	for _, k := range idx {
+		v.Set(k, 1)
+	}
+	got := v.Ones(nil)
+	if len(got) != len(idx) {
+		t.Fatalf("Ones len = %d, want %d", len(got), len(idx))
+	}
+	for i, k := range idx {
+		if got[i] != k {
+			t.Errorf("ones[%d] = %d, want %d", i, got[i], k)
+		}
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	r := rng.New(4)
+	v := Random(512, r)
+	w := v.Clone()
+	if v.Hash() != w.Hash() {
+		t.Error("equal vectors hash differently")
+	}
+	w.Flip(17)
+	if v.Hash() == w.Hash() {
+		t.Error("single-bit flip kept hash (collision on trivial case)")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	a, _ := FromString("0011")
+	b, _ := FromString("0101")
+	if a.Compare(a.Clone()) != 0 {
+		t.Error("Compare(self) != 0")
+	}
+	if a.Compare(b) == 0 {
+		t.Error("distinct vectors compare equal")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Error("Compare not antisymmetric")
+	}
+	short := New(3)
+	long := New(4)
+	if short.Compare(long) != -1 || long.Compare(short) != 1 {
+		t.Error("length ordering wrong")
+	}
+}
+
+func TestQuickFlipInvolution(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64, kRaw uint16) bool {
+		n := 1 + int(seed%997)
+		v := Random(n, rng.New(seed))
+		k := int(kRaw) % n
+		w := v.Clone()
+		w.Flip(k)
+		if v.Hamming(w) != 1 {
+			return false
+		}
+		w.Flip(k)
+		return v.Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: nil}); err != nil {
+		t.Error(err)
+	}
+	_ = r
+}
+
+func TestQuickHammingMatchesDiffBits(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		n := 1 + int(s1%500)
+		v := Random(n, rng.New(s1))
+		w := Random(n, rng.New(s2))
+		return v.Hamming(w) == len(v.DiffBits(nil, w))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOnesCountMatchesOnes(t *testing.T) {
+	f := func(s uint64) bool {
+		n := 1 + int(s%300)
+		v := Random(n, rng.New(s))
+		return v.OnesCount() == len(v.Ones(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s uint64) bool {
+		n := 1 + int(s%200)
+		v := Random(n, rng.New(s))
+		w, err := FromString(v.String())
+		return err == nil && v.Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHamming4k(b *testing.B) {
+	r := rng.New(1)
+	v := Random(4096, r)
+	w := Random(4096, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Hamming(w)
+	}
+}
+
+func BenchmarkFlip(b *testing.B) {
+	v := New(4096)
+	for i := 0; i < b.N; i++ {
+		v.Flip(i & 4095)
+	}
+}
+
+func TestCrossUniformMasksTail(t *testing.T) {
+	// Crossover of vectors whose length is not a multiple of 64 must
+	// keep the tail bits beyond n zero (the word-level invariant every
+	// other operation relies on).
+	r := rng.New(77)
+	for _, n := range []int{1, 7, 63, 65, 100} {
+		a := Random(n, r)
+		b := Random(n, r)
+		c := CrossUniform(a, b, r)
+		w := c.Words()
+		if rem := uint(n) % 64; rem != 0 && w[len(w)-1]>>rem != 0 {
+			t.Errorf("n=%d: crossover set tail bits beyond length", n)
+		}
+		if c.Len() != n {
+			t.Errorf("n=%d: child length %d", n, c.Len())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length-mismatched crossover accepted")
+		}
+	}()
+	CrossUniform(New(3), New(4), r)
+}
+
+func TestHashLengthSensitivity(t *testing.T) {
+	// Same words, different declared length → different hash (length is
+	// mixed into the seed).
+	a := New(64)
+	b := New(65)
+	if a.Hash() == b.Hash() {
+		t.Error("hash ignores vector length")
+	}
+}

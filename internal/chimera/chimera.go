@@ -1,0 +1,134 @@
+// Package chimera models the D-Wave Chimera topology that Table 3's
+// comparison point (D-Wave 2000Q) is built on: an m×m grid of K₄,₄
+// unit cells, 8m² qubits, with intra-cell bipartite couplers plus
+// vertical (left-partition) and horizontal (right-partition) inter-cell
+// couplers. D-Wave 2000Q is C₁₆ — 2048 qubits, 6016 couplers — and can
+// therefore natively host only Ising models whose interaction graph is
+// a Chimera subgraph (§1: "There exist no interactions if two spins are
+// not connected in the graph"); everything else needs NP-hard
+// minor-embedding. The ABS solver has no such restriction; this package
+// exists to generate Chimera-native instances so the two regimes can be
+// compared on the same footing.
+package chimera
+
+import (
+	"fmt"
+
+	"abs/internal/ising"
+	"abs/internal/rng"
+)
+
+// Topology is a Chimera C_m graph.
+type Topology struct {
+	// M is the grid dimension (cells per side).
+	M int
+}
+
+// C16 is the D-Wave 2000Q topology.
+var C16 = Topology{M: 16}
+
+// N returns the number of qubits, 8·m².
+func (t Topology) N() int { return 8 * t.M * t.M }
+
+// NumEdges returns the number of couplers: 16 per cell plus 4 per
+// adjacent cell pair in each direction — 16m² + 8m(m−1).
+func (t Topology) NumEdges() int { return 16*t.M*t.M + 8*t.M*(t.M-1) }
+
+// Vertex maps (row, col, side, k) to a qubit index, where side 0 is
+// the left partition (vertical couplers) and side 1 the right
+// (horizontal couplers), k ∈ [0, 4).
+func (t Topology) Vertex(row, col, side, k int) int {
+	if row < 0 || row >= t.M || col < 0 || col >= t.M || side < 0 || side > 1 || k < 0 || k > 3 {
+		panic(fmt.Sprintf("chimera: invalid coordinate (%d,%d,%d,%d) in C%d", row, col, side, k, t.M))
+	}
+	return ((row*t.M+col)*2+side)*4 + k
+}
+
+// Edges returns all couplers as index pairs with u < v.
+func (t Topology) Edges() [][2]int {
+	edges := make([][2]int, 0, t.NumEdges())
+	for r := 0; r < t.M; r++ {
+		for c := 0; c < t.M; c++ {
+			// Intra-cell K4,4.
+			for a := 0; a < 4; a++ {
+				for b := 0; b < 4; b++ {
+					edges = append(edges, orient(t.Vertex(r, c, 0, a), t.Vertex(r, c, 1, b)))
+				}
+			}
+			// Vertical couplers: left partition to the cell below.
+			if r+1 < t.M {
+				for k := 0; k < 4; k++ {
+					edges = append(edges, orient(t.Vertex(r, c, 0, k), t.Vertex(r+1, c, 0, k)))
+				}
+			}
+			// Horizontal couplers: right partition to the cell to the
+			// right.
+			if c+1 < t.M {
+				for k := 0; k < 4; k++ {
+					edges = append(edges, orient(t.Vertex(r, c, 1, k), t.Vertex(r, c+1, 1, k)))
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func orient(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// edgeSet returns membership lookup for IsNative.
+func (t Topology) edgeSet() map[[2]int]bool {
+	s := make(map[[2]int]bool, t.NumEdges())
+	for _, e := range t.Edges() {
+		s[e] = true
+	}
+	return s
+}
+
+// RandomInstance generates a Chimera-native Ising model: couplers
+// uniform in [−jRange, +jRange]\{0} on every topology edge, fields
+// uniform in [−hRange, +hRange]. Both ranges must be positive enough
+// to fit the solver's weight domain after ToQUBO (degree ≤ 6 keeps
+// that easy).
+func RandomInstance(t Topology, jRange, hRange int32, seed uint64) (*ising.Model, error) {
+	if jRange <= 0 || hRange < 0 {
+		return nil, fmt.Errorf("chimera: invalid ranges j=%d h=%d", jRange, hRange)
+	}
+	m := ising.New(t.N())
+	r := rng.New(seed)
+	for _, e := range t.Edges() {
+		j := int32(r.Intn(int(2*jRange))) - jRange // [−jRange, jRange−1]
+		if j >= 0 {
+			j++ // skip zero: every topology edge carries a coupling
+		}
+		m.SetJ(e[0], e[1], j)
+	}
+	if hRange > 0 {
+		for i := 0; i < t.N(); i++ {
+			m.SetH(i, int32(r.Intn(int(2*hRange+1)))-hRange)
+		}
+	}
+	return m, nil
+}
+
+// IsNative reports whether every non-zero interaction of the model lies
+// on a topology edge, i.e. whether a D-Wave machine with this topology
+// could host the model without minor-embedding.
+func IsNative(m *ising.Model, t Topology) bool {
+	if m.N() > t.N() {
+		return false
+	}
+	edges := t.edgeSet()
+	for i := 0; i < m.N(); i++ {
+		for j := i + 1; j < m.N(); j++ {
+			if m.J(i, j) != 0 && !edges[[2]int{i, j}] {
+				return false
+			}
+		}
+	}
+	return true
+}

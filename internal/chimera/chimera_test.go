@@ -1,0 +1,165 @@
+package chimera
+
+import (
+	"testing"
+
+	"abs/internal/ising"
+	"abs/internal/qubo"
+)
+
+func TestC16MatchesDWave2000Q(t *testing.T) {
+	if C16.N() != 2048 {
+		t.Errorf("C16 qubits = %d, want 2048", C16.N())
+	}
+	if C16.NumEdges() != 6016 {
+		t.Errorf("C16 couplers = %d, want 6016", C16.NumEdges())
+	}
+}
+
+func TestEdgesMatchFormula(t *testing.T) {
+	for m := 1; m <= 5; m++ {
+		top := Topology{M: m}
+		edges := top.Edges()
+		if len(edges) != top.NumEdges() {
+			t.Errorf("C%d: %d edges, formula %d", m, len(edges), top.NumEdges())
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range edges {
+			if e[0] >= e[1] || e[0] < 0 || e[1] >= top.N() {
+				t.Fatalf("C%d: bad edge %v", m, e)
+			}
+			if seen[e] {
+				t.Fatalf("C%d: duplicate edge %v", m, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestVertexBijective(t *testing.T) {
+	top := Topology{M: 3}
+	seen := make([]bool, top.N())
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			for s := 0; s < 2; s++ {
+				for k := 0; k < 4; k++ {
+					v := top.Vertex(r, c, s, k)
+					if v < 0 || v >= top.N() || seen[v] {
+						t.Fatalf("Vertex(%d,%d,%d,%d) = %d invalid/duplicate", r, c, s, k, v)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid coordinate accepted")
+		}
+	}()
+	top.Vertex(3, 0, 0, 0)
+}
+
+func TestDegreesBounded(t *testing.T) {
+	// Chimera degree is ≤ 6 (4 intra-cell + up to 2 inter-cell).
+	top := Topology{M: 4}
+	deg := make([]int, top.N())
+	for _, e := range top.Edges() {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v, d := range deg {
+		if d < 4 || d > 6 {
+			t.Errorf("vertex %d degree %d outside [4,6]", v, d)
+		}
+	}
+}
+
+func TestRandomInstanceNativeAndConvertible(t *testing.T) {
+	top := Topology{M: 2}
+	m, err := RandomInstance(top, 7, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNative(m, top) {
+		t.Error("generated instance not native to its own topology")
+	}
+	// Every topology edge must carry a non-zero coupling.
+	for _, e := range top.Edges() {
+		if m.J(e[0], e[1]) == 0 {
+			t.Errorf("edge %v has zero coupling", e)
+		}
+	}
+	// Conversion must fit 16-bit weights (degree ≤ 6, small ranges).
+	p, _, err := m.ToQUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 32 {
+		t.Errorf("C2 converts to %d bits, want 32", p.N())
+	}
+	if _, err := RandomInstance(top, 0, 1, 1); err == nil {
+		t.Error("zero jRange accepted")
+	}
+}
+
+func TestIsNativeDetectsOffTopologyCoupling(t *testing.T) {
+	top := Topology{M: 2}
+	m := ising.New(top.N())
+	// Two left-partition spins of the same cell are NOT coupled in
+	// Chimera (the cell is bipartite).
+	m.SetJ(top.Vertex(0, 0, 0, 0), top.Vertex(0, 0, 0, 1), 5)
+	if IsNative(m, top) {
+		t.Error("intra-partition coupling accepted as native")
+	}
+	// A valid K4,4 edge is native.
+	m2 := ising.New(top.N())
+	m2.SetJ(top.Vertex(0, 0, 0, 0), top.Vertex(0, 0, 1, 2), 5)
+	if !IsNative(m2, top) {
+		t.Error("valid cell edge rejected")
+	}
+	// An oversized model cannot be native.
+	big := ising.New(top.N() + 1)
+	if IsNative(big, top) {
+		t.Error("oversized model accepted")
+	}
+}
+
+// TestSolveChimeraGroundState runs the full stack on a tiny Chimera
+// fragment: ising → QUBO → exact oracle. Uses a C1 cell (8 spins).
+func TestSolveChimeraGroundState(t *testing.T) {
+	top := Topology{M: 1}
+	m, err := RandomInstance(top, 5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, c, err := m.ToQUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, be, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.Hamiltonian(ising.SpinsFromBits(bx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*be != h+c {
+		t.Errorf("identity broken on Chimera instance: 2E=%d, H+C=%d", 2*be, h+c)
+	}
+	// Exhaustive spin check (8 spins).
+	best := h
+	for v := 0; v < 256; v++ {
+		s := make([]int8, 8)
+		for k := range s {
+			s[k] = int8(2*((v>>k)&1) - 1)
+		}
+		if hv, _ := m.Hamiltonian(s); hv < best {
+			best = hv
+		}
+	}
+	if h != best {
+		t.Errorf("QUBO optimum H=%d, exhaustive ground state H=%d", h, best)
+	}
+}

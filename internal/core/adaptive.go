@@ -1,0 +1,67 @@
+package core
+
+// adaptiveWindow implements the paper's future-work direction of
+// changing each block's search behaviour automatically (§5: "each CUDA
+// block would perform different algorithms and possibly they are
+// changed automatically"): a block that keeps improving keeps its
+// offset-window length; a block that stagnates for Patience consecutive
+// rounds doubles its window (cooling toward greedier selection), and
+// wraps back to the minimum once it exceeds the maximum (reheating).
+// This turns the static parallel-tempering-style ladder of §2.1 into a
+// per-block schedule, with no cross-block communication.
+type adaptiveWindow struct {
+	// Min and Max bound the window length; Patience is the number of
+	// stagnant rounds tolerated before a change.
+	Min, Max, Patience int
+
+	l        int
+	stagnant int
+	bestE    int64
+	hasBest  bool
+}
+
+// newAdaptiveWindow starts at the given initial length (clamped to
+// [min, max]).
+func newAdaptiveWindow(initial, min, max, patience int) *adaptiveWindow {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if initial < min {
+		initial = min
+	}
+	if initial > max {
+		initial = max
+	}
+	if patience < 1 {
+		patience = 1
+	}
+	return &adaptiveWindow{Min: min, Max: max, Patience: patience, l: initial}
+}
+
+// Length returns the current window length.
+func (a *adaptiveWindow) Length() int { return a.l }
+
+// Observe records the block's best energy after a round and returns
+// the window length for the next round.
+func (a *adaptiveWindow) Observe(bestE int64, found bool) int {
+	improved := found && (!a.hasBest || bestE < a.bestE)
+	if improved {
+		a.bestE = bestE
+		a.hasBest = true
+		a.stagnant = 0
+		return a.l
+	}
+	a.stagnant++
+	if a.stagnant >= a.Patience {
+		a.stagnant = 0
+		next := a.l * 2
+		if next > a.Max {
+			next = a.Min // reheat
+		}
+		a.l = next
+	}
+	return a.l
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"abs/internal/qubo"
+)
+
+func TestAdaptiveWindowClampsConstruction(t *testing.T) {
+	a := newAdaptiveWindow(0, -3, -5, 0)
+	if a.Min != 1 || a.Max != 1 || a.Length() != 1 || a.Patience != 1 {
+		t.Errorf("degenerate construction not clamped: %+v", a)
+	}
+	b := newAdaptiveWindow(999, 4, 64, 3)
+	if b.Length() != 64 {
+		t.Errorf("initial not clamped to max: %d", b.Length())
+	}
+}
+
+func TestAdaptiveWindowDoublesOnStagnation(t *testing.T) {
+	a := newAdaptiveWindow(4, 4, 64, 2)
+	// First observation establishes the baseline best (an improvement).
+	if l := a.Observe(-100, true); l != 4 {
+		t.Fatalf("window changed on improvement: %d", l)
+	}
+	// Two stagnant rounds → double.
+	a.Observe(-100, true) // equal energy: stagnant (1)
+	if l := a.Observe(-90, true); l != 8 {
+		t.Fatalf("window after 2 stagnant rounds = %d, want 8", l)
+	}
+	// Improvement resets the stagnation counter and keeps the length.
+	if l := a.Observe(-200, true); l != 8 {
+		t.Fatalf("window changed on improvement: %d", l)
+	}
+}
+
+func TestAdaptiveWindowReheatsPastMax(t *testing.T) {
+	a := newAdaptiveWindow(32, 4, 64, 1)
+	a.Observe(-1, true)           // baseline
+	if a.Observe(0, true) != 64 { // 32→64
+		t.Fatal("first doubling wrong")
+	}
+	if l := a.Observe(0, true); l != 4 { // 64→wrap to min
+		t.Fatalf("no reheat: %d", l)
+	}
+}
+
+func TestAdaptiveWindowHandlesNoBest(t *testing.T) {
+	a := newAdaptiveWindow(8, 4, 64, 1)
+	// Rounds with no best found count as stagnant.
+	if l := a.Observe(0, false); l != 16 {
+		t.Fatalf("stagnant no-best round did not double: %d", l)
+	}
+}
+
+func TestSolveAdaptiveRuns(t *testing.T) {
+	p := randomProblem(96, 44)
+	o := tinyOptions()
+	o.Adaptive = true
+	o.MaxDuration = 100 * time.Millisecond
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEnergy >= 0 {
+		t.Errorf("adaptive solve did not improve: %d", res.BestEnergy)
+	}
+	if got := p.Energy(res.Best); got != res.BestEnergy {
+		t.Error("adaptive result inconsistent")
+	}
+}
+
+func TestSolveAdaptiveFindsOptimum(t *testing.T) {
+	p := randomProblem(22, 45)
+	_, optE, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Adaptive = true
+	o.AdaptivePatience = 4
+	o.TargetEnergy = &optE
+	o.MaxDuration = 10 * time.Second
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachedTarget {
+		t.Errorf("adaptive solve missed optimum %d (best %d)", optE, res.BestEnergy)
+	}
+}
+
+func TestAdaptivePatienceValidation(t *testing.T) {
+	p := randomProblem(16, 46)
+	o := tinyOptions()
+	o.MaxDuration = time.Millisecond
+	o.AdaptivePatience = -2
+	if _, err := Solve(p, o); err == nil {
+		t.Error("negative patience accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package core implements the Adaptive Bulk Search framework: the
+// asynchronous combination of a host-side genetic algorithm and
+// device-side bulk local searches described in §3 of the paper.
+//
+// The host (§3.1) owns a sorted, distinct solution pool. Device blocks
+// (§3.2) each own an incremental qubo.State (the Δ register file) and
+// loop forever: read a target solution from the target buffer, straight-
+// search to it (Algorithm 5), local-search around it (Algorithm 4 with
+// the offset-window policy), publish the best-found solution to the
+// solution buffer, reset, repeat. Host and devices communicate only
+// through the gpusim global-memory buffers — no block ever waits for
+// the host or for another block, which is the property that lets the
+// paper run 4352 blocks with no synchronization overhead.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+)
+
+// Progress is the periodic run snapshot passed to Options.Progress.
+type Progress struct {
+	// Elapsed is the time since launch.
+	Elapsed time.Duration
+	// BestEnergy is the pool's best evaluated energy; BestKnown is
+	// false while no device has reported yet.
+	BestEnergy int64
+	BestKnown  bool
+	// Flips and Evaluated are cluster-wide counters so far.
+	Flips, Evaluated uint64
+}
+
+// Options configures a Solve run. The zero value is not valid; start
+// from DefaultOptions.
+type Options struct {
+	// Device is the simulated GPU model; NumGPUs is the cluster size.
+	Device  gpusim.DeviceSpec
+	NumGPUs int
+
+	// BitsPerThread is the p of §3.2. Zero selects the best
+	// 100 %-occupancy configuration automatically, as the paper does.
+	BitsPerThread int
+
+	// GA configures the host genetic algorithm.
+	GA ga.Config
+
+	// LocalSteps is the fixed number of forced flips in each local-
+	// search phase (§3.2 Step 4b) between target reads.
+	LocalSteps int
+
+	// WindowMin and WindowMax bound the offset-window length l assigned
+	// to blocks. Block b receives a window interpolated between the two,
+	// so the block population spans exploration temperatures in the
+	// spirit of parallel tempering (§2.1). Zero values derive defaults
+	// from the problem size.
+	WindowMin, WindowMax int
+
+	// Seed makes the host's target stream reproducible. Full runs are
+	// still not bit-identical: blocks race asynchronously by design
+	// (§3), so how many search rounds fit between target updates
+	// depends on scheduling.
+	Seed uint64
+
+	// Stop conditions; at least one must be set.
+	//
+	// TargetEnergy stops the run once the pool's best energy is ≤ the
+	// value ("time-to-solution" runs, §4.2).
+	TargetEnergy *int64
+	// MaxDuration stops the run after a wall-clock budget.
+	MaxDuration time.Duration
+	// MaxFlips stops the run after the cluster performs this many flips
+	// in total (each flip evaluates n solutions).
+	MaxFlips uint64
+
+	// PollInterval is the host's Step 2 polling cadence. Zero means
+	// 100 µs.
+	PollInterval time.Duration
+
+	// Storage selects the search-engine representation; see the
+	// constants. StorageAuto picks sparse when the instance's
+	// off-diagonal density is below 25 %, where the O(deg) flip beats
+	// the dense O(n) kernel.
+	Storage Storage
+
+	// Warm starts: vectors inserted into the solution pool before the
+	// run, e.g. a 2-opt tour for a TSP instance. They enter with
+	// unknown energy — the host never evaluates the energy function
+	// (§3.1) — and become GA parents once blocks report energies for
+	// the regions around them.
+	WarmStarts []*bitvec.Vector
+
+	// Progress, when non-nil, is called from the host loop roughly
+	// every ProgressEvery (default 1 s) with a snapshot of the run.
+	// The callback runs on the host goroutine: keep it fast.
+	Progress      func(Progress)
+	ProgressEvery time.Duration
+
+	// Adaptive lets every block reschedule its own window length when
+	// it stagnates (double on AdaptivePatience stagnant rounds, wrap to
+	// WindowMin past WindowMax) — the paper's future-work direction of
+	// automatically changing per-block search behaviour (§5). When
+	// false, blocks keep the static ladder of §2.1.
+	Adaptive bool
+	// AdaptivePatience is the stagnant-round threshold; zero means 8.
+	AdaptivePatience int
+}
+
+// Storage selects the incremental-engine representation used by the
+// search units.
+type Storage int
+
+const (
+	// StorageAuto chooses per instance by density.
+	StorageAuto Storage = iota
+	// StorageDense always uses the paper's dense kernel (O(n) flips,
+	// n evaluated solutions per flip).
+	StorageDense
+	// StorageSparse always uses the adjacency engine (O(deg) flips).
+	StorageSparse
+)
+
+func (s Storage) String() string {
+	switch s {
+	case StorageAuto:
+		return "auto"
+	case StorageDense:
+		return "dense"
+	case StorageSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Storage(%d)", int(s))
+	}
+}
+
+// DefaultOptions returns options sized for solving on a CPU host: a
+// small virtual cluster (one device with a few SMs keeps per-flip
+// throughput high while preserving search diversity), automatic block
+// shape, and the default GA mix. Callers must still set a stop
+// condition.
+func DefaultOptions() Options {
+	return Options{
+		Device:     gpusim.ScaledCPU(2),
+		NumGPUs:    1,
+		GA:         ga.DefaultConfig(),
+		LocalSteps: 512,
+		Seed:       1,
+	}
+}
+
+// PaperOptions returns options that reconstruct the paper's hardware
+// shape — four RTX 2080 Ti with full occupancy — for throughput
+// experiments where the block population matters more than per-block
+// speed.
+func PaperOptions() Options {
+	o := DefaultOptions()
+	o.Device = gpusim.TuringRTX2080Ti()
+	o.NumGPUs = 4
+	return o
+}
+
+// normalize fills derived defaults and validates; it returns the final
+// options.
+func (o Options) normalize(n int) (Options, error) {
+	if o.NumGPUs <= 0 {
+		return o, fmt.Errorf("core: NumGPUs must be positive, got %d", o.NumGPUs)
+	}
+	if o.LocalSteps <= 0 {
+		return o, fmt.Errorf("core: LocalSteps must be positive, got %d", o.LocalSteps)
+	}
+	if err := o.GA.Validate(); err != nil {
+		return o, err
+	}
+	if o.TargetEnergy == nil && o.MaxDuration == 0 && o.MaxFlips == 0 {
+		return o, fmt.Errorf("core: no stop condition set (TargetEnergy, MaxDuration or MaxFlips)")
+	}
+	if o.BitsPerThread == 0 {
+		p, err := o.Device.BestBitsPerThread(n)
+		if err != nil {
+			return o, err
+		}
+		o.BitsPerThread = p
+	}
+	if o.WindowMin == 0 {
+		o.WindowMin = 4
+	}
+	if o.WindowMax == 0 {
+		o.WindowMax = n / 4
+		if o.WindowMax < o.WindowMin {
+			o.WindowMax = o.WindowMin
+		}
+	}
+	if o.WindowMin < 1 || o.WindowMax < o.WindowMin {
+		return o, fmt.Errorf("core: invalid window range [%d, %d]", o.WindowMin, o.WindowMax)
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 100 * time.Microsecond
+	}
+	if o.AdaptivePatience == 0 {
+		o.AdaptivePatience = 8
+	}
+	if o.ProgressEvery == 0 {
+		o.ProgressEvery = time.Second
+	}
+	for i, ws := range o.WarmStarts {
+		if ws == nil || ws.Len() != n {
+			return o, fmt.Errorf("core: warm start %d is nil or has wrong length", i)
+		}
+	}
+	if o.AdaptivePatience < 1 {
+		return o, fmt.Errorf("core: AdaptivePatience %d must be positive", o.AdaptivePatience)
+	}
+	if !o.Device.FitsGlobalMemory(n) {
+		return o, fmt.Errorf("core: %d-bit instance does not fit %s global memory", n, o.Device.Name)
+	}
+	return o, nil
+}

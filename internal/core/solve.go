@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+// Result reports the outcome of a Solve run.
+type Result struct {
+	// Best is the best solution found and BestEnergy its energy.
+	Best       *bitvec.Vector
+	BestEnergy int64
+
+	// ReachedTarget reports whether the TargetEnergy stop condition
+	// fired (as opposed to a time/flip budget running out).
+	ReachedTarget bool
+
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+
+	// Flips is the cluster-wide number of accepted bit flips; Evaluated
+	// is Flips · n, the number of solutions whose energies were
+	// computed (each flip evaluates all n neighbours, Eq. 5).
+	Flips     uint64
+	Evaluated uint64
+
+	// SearchRate is Evaluated / Elapsed in solutions per second — the
+	// measured counterpart of the paper's Table 2 metric on this host.
+	SearchRate float64
+
+	// ModelledRate is what the cycle-cost model predicts for the same
+	// (instance, shape, cluster) on the simulated hardware; for the
+	// paper's configuration this reproduces Table 2's column.
+	ModelledRate float64
+
+	// Blocks is the number of concurrent search units that ran, and
+	// Occupancy the per-device residency of the chosen shape.
+	Blocks    int
+	Occupancy gpusim.Occupancy
+
+	// Inserted and Rejected count device solutions admitted to /
+	// rejected by the host pool (duplicates or too bad).
+	Inserted, Rejected uint64
+
+	// Storage is the engine representation actually used (after auto
+	// selection), and EvaluatedPerFlip its per-flip evaluation count
+	// (n dense, 1+avg-degree sparse).
+	Storage          Storage
+	EvaluatedPerFlip float64
+
+	// BlockStats holds one record per search unit, ordered by global
+	// block index.
+	BlockStats []BlockStat
+}
+
+// BlockStat is the per-search-unit record returned in Result.BlockStats:
+// which window length the block ran, how much it searched, and how much
+// of its output the host found good enough (and novel enough) to keep.
+// Grouping these by window length shows which rungs of the
+// temperature-like ladder (§2.1) actually feed the pool.
+type BlockStat struct {
+	Device, Block int
+	// Window is the block's offset-window length (final value when
+	// adaptive rescheduling is on).
+	Window int
+	// Flips and Published count the block's work; Inserted counts its
+	// publications that the host admitted to the pool.
+	Flips     uint64
+	Published uint64
+	Inserted  uint64
+}
+
+// blockStats is the per-run shared instrumentation. The aggregate flip
+// counter is read live by the host (budget enforcement); the per-block
+// fields are written only by their owning goroutine and read after the
+// run joins, so they need no atomics except inserted, which the host
+// increments concurrently.
+type blockStats struct {
+	flips    atomic.Uint64
+	perBlock []BlockStat
+	inserted []atomic.Uint64
+}
+
+// Solve runs the Adaptive Bulk Search on p until a stop condition
+// fires, returning the best solution found.
+func Solve(p *qubo.Problem, opt Options) (*Result, error) {
+	n := p.N()
+	opt, err := opt.normalize(n)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := gpusim.NewCluster(opt.Device, opt.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+	totalBlocks, err := cluster.TotalBlocks(n, opt.BitsPerThread)
+	if err != nil {
+		return nil, err
+	}
+
+	hostRNG := rng.New(opt.Seed)
+	host, err := ga.NewHost(n, opt.GA, hostRNG)
+	if err != nil {
+		return nil, err
+	}
+
+	// Engine selection: the dense kernel is the paper's; the sparse
+	// adjacency engine wins on low-density instances (G-set graphs).
+	storage := opt.Storage
+	if storage == StorageAuto {
+		if p.Density() < 0.25 {
+			storage = StorageSparse
+		} else {
+			storage = StorageDense
+		}
+	}
+	var newEngine func() qubo.Engine
+	var evaluatedPerFlip float64
+	if storage == StorageSparse {
+		sp := qubo.Sparsify(p)
+		newEngine = func() qubo.Engine { return qubo.NewSparseZeroState(sp) }
+		evaluatedPerFlip = 1 + sp.AvgDegree()
+	} else {
+		newEngine = func() qubo.Engine { return qubo.NewZeroState(p) }
+		evaluatedPerFlip = float64(n)
+	}
+
+	targets := gpusim.NewTargetBuffer(totalBlocks)
+	solutions := gpusim.NewSolutionBuffer()
+	stats := &blockStats{
+		perBlock: make([]BlockStat, totalBlocks),
+		inserted: make([]atomic.Uint64, totalBlocks),
+	}
+
+	// Warm starts join the pool with unknown energy (the host never
+	// evaluates the energy function, §3.1); blocks will visit and
+	// evaluate their neighbourhoods.
+	for _, ws := range opt.WarmStarts {
+		host.Pool().Insert(ws.Clone(), ga.UnknownEnergy)
+	}
+
+	// §3.1 Step 1: seed every target slot before launch so blocks have
+	// work immediately. The first slots get the warm starts verbatim so
+	// at least one block walks straight to each of them.
+	for b := 0; b < totalBlocks; b++ {
+		if b < len(opt.WarmStarts) {
+			targets.Store(b, opt.WarmStarts[b].Clone())
+			continue
+		}
+		targets.Store(b, host.NewTarget())
+	}
+
+	start := time.Now()
+	run, err := cluster.Launch(n, opt.BitsPerThread, func(bc gpusim.BlockContext) {
+		deviceBlock(bc, newEngine(), opt, targets, solutions, stats)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Host loop (§3.1 Steps 2–4).
+	res := &Result{
+		Blocks:           totalBlocks,
+		Occupancy:        run.Occupancy(),
+		Storage:          storage,
+		EvaluatedPerFlip: evaluatedPerFlip,
+	}
+	var lastCounter uint64
+	deadline := time.Time{}
+	if opt.MaxDuration > 0 {
+		deadline = start.Add(opt.MaxDuration)
+	}
+	nextProgress := start.Add(opt.ProgressEvery)
+	for {
+		if opt.Progress != nil && !time.Now().Before(nextProgress) {
+			nextProgress = time.Now().Add(opt.ProgressEvery)
+			pr := Progress{
+				Elapsed: time.Since(start),
+				Flips:   stats.flips.Load(),
+			}
+			pr.Evaluated = uint64(float64(pr.Flips) * evaluatedPerFlip)
+			if best, ok := host.Pool().Best(); ok {
+				pr.BestEnergy, pr.BestKnown = best.E, true
+			}
+			opt.Progress(pr)
+		}
+		// Step 2: poll the global counter without draining.
+		if c := solutions.Counter(); c != lastCounter {
+			lastCounter = c
+			// Step 3: insert arrivals into the pool; Step 4: one fresh
+			// target per arrival, stored back into the arriving block's
+			// slot.
+			for _, s := range solutions.Drain() {
+				slot := s.Device*run.Occupancy().ActiveBlocks + s.Block
+				if host.Insert(s.X, s.Energy) {
+					stats.inserted[slot].Add(1)
+				}
+				targets.Store(slot, host.NewTarget())
+			}
+		}
+		if best, ok := host.Pool().Best(); ok && opt.TargetEnergy != nil && best.E <= *opt.TargetEnergy {
+			res.ReachedTarget = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if opt.MaxFlips > 0 && stats.flips.Load() >= opt.MaxFlips {
+			break
+		}
+		time.Sleep(opt.PollInterval)
+	}
+	run.Stop()
+
+	// Final drain: blocks publish once more on shutdown; keep the
+	// per-block attribution consistent with the live path.
+	for _, s := range solutions.Drain() {
+		if host.Insert(s.X, s.Energy) {
+			stats.inserted[s.Device*run.Occupancy().ActiveBlocks+s.Block].Add(1)
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	res.Flips = stats.flips.Load()
+	res.Evaluated = uint64(float64(res.Flips) * evaluatedPerFlip)
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.SearchRate = float64(res.Evaluated) / secs
+	}
+	res.ModelledRate = gpusim.DefaultCostModel.SearchRate(opt.Device, n, opt.BitsPerThread, opt.NumGPUs)
+	if best, ok := host.Pool().Best(); ok {
+		res.Best = best.X.Clone()
+		res.BestEnergy = best.E
+	} else {
+		// No device ever published (budget too small): fall back to the
+		// zero vector, whose energy is 0 by construction.
+		res.Best = bitvec.New(n)
+		res.BestEnergy = 0
+	}
+	res.Inserted, res.Rejected = hostInsertCounts(host)
+	res.BlockStats = stats.perBlock
+	for i := range res.BlockStats {
+		res.BlockStats[i].Inserted = stats.inserted[i].Load()
+	}
+	return res, nil
+}
+
+func hostInsertCounts(h *ga.Host) (uint64, uint64) {
+	_, ins, rej := h.Stats()
+	return ins, rej
+}
+
+// deviceBlock is the device-side program of §3.2: the body of one CUDA
+// block, run as a goroutine. The engine arrives initialized at the
+// zero vector — E(0) = 0, Δ_i = W_ii — so the very first straight
+// search already runs at O(1) efficiency (Step 1).
+func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
+	targets *gpusim.TargetBuffer, solutions *gpusim.SolutionBuffer, stats *blockStats) {
+
+	// Window length: interpolate across blocks geometrically between
+	// WindowMin and WindowMax so the population covers exploration
+	// temperatures (§2.1); like parallel tempering, but static — unless
+	// Adaptive is set, in which case each block reschedules itself when
+	// it stagnates.
+	initialWindow := blockWindow(bc.GlobalBlock, targets.Slots(), opt, state.N())
+	policy := search.NewOffsetWindow(initialWindow)
+	var adapt *adaptiveWindow
+	if opt.Adaptive {
+		adapt = newAdaptiveWindow(initialWindow, opt.WindowMin, opt.WindowMax, opt.AdaptivePatience)
+	}
+
+	// The block owns its BlockStat slot; the final write is published to
+	// the host by the run's WaitGroup join.
+	my := &stats.perBlock[bc.GlobalBlock]
+	my.Device, my.Block = bc.Device, bc.Block
+	defer func() { my.Window = policy.L }()
+
+	var targetVersion uint64
+	var localFlips uint64
+	for !bc.Stopped() {
+		// Respect a cluster-wide flip budget: stop starting new rounds
+		// once it is exhausted (the host will shut the run down; the
+		// remaining overshoot is at most one in-flight round per block).
+		if opt.MaxFlips > 0 && stats.flips.Load() >= opt.MaxFlips {
+			return
+		}
+		// Step 2: read the target solution, if the host has stored a
+		// new one; otherwise keep searching from where we are (the
+		// iteration chain of Fig. 4 continues unbroken either way).
+		if t, v, ok := targets.Load(bc.GlobalBlock, targetVersion); ok {
+			targetVersion = v
+			// Step 4a: straight search from the current solution C to
+			// the target T (Algorithm 5). Flip count = Hamming(C, T).
+			localFlips += uint64(search.Straight(state, t))
+		}
+		// Step 4b: bulk local search with the forced-flip policy.
+		localFlips += uint64(search.Run(state, opt.LocalSteps, policy))
+
+		// Step 5: publish the best solution found this round, then
+		// reset it (Step 3 of the next round) so successive rounds
+		// publish fresh solutions rather than one old champion.
+		x, e, ok := state.Best()
+		if ok {
+			solutions.Publish(gpusim.Solution{X: x, Energy: e, Device: bc.Device, Block: bc.Block})
+			my.Published++
+		}
+		state.ResetBest()
+		if adapt != nil {
+			policy.L = adapt.Observe(e, ok)
+		}
+
+		my.Flips += localFlips
+		stats.flips.Add(localFlips)
+		localFlips = 0
+	}
+}
+
+// blockWindow assigns block g of total a window length log-interpolated
+// in [opt.WindowMin, opt.WindowMax] and clamped to [1, n].
+func blockWindow(g, total int, opt Options, n int) int {
+	lo, hi := float64(opt.WindowMin), float64(opt.WindowMax)
+	frac := 0.0
+	if total > 1 {
+		frac = float64(g) / float64(total-1)
+	}
+	l := int(math.Round(lo * math.Pow(hi/lo, frac)))
+	if l < 1 {
+		l = 1
+	}
+	if l > n {
+		l = n
+	}
+	return l
+}

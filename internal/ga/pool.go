@@ -1,0 +1,169 @@
+// Package ga implements the host-side genetic algorithm of the ABS
+// framework (§2.2.1, §3.1): a sorted, duplicate-free solution pool fed
+// by the device blocks, and the mutation/crossover/copy operators that
+// turn pool members into new target solutions for the blocks to search
+// around.
+//
+// Two properties from the paper are load-bearing:
+//
+//   - the host never computes the energy function — pool entries start
+//     with energy "+∞" (unevaluated random vectors) and only acquire
+//     energies that devices report;
+//   - the pool stays sorted and distinct, with binary-search insertion,
+//     as the premature-convergence guard: a solution identical to an
+//     existing entry is rejected instead of crowding the pool.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+// UnknownEnergy is the sentinel for entries whose energy has not been
+// computed by any device ("the energy values are +∞ in the sense that
+// they are not computed", §3.1 Step 1).
+const UnknownEnergy = int64(math.MaxInt64)
+
+// Entry is one pool member.
+type Entry struct {
+	X *bitvec.Vector
+	E int64
+}
+
+// Known reports whether the entry's energy has been evaluated.
+func (e Entry) Known() bool { return e.E != UnknownEnergy }
+
+// Pool is the host's solution pool: at most Cap entries, sorted by
+// ascending energy (unknown-energy entries last, ordered among
+// themselves by vector content), all vectors pairwise distinct.
+// Pool is not safe for concurrent use; the host loop owns it.
+type Pool struct {
+	n       int
+	cap     int
+	entries []Entry
+	// allowDuplicates disables the distinctness guard; it exists only
+	// for the ablation study that quantifies the guard's value (§2.2.1
+	// argues distinctness prevents premature convergence).
+	allowDuplicates bool
+}
+
+// SetAllowDuplicates toggles the distinctness guard (ablation use only).
+func (p *Pool) SetAllowDuplicates(v bool) { p.allowDuplicates = v }
+
+// NewPool returns an empty pool for n-bit solutions holding at most
+// capacity entries.
+func NewPool(n, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ga: pool capacity %d must be positive", capacity))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("ga: solution size %d must be positive", n))
+	}
+	return &Pool{n: n, cap: capacity, entries: make([]Entry, 0, capacity)}
+}
+
+// SeedRandom fills the pool with distinct random vectors of unknown
+// energy (§3.1 Step 1). When the solution space is smaller than the
+// pool capacity (2ⁿ < cap, tiny instances), it stops at 2ⁿ distinct
+// vectors instead of demanding the impossible.
+func (p *Pool) SeedRandom(r *rng.Rand) {
+	want := p.cap
+	if p.n < 60 {
+		if space := uint64(1) << uint(p.n); space < uint64(want) {
+			want = int(space)
+		}
+	}
+	for len(p.entries) < want {
+		p.Insert(bitvec.Random(p.n, r), UnknownEnergy)
+	}
+}
+
+// Len returns the current number of entries.
+func (p *Pool) Len() int { return len(p.entries) }
+
+// Cap returns the maximum number of entries.
+func (p *Pool) Cap() int { return p.cap }
+
+// At returns the i-th entry in energy order (0 is the best). The
+// caller must treat the vector as read-only.
+func (p *Pool) At(i int) Entry { return p.entries[i] }
+
+// Best returns the best evaluated entry, if any.
+func (p *Pool) Best() (Entry, bool) {
+	if len(p.entries) == 0 || !p.entries[0].Known() {
+		return Entry{}, false
+	}
+	return p.entries[0], true
+}
+
+// less orders entries by (energy, vector content) so that equal-energy
+// duplicates land on the same position and binary search stays exact.
+func less(aE int64, aX *bitvec.Vector, bE int64, bX *bitvec.Vector) bool {
+	if aE != bE {
+		return aE < bE
+	}
+	return aX.Compare(bX) < 0
+}
+
+// Insert adds x with energy e. It returns false without modifying the
+// pool when x is already present, or when the pool is full and e is no
+// better than the current worst. On success, the worst entry is evicted
+// if the pool was full. Insert takes ownership of x.
+//
+// The position is found by binary search in O(log m) comparisons
+// (§2.2.1/§3.1 Step 3).
+func (p *Pool) Insert(x *bitvec.Vector, e int64) bool {
+	if x.Len() != p.n {
+		panic(fmt.Sprintf("ga: inserting %d-bit vector into %d-bit pool", x.Len(), p.n))
+	}
+	pos := sort.Search(len(p.entries), func(i int) bool {
+		return !less(p.entries[i].E, p.entries[i].X, e, x)
+	})
+	if !p.allowDuplicates && pos < len(p.entries) && p.entries[pos].E == e && p.entries[pos].X.Equal(x) {
+		return false // duplicate: keep the pool distinct
+	}
+	if len(p.entries) == p.cap {
+		if pos == len(p.entries) {
+			return false // worse than everything resident
+		}
+		// Shift the tail right by one, dropping the worst entry.
+		copy(p.entries[pos+1:], p.entries[pos:len(p.entries)-1])
+		p.entries[pos] = Entry{X: x, E: e}
+		return true
+	}
+	p.entries = append(p.entries, Entry{})
+	copy(p.entries[pos+1:], p.entries[pos:len(p.entries)-1])
+	p.entries[pos] = Entry{X: x, E: e}
+	return true
+}
+
+// Contains reports whether an identical vector with the same energy is
+// resident; it exists for tests.
+func (p *Pool) Contains(x *bitvec.Vector, e int64) bool {
+	pos := sort.Search(len(p.entries), func(i int) bool {
+		return !less(p.entries[i].E, p.entries[i].X, e, x)
+	})
+	return pos < len(p.entries) && p.entries[pos].E == e && p.entries[pos].X.Equal(x)
+}
+
+// CheckInvariants verifies sortedness and distinctness; tests and the
+// property suite call it after mutation sequences.
+func (p *Pool) CheckInvariants() error {
+	for i := 1; i < len(p.entries); i++ {
+		a, b := p.entries[i-1], p.entries[i]
+		if less(b.E, b.X, a.E, a.X) {
+			return fmt.Errorf("ga: pool out of order at %d", i)
+		}
+		if !p.allowDuplicates && a.E == b.E && a.X.Equal(b.X) {
+			return fmt.Errorf("ga: duplicate pool entries at %d", i)
+		}
+	}
+	if len(p.entries) > p.cap {
+		return fmt.Errorf("ga: pool over capacity: %d > %d", len(p.entries), p.cap)
+	}
+	return nil
+}

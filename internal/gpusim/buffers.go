@@ -1,0 +1,106 @@
+package gpusim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"abs/internal/bitvec"
+)
+
+// The target and solution buffers live "in global memory" (§3, Fig. 5):
+// the host and the device blocks never talk to each other directly —
+// blocks run fully asynchronously, the host polls a monotonic counter
+// (the paper uses cudaMemcpyAsync on a global counter, §3.1 Step 2) and
+// drains whatever has arrived. The Go re-creation keeps the same
+// asynchrony: blocks never block on the host, and the host never blocks
+// on any particular block.
+
+// Solution is one best-found solution published by a device block
+// (𝓑 and E_𝓑 of §3.2 Step 5).
+type Solution struct {
+	X      *bitvec.Vector
+	Energy int64
+	// Device and Block identify the publishing search unit.
+	Device int
+	Block  int
+}
+
+// SolutionBuffer is the device→host half of global memory: a
+// mutex-guarded append buffer plus an atomically readable counter, so
+// the host can poll for news without taking the lock.
+type SolutionBuffer struct {
+	mu      sync.Mutex
+	entries []Solution
+	counter atomic.Uint64
+}
+
+// NewSolutionBuffer returns an empty buffer.
+func NewSolutionBuffer() *SolutionBuffer { return &SolutionBuffer{} }
+
+// Publish appends a solution; the device block transfers ownership of x
+// (it must not mutate it afterwards — blocks publish snapshots).
+func (b *SolutionBuffer) Publish(s Solution) {
+	b.mu.Lock()
+	b.entries = append(b.entries, s)
+	b.mu.Unlock()
+	b.counter.Add(1)
+}
+
+// Counter returns the total number of solutions ever published. The
+// host's Step 2 spin reads this without locking.
+func (b *SolutionBuffer) Counter() uint64 { return b.counter.Load() }
+
+// Drain removes and returns all pending solutions (host Step 3).
+func (b *SolutionBuffer) Drain() []Solution {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) == 0 {
+		return nil
+	}
+	out := b.entries
+	b.entries = nil
+	return out
+}
+
+// TargetBuffer is the host→device half of global memory: one slot per
+// block, each holding the target solution T the block should walk to
+// next (§3.1 Step 4 / §3.2 Step 2). Slots carry version numbers so a
+// block can cheaply detect "no new target yet" and keep local-searching.
+type TargetBuffer struct {
+	mu       sync.Mutex
+	slots    []*bitvec.Vector
+	versions []uint64
+}
+
+// NewTargetBuffer returns a buffer with one slot per block, all empty.
+func NewTargetBuffer(blocks int) *TargetBuffer {
+	return &TargetBuffer{
+		slots:    make([]*bitvec.Vector, blocks),
+		versions: make([]uint64, blocks),
+	}
+}
+
+// Slots returns the number of block slots.
+func (t *TargetBuffer) Slots() int { return len(t.slots) }
+
+// Store writes a new target into slot block, bumping its version. The
+// host transfers ownership of x.
+func (t *TargetBuffer) Store(block int, x *bitvec.Vector) {
+	t.mu.Lock()
+	t.slots[block] = x
+	t.versions[block]++
+	t.mu.Unlock()
+}
+
+// Load returns the slot's current target and version if the version
+// differs from lastSeen; otherwise ok is false and the block should
+// continue its current search. The returned vector is shared — the
+// block must treat it as read-only (it clones before walking).
+func (t *TargetBuffer) Load(block int, lastSeen uint64) (x *bitvec.Vector, version uint64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.versions[block] == lastSeen || t.slots[block] == nil {
+		return nil, lastSeen, false
+	}
+	return t.slots[block], t.versions[block], true
+}

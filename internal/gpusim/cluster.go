@@ -1,0 +1,104 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BlockContext is handed to every simulated CUDA block. Blocks must
+// poll Stopped frequently (once per search iteration) and return when
+// it reports true — the cluster has no way to preempt them, just as a
+// real kernel runs to completion.
+type BlockContext struct {
+	// Device is the device index within the cluster, Block the block
+	// index within the device.
+	Device, Block int
+	// GlobalBlock is the block's unique index across all devices; it
+	// doubles as the block's slot in the target buffer.
+	GlobalBlock int
+
+	stop *atomic.Bool
+}
+
+// Stopped reports whether the host has requested shutdown.
+func (bc BlockContext) Stopped() bool { return bc.stop.Load() }
+
+// BlockFunc is the device-side program: the body of one CUDA block.
+type BlockFunc func(bc BlockContext)
+
+// Cluster is a set of identical simulated GPUs (the paper's four
+// RTX 2080 Ti board, Fig. 5).
+type Cluster struct {
+	Spec    DeviceSpec
+	NumGPUs int
+}
+
+// NewCluster returns a cluster of numGPUs devices with the given spec.
+func NewCluster(spec DeviceSpec, numGPUs int) (*Cluster, error) {
+	if numGPUs <= 0 {
+		return nil, fmt.Errorf("gpusim: need at least one GPU, got %d", numGPUs)
+	}
+	return &Cluster{Spec: spec, NumGPUs: numGPUs}, nil
+}
+
+// TotalBlocks returns the cluster-wide resident block count for a
+// problem shape, e.g. 1088 × 4 = 4352 for 1 k bits at 16 bits/thread on
+// four 2080 Ti.
+func (c *Cluster) TotalBlocks(n, p int) (int, error) {
+	occ, err := c.Spec.Occupancy(n, p)
+	if err != nil {
+		return 0, err
+	}
+	return occ.ActiveBlocks * c.NumGPUs, nil
+}
+
+// Run is a launched kernel: one goroutine per resident block across all
+// devices.
+type Run struct {
+	cluster *Cluster
+	occ     Occupancy
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	blocks  int
+}
+
+// Launch starts fn on every resident block for an n-bit problem at p
+// bits per thread and returns immediately; the blocks run until Stop.
+// Each block is one goroutine — the Go scheduler plays the role of the
+// GPU's block scheduler, and the asynchrony between blocks that the
+// paper relies on (§3.2 Step 4a: straight-search lengths vary per
+// block, but blocks never synchronize) carries over directly.
+func (c *Cluster) Launch(n, p int, fn BlockFunc) (*Run, error) {
+	occ, err := c.Spec.Occupancy(n, p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{cluster: c, occ: occ, blocks: occ.ActiveBlocks * c.NumGPUs}
+	r.wg.Add(r.blocks)
+	global := 0
+	for dev := 0; dev < c.NumGPUs; dev++ {
+		for blk := 0; blk < occ.ActiveBlocks; blk++ {
+			bc := BlockContext{Device: dev, Block: blk, GlobalBlock: global, stop: &r.stop}
+			global++
+			go func() {
+				defer r.wg.Done()
+				fn(bc)
+			}()
+		}
+	}
+	return r, nil
+}
+
+// Occupancy returns the per-device occupancy of the launched shape.
+func (r *Run) Occupancy() Occupancy { return r.occ }
+
+// Blocks returns the total number of running blocks.
+func (r *Run) Blocks() int { return r.blocks }
+
+// Stop signals all blocks to finish and waits for them to return. It is
+// idempotent.
+func (r *Run) Stop() {
+	r.stop.Store(true)
+	r.wg.Wait()
+}

@@ -1,0 +1,268 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// KernelBlock simulates the paper's CUDA kernel (§3.2) at *thread*
+// granularity: a block of t = ⌈n/p⌉ logical threads, where thread i
+// owns bits i·p … i·p+p−1 and keeps their Δ values in its private
+// register file, the best/current energies live in simulated shared
+// memory, and each search step performs
+//
+//  1. a per-thread scan of its own registers for the offset-window
+//     candidates (Fig. 2),
+//  2. an explicit log₂(t) tree reduction across threads to find the
+//     window minimum,
+//  3. a per-thread Eq. (6) update of its own p registers for the chosen
+//     flip, with the owning thread negating Δ_k and updating E.
+//
+// Functionally it must compute exactly what the serial qubo.State
+// computes — the equivalence test in kernel_test.go is the module's
+// evidence that the paper's parallel decomposition is faithful. It is
+// an instrument for validation, not speed: the host CPU executes the
+// "threads" sequentially.
+type KernelBlock struct {
+	prob    *qubo.Problem
+	threads int
+	p       int // bits per thread
+
+	// regs[t] is thread t's register file: Δ values of its bits. The
+	// paper stores these as 32-bit registers; int64 here, with the
+	// width argument made in qubo.State.
+	regs [][]int64
+	// x is the current solution (conceptually distributed: thread t
+	// owns bits t·p…t·p+p−1).
+	x *bitvec.Vector
+	// sharedE and sharedBestE model the shared-memory cells ℰ_X and
+	// ℰ_B of §3.2.
+	sharedE     int64
+	sharedBestE int64
+	bestVec     *bitvec.Vector
+
+	flips uint64
+}
+
+// NewKernelBlock builds a block for the given shape, initialized at the
+// zero vector (E = 0, Δ_i = W_ii), like §3.2 Step 1.
+func NewKernelBlock(prob *qubo.Problem, bitsPerThread int) (*KernelBlock, error) {
+	if bitsPerThread <= 0 {
+		return nil, fmt.Errorf("gpusim: bits per thread %d must be positive", bitsPerThread)
+	}
+	n := prob.N()
+	threads := (n + bitsPerThread - 1) / bitsPerThread
+	kb := &KernelBlock{
+		prob:        prob,
+		threads:     threads,
+		p:           bitsPerThread,
+		regs:        make([][]int64, threads),
+		x:           bitvec.New(n),
+		sharedBestE: math.MaxInt64,
+	}
+	for t := 0; t < threads; t++ {
+		lo, hi := kb.span(t)
+		kb.regs[t] = make([]int64, hi-lo)
+		for i := lo; i < hi; i++ {
+			kb.regs[t][i-lo] = int64(prob.Weight(i, i))
+		}
+	}
+	return kb, nil
+}
+
+// span returns thread t's bit range [lo, hi).
+func (kb *KernelBlock) span(t int) (lo, hi int) {
+	lo = t * kb.p
+	hi = lo + kb.p
+	if n := kb.prob.N(); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Threads returns the logical thread count.
+func (kb *KernelBlock) Threads() int { return kb.threads }
+
+// Energy returns the shared-memory energy cell.
+func (kb *KernelBlock) Energy() int64 { return kb.sharedE }
+
+// Flips returns the flips performed.
+func (kb *KernelBlock) Flips() uint64 { return kb.flips }
+
+// X returns the current solution (read-only).
+func (kb *KernelBlock) X() *bitvec.Vector { return kb.x }
+
+// Delta returns Δ_k from the owning thread's register file.
+func (kb *KernelBlock) Delta(k int) int64 {
+	return kb.regs[k/kb.p][k%kb.p]
+}
+
+// BestEnergy returns the shared-memory best-energy cell.
+func (kb *KernelBlock) BestEnergy() int64 { return kb.sharedBestE }
+
+// candidate is a (Δ, scan position, bit) triple flowing up the
+// reduction tree. Ordering matches the serial OffsetWindow policy:
+// strictly smaller Δ wins; on ties, the earlier window scan position.
+type candidate struct {
+	delta int64
+	pos   int
+	bit   int
+}
+
+func better(a, b candidate) bool {
+	if a.delta != b.delta {
+		return a.delta < b.delta
+	}
+	return a.pos < b.pos
+}
+
+// SelectWindowMin performs steps 1–2 of the kernel: each thread scans
+// its own registers for window members, then a log₂(t) tree reduction
+// finds the global window minimum. offset and l define the window
+// [offset, offset+l) mod n.
+func (kb *KernelBlock) SelectWindowMin(offset, l int) int {
+	n := kb.prob.N()
+	if l < 1 {
+		l = 1
+	}
+	if l > n {
+		l = n
+	}
+	// Step 1: per-thread local scan. Window position of bit i is
+	// (i − offset) mod n; the thread includes i iff that is < l.
+	locals := make([]candidate, kb.threads)
+	for t := range locals {
+		locals[t] = candidate{delta: math.MaxInt64, pos: math.MaxInt32}
+		lo, hi := kb.span(t)
+		for i := lo; i < hi; i++ {
+			pos := i - offset
+			if pos < 0 {
+				pos += n
+			}
+			if pos >= l {
+				continue
+			}
+			c := candidate{delta: kb.regs[t][i-lo], pos: pos, bit: i}
+			if better(c, locals[t]) {
+				locals[t] = c
+			}
+		}
+	}
+	// Step 2: pairwise tree reduction, as a butterfly over a
+	// power-of-two-padded array — the shape a __shfl/shared-memory
+	// reduction takes on the GPU.
+	width := 1
+	for width < kb.threads {
+		width *= 2
+	}
+	tree := make([]candidate, width)
+	for i := range tree {
+		if i < kb.threads {
+			tree[i] = locals[i]
+		} else {
+			tree[i] = candidate{delta: math.MaxInt64, pos: math.MaxInt32}
+		}
+	}
+	for stride := width / 2; stride > 0; stride /= 2 {
+		for i := 0; i < stride; i++ {
+			if better(tree[i+stride], tree[i]) {
+				tree[i] = tree[i+stride]
+			}
+		}
+	}
+	return tree[0].bit
+}
+
+// Flip performs step 3 of the kernel for bit k: every thread applies
+// Eq. (6) to its own registers, the owner negates Δ_k, and the shared
+// energy and best cells update. Mirrors Algorithm 4's loop body.
+func (kb *KernelBlock) Flip(k int) {
+	row := kb.prob.Row(k)
+	sk := int64(1 - 2*kb.x.Bit(k))
+	oldDk := kb.Delta(k)
+
+	minC := candidate{delta: math.MaxInt64, pos: math.MaxInt32}
+	for t := 0; t < kb.threads; t++ {
+		lo, hi := kb.span(t)
+		regs := kb.regs[t]
+		for i := lo; i < hi; i++ {
+			if i == k {
+				continue
+			}
+			xi := int64(kb.x.Bit(i))
+			regs[i-lo] += 2 * sk * (1 - 2*xi) * int64(row[i])
+			if c := (candidate{delta: regs[i-lo], pos: i, bit: i}); better(c, minC) {
+				minC = c
+			}
+		}
+	}
+	kb.regs[k/kb.p][k%kb.p] = -oldDk
+	kb.sharedE += oldDk
+	kb.x.Flip(k)
+	kb.flips++
+
+	if kb.sharedE < kb.sharedBestE {
+		kb.recordBest(kb.x, kb.sharedE)
+	}
+	// |Δ| is bounded by 2·n·2¹⁵ ≪ MaxInt64, so the sentinel is safe.
+	if minC.delta != math.MaxInt64 {
+		if cand := kb.sharedE + minC.delta; cand < kb.sharedBestE {
+			kb.recordBestNeighbour(minC.bit, cand)
+		}
+	}
+}
+
+func (kb *KernelBlock) recordBest(v *bitvec.Vector, e int64) {
+	if kb.bestVec == nil {
+		kb.bestVec = v.Clone()
+	} else {
+		kb.bestVec.CopyFrom(v)
+	}
+	kb.sharedBestE = e
+}
+
+func (kb *KernelBlock) recordBestNeighbour(i int, e int64) {
+	if kb.bestVec == nil {
+		kb.bestVec = kb.x.Clone()
+	} else {
+		kb.bestVec.CopyFrom(kb.x)
+	}
+	kb.bestVec.Flip(i)
+	kb.sharedBestE = e
+}
+
+// Best returns the best solution recorded since the last reset.
+func (kb *KernelBlock) Best() (*bitvec.Vector, int64, bool) {
+	if kb.bestVec == nil || kb.sharedBestE == math.MaxInt64 {
+		return nil, 0, false
+	}
+	return kb.bestVec.Clone(), kb.sharedBestE, true
+}
+
+// ResetBest clears the shared best cells (§3.2 Step 3).
+func (kb *KernelBlock) ResetBest() { kb.sharedBestE = math.MaxInt64 }
+
+// Step runs one full kernel iteration: window selection at the given
+// offset and length, then the flip. It returns the flipped bit.
+func (kb *KernelBlock) Step(offset, l int) int {
+	k := kb.SelectWindowMin(offset, l)
+	kb.Flip(k)
+	return k
+}
+
+// CheckConsistency recomputes E and all Δ directly and compares against
+// the distributed register files.
+func (kb *KernelBlock) CheckConsistency() error {
+	if e := kb.prob.Energy(kb.x); e != kb.sharedE {
+		return fmt.Errorf("gpusim: kernel energy drift: shared %d, direct %d", kb.sharedE, e)
+	}
+	for k := 0; k < kb.prob.N(); k++ {
+		if d := kb.prob.Delta(kb.x, k); d != kb.Delta(k) {
+			return fmt.Errorf("gpusim: kernel register drift at %d: reg %d, direct %d", k, kb.Delta(k), d)
+		}
+	}
+	return nil
+}

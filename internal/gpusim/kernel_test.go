@@ -1,0 +1,161 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+func kernelProblem(n int, seed uint64) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			p.SetWeight(i, j, int16(r.Intn(201)-100))
+		}
+	}
+	return p
+}
+
+func TestKernelBlockInitialState(t *testing.T) {
+	p := kernelProblem(40, 1)
+	kb, err := NewKernelBlock(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.Threads() != 5 {
+		t.Errorf("threads = %d, want 5", kb.Threads())
+	}
+	if kb.Energy() != 0 {
+		t.Errorf("E(0) = %d", kb.Energy())
+	}
+	for k := 0; k < 40; k++ {
+		if kb.Delta(k) != int64(p.Weight(k, k)) {
+			t.Errorf("Δ_%d(0) = %d, want W_kk", k, kb.Delta(k))
+		}
+	}
+	if err := kb.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewKernelBlock(p, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+// TestKernelEquivalentToSerialEngine is the faithfulness proof: the
+// thread-decomposed kernel and the serial qubo.State, driven by the
+// same offset-window schedule, must make identical decisions and
+// maintain identical energies, deltas and best solutions.
+func TestKernelEquivalentToSerialEngine(t *testing.T) {
+	for _, shape := range []struct{ n, p, l int }{
+		{64, 8, 8},
+		{64, 64, 16},
+		{63, 8, 5}, // ragged last thread
+		{100, 7, 33},
+	} {
+		p := kernelProblem(shape.n, uint64(shape.n))
+		kb, err := NewKernelBlock(p, shape.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := qubo.NewZeroState(p)
+		policy := search.NewOffsetWindow(shape.l)
+
+		offset := 0
+		for step := 0; step < 300; step++ {
+			want := policy.Select(state)
+			got := kb.SelectWindowMin(offset, shape.l)
+			if got != want {
+				t.Fatalf("shape %+v step %d: kernel selected %d, serial %d", shape, step, got, want)
+			}
+			state.Flip(want)
+			kb.Flip(got)
+			offset = (offset + shape.l) % shape.n
+
+			if kb.Energy() != state.Energy() {
+				t.Fatalf("shape %+v step %d: energies diverged: %d vs %d",
+					shape, step, kb.Energy(), state.Energy())
+			}
+			if kb.BestEnergy() != state.BestEnergy() {
+				t.Fatalf("shape %+v step %d: best energies diverged: %d vs %d",
+					shape, step, kb.BestEnergy(), state.BestEnergy())
+			}
+		}
+		for k := 0; k < shape.n; k++ {
+			if kb.Delta(k) != state.Delta(k) {
+				t.Fatalf("shape %+v: register %d diverged", shape, k)
+			}
+		}
+		if err := kb.CheckConsistency(); err != nil {
+			t.Errorf("shape %+v: %v", shape, err)
+		}
+		kx, ke, kok := kb.Best()
+		sx, se, sok := state.Best()
+		if kok != sok || ke != se || (kok && !kx.Equal(sx)) {
+			t.Errorf("shape %+v: best solutions diverged", shape)
+		}
+	}
+}
+
+func TestKernelStepAndReset(t *testing.T) {
+	p := kernelProblem(32, 3)
+	kb, err := NewKernelBlock(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kb.Step(0, 8)
+	if k < 0 || k >= 32 {
+		t.Fatalf("step flipped out-of-range bit %d", k)
+	}
+	if kb.Flips() != 1 {
+		t.Errorf("flips = %d", kb.Flips())
+	}
+	if _, _, ok := kb.Best(); !ok {
+		t.Error("no best after step")
+	}
+	kb.ResetBest()
+	if _, _, ok := kb.Best(); ok {
+		t.Error("best survived reset")
+	}
+}
+
+func TestQuickKernelMatchesSerialRandomShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 8 + int(seed%48)
+		bits := 1 + int(seed%9)
+		l := 1 + int((seed>>8)%uint64(n))
+		p := kernelProblem(n, seed)
+		kb, err := NewKernelBlock(p, bits)
+		if err != nil {
+			return false
+		}
+		state := qubo.NewZeroState(p)
+		policy := search.NewOffsetWindow(l)
+		offset := 0
+		for step := 0; step < 60; step++ {
+			want := policy.Select(state)
+			got := kb.SelectWindowMin(offset, l)
+			if got != want {
+				return false
+			}
+			state.Flip(want)
+			kb.Flip(got)
+			// Match the serial policy's clamped advancement.
+			cl := l
+			if cl > n {
+				cl = n
+			}
+			offset = (offset + cl) % n
+			if kb.Energy() != state.Energy() {
+				return false
+			}
+		}
+		return kb.CheckConsistency() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

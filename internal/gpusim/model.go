@@ -1,0 +1,94 @@
+package gpusim
+
+import "math"
+
+// CostModel converts a block shape into a modelled per-flip cycle cost
+// and hence a modelled search rate. The model captures the three
+// effects visible in the paper's Table 2:
+//
+//   - the Δ-update work is n thread-instructions per flip regardless of
+//     shape (DeltaOps per bit);
+//   - per-thread fixed work and the cross-thread min-reduction cost
+//     ~log₂(threads) amortize better as threads shrink (bits/thread
+//     grows), which is why the rate *rises* with p;
+//   - past a stride threshold, each thread's p-element weight segment
+//     spans more memory sectors per warp transaction and serial
+//     per-thread work stops overlapping, which is why the rate *falls*
+//     again at large p;
+//   - SMs holding only one or two huge blocks overlap instruction
+//     latency poorly (ResidencyHalfPoint), which penalizes the
+//     threads-per-block = 1024 configurations.
+//
+// Instruction throughput is SMs · CoresPerSM · ClockHz, matching the
+// integer-pipe peak of the simulated device.
+type CostModel struct {
+	// DeltaOps is the thread-instructions per weight access in the
+	// Eq. (6) update loop (load, convert, multiply-accumulate, best
+	// check).
+	DeltaOps float64
+	// ReduceOps is the instructions per tree-reduction level per thread.
+	ReduceOps float64
+	// FixedOps is the per-thread fixed overhead per flip (target check,
+	// selection bookkeeping, loop control).
+	FixedOps float64
+	// StrideThreshold is the bits/thread beyond which weight-row access
+	// loses coalescing; StridePenalty scales the linear penalty.
+	StrideThreshold int
+	StridePenalty   float64
+	// ResidencyHalfPoint is the blocks/SM count at which latency hiding
+	// reaches half of ideal (Michaelis–Menten saturation).
+	ResidencyHalfPoint float64
+}
+
+// DefaultCostModel is calibrated against Table 2 of the paper: it
+// reproduces the rate ordering and peak bits/thread of every row and
+// the ≈1.2 T/s peak magnitude for 1 k-bit instances on 4 GPUs.
+var DefaultCostModel = CostModel{
+	DeltaOps:           18,
+	ReduceOps:          6,
+	FixedOps:           28,
+	StrideThreshold:    16,
+	StridePenalty:      0.6,
+	ResidencyHalfPoint: 0.75,
+}
+
+// FlipThreadOps returns the modelled total thread-instructions one
+// block spends on one flip of an n-bit problem at p bits per thread.
+func (m CostModel) FlipThreadOps(n, p, threadsPerBlock int) float64 {
+	delta := m.DeltaOps
+	if p > m.StrideThreshold {
+		delta *= 1 + m.StridePenalty*float64(p-m.StrideThreshold)/float64(m.StrideThreshold)
+	}
+	t := float64(threadsPerBlock)
+	levels := math.Log2(t)
+	if levels < 1 {
+		levels = 1
+	}
+	return float64(n)*delta + t*(m.ReduceOps*levels+m.FixedOps)
+}
+
+// Efficiency returns the latency-hiding efficiency for a given per-SM
+// block residency.
+func (m CostModel) Efficiency(blocksPerSM int) float64 {
+	b := float64(blocksPerSM)
+	return b / (b + m.ResidencyHalfPoint)
+}
+
+// FlipsPerSecond returns the modelled aggregate flips/s on one device
+// for the given shape.
+func (m CostModel) FlipsPerSecond(d DeviceSpec, n, p int) float64 {
+	occ, err := d.Occupancy(n, p)
+	if err != nil {
+		return 0
+	}
+	throughput := float64(d.SMs) * float64(d.CoresPerSM) * d.ClockHz
+	return throughput * m.Efficiency(occ.BlocksPerSM) / m.FlipThreadOps(n, p, occ.ThreadsPerBlock)
+}
+
+// SearchRate returns the modelled search rate — evaluated solutions per
+// second — for numGPUs devices. Each flip evaluates the energies of all
+// n neighbours (Eq. 5), so the rate is flips/s · n · numGPUs; this is
+// the metric of Table 2 and the 1.24 T/s headline.
+func (m CostModel) SearchRate(d DeviceSpec, n, p, numGPUs int) float64 {
+	return m.FlipsPerSecond(d, n, p) * float64(n) * float64(numGPUs)
+}

@@ -1,0 +1,106 @@
+package ising
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+//	c free-form comment
+//	p ising <n>
+//	h <i> <v>        external field on spin i
+//	J <i> <j> <v>    interaction between spins i and j (i ≠ j)
+//
+// Indices are 0-based; at most one h line per spin and one J line per
+// pair. This mirrors the common "h/J" interchange convention of
+// D-Wave-style tooling.
+
+// Write serializes the model, emitting only non-zero terms.
+func Write(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p ising %d\n", m.n)
+	for i := 0; i < m.n; i++ {
+		if v := m.H(i); v != 0 {
+			fmt.Fprintf(bw, "h %d %d\n", i, v)
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if v := m.J(i, j); v != 0 {
+				fmt.Fprintf(bw, "J %d %d %d\n", i, j, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var m *Model
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == 'c' || text[0] == '#' {
+			continue
+		}
+		f := strings.Fields(text)
+		switch f[0] {
+		case "p":
+			if m != nil {
+				return nil, fmt.Errorf("ising: line %d: duplicate problem line", line)
+			}
+			if len(f) != 3 || f[1] != "ising" {
+				return nil, fmt.Errorf("ising: line %d: malformed problem line %q", line, text)
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("ising: line %d: bad size %q", line, f[2])
+			}
+			m = New(n)
+		case "h":
+			if m == nil {
+				return nil, fmt.Errorf("ising: line %d: h before problem line", line)
+			}
+			if len(f) != 3 {
+				return nil, fmt.Errorf("ising: line %d: want 'h i v'", line)
+			}
+			i, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.ParseInt(f[2], 10, 32)
+			if err1 != nil || err2 != nil || i < 0 || i >= m.n {
+				return nil, fmt.Errorf("ising: line %d: malformed field %q", line, text)
+			}
+			m.SetH(i, int32(v))
+		case "J":
+			if m == nil {
+				return nil, fmt.Errorf("ising: line %d: J before problem line", line)
+			}
+			if len(f) != 4 {
+				return nil, fmt.Errorf("ising: line %d: want 'J i j v'", line)
+			}
+			i, err1 := strconv.Atoi(f[1])
+			j, err2 := strconv.Atoi(f[2])
+			v, err3 := strconv.ParseInt(f[3], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil ||
+				i < 0 || i >= m.n || j < 0 || j >= m.n || i == j {
+				return nil, fmt.Errorf("ising: line %d: malformed interaction %q", line, text)
+			}
+			m.SetJ(i, j, int32(v))
+		default:
+			return nil, fmt.Errorf("ising: line %d: unknown directive %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("ising: no problem line found")
+	}
+	return m, nil
+}

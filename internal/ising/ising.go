@@ -1,0 +1,179 @@
+// Package ising implements the Ising spin model and its loss-free
+// correspondence with QUBO.
+//
+// An Ising model over spins S = (s_0, ..., s_{n-1}), s_i = ±1, with
+// pairwise interactions J_ij and external fields h_i has Hamiltonian
+//
+//	H(S) = − Σ_{i<j} J_ij s_i s_j − Σ_i h_i s_i        (§1)
+//
+// Finding the ground state of H is equivalent to minimizing the QUBO
+// energy of Eq. (1) under the substitution x_i = (1 + s_i)/2. This
+// package uses the integer-exact convention
+//
+//	2·E(X) = H(S) + C,   C = Σ_i W_ii + Σ_{i<j} W_ij
+//
+// with W_ij = −J_ij (i ≠ j) and W_ii = −h_i + Σ_{j≠i} J_ij, so both
+// directions round-trip without rationals and the minimizers coincide.
+package ising
+
+import (
+	"fmt"
+	"math"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// Model is an n-spin Ising model. Interactions are stored as a dense
+// strict upper triangle of int32 and fields as a dense int32 vector.
+type Model struct {
+	n int
+	j []int32 // strict upper triangle, row-major: (i,j) with i<j
+	h []int32
+}
+
+// New returns an n-spin model with all-zero interactions and fields.
+func New(n int) *Model {
+	if n <= 0 || n > qubo.MaxBits {
+		panic(fmt.Sprintf("ising: size %d out of range (0, %d]", n, qubo.MaxBits))
+	}
+	return &Model{n: n, j: make([]int32, n*(n-1)/2), h: make([]int32, n)}
+}
+
+// N returns the number of spins.
+func (m *Model) N() int { return m.n }
+
+// triIndex maps an unordered pair to the strict-upper-triangle index.
+func (m *Model) triIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j {
+		panic("ising: no self-interaction J_ii")
+	}
+	// Row i starts after rows 0..i-1, which hold (n-1) + (n-2) + ...
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+// SetJ assigns the symmetric interaction J_ij = J_ji. i and j must
+// differ; the Ising model has no self-interaction (that role is played
+// by the field h).
+func (m *Model) SetJ(i, j int, v int32) { m.j[m.triIndex(i, j)] = v }
+
+// J returns the interaction between spins i and j.
+func (m *Model) J(i, j int) int32 { return m.j[m.triIndex(i, j)] }
+
+// SetH assigns the external field on spin i.
+func (m *Model) SetH(i int, v int32) { m.h[i] = v }
+
+// H returns the external field on spin i.
+func (m *Model) H(i int) int32 { return m.h[i] }
+
+// Hamiltonian evaluates H(S) for spins s_i ∈ {+1, −1}.
+func (m *Model) Hamiltonian(s []int8) (int64, error) {
+	if len(s) != m.n {
+		return 0, fmt.Errorf("ising: %d spins for %d-spin model", len(s), m.n)
+	}
+	for i, v := range s {
+		if v != 1 && v != -1 {
+			return 0, fmt.Errorf("ising: spin %d has invalid value %d", i, v)
+		}
+	}
+	var hv int64
+	idx := 0
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			hv -= int64(m.j[idx]) * int64(s[i]) * int64(s[j])
+			idx++
+		}
+		hv -= int64(m.h[i]) * int64(s[i])
+	}
+	return hv, nil
+}
+
+// SpinsFromBits maps a QUBO solution to spins via s_i = 2·x_i − 1.
+func SpinsFromBits(x *bitvec.Vector) []int8 {
+	s := make([]int8, x.Len())
+	for i := range s {
+		s[i] = int8(2*x.Bit(i) - 1)
+	}
+	return s
+}
+
+// BitsFromSpins maps spins to a QUBO solution via x_i = (1 + s_i)/2.
+func BitsFromSpins(s []int8) (*bitvec.Vector, error) {
+	x := bitvec.New(len(s))
+	for i, v := range s {
+		switch v {
+		case 1:
+			x.Set(i, 1)
+		case -1:
+		default:
+			return nil, fmt.Errorf("ising: spin %d has invalid value %d", i, v)
+		}
+	}
+	return x, nil
+}
+
+// ToQUBO converts the model to a QUBO instance and the constant C such
+// that 2·E(X) = H(S(X)) + C. It fails if any produced weight exceeds the
+// solver's 16-bit weight domain.
+func (m *Model) ToQUBO() (*qubo.Problem, int64, error) {
+	p := qubo.New(m.n)
+	var c int64
+	for i := 0; i < m.n; i++ {
+		var rowSum int64
+		for j := 0; j < m.n; j++ {
+			if j == i {
+				continue
+			}
+			jij := int64(m.J(i, j))
+			rowSum += jij
+			if j > i {
+				w := -jij
+				if w < math.MinInt16 || w > math.MaxInt16 {
+					return nil, 0, fmt.Errorf("ising: W[%d][%d]=%d outside 16-bit range", i, j, w)
+				}
+				p.SetWeight(i, j, int16(w))
+			}
+		}
+		wii := -int64(m.h[i]) + rowSum
+		if wii < math.MinInt16 || wii > math.MaxInt16 {
+			return nil, 0, fmt.Errorf("ising: W[%d][%d]=%d outside 16-bit range", i, i, wii)
+		}
+		p.SetWeight(i, i, int16(wii))
+	}
+	// C = Σ W_ii + Σ_{i<j} W_ij.
+	for i := 0; i < m.n; i++ {
+		c += int64(p.Weight(i, i))
+		for j := i + 1; j < m.n; j++ {
+			c += int64(p.Weight(i, j))
+		}
+	}
+	return p, c, nil
+}
+
+// FromQUBO converts a QUBO instance to the equivalent Ising model and
+// constant C (see package comment). The conversion is exact.
+func FromQUBO(p *qubo.Problem) (*Model, int64) {
+	n := p.N()
+	m := New(n)
+	var c int64
+	for i := 0; i < n; i++ {
+		var rowSum int64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			w := int64(p.Weight(i, j))
+			rowSum += w
+			if j > i {
+				m.SetJ(i, j, int32(-w))
+				c += w
+			}
+		}
+		m.SetH(i, int32(-(int64(p.Weight(i, i)) + rowSum)))
+		c += int64(p.Weight(i, i))
+	}
+	return m, c
+}

@@ -1,0 +1,312 @@
+package ising
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+func randomModel(n int, seed uint64) *Model {
+	m := New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetJ(i, j, int32(r.Intn(21)-10))
+		}
+		m.SetH(i, int32(r.Intn(21)-10))
+	}
+	return m
+}
+
+func randomQUBO(n int, seed uint64) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			p.SetWeight(i, j, int16(r.Intn(201)-100))
+		}
+	}
+	return p
+}
+
+func TestTriIndexSymmetry(t *testing.T) {
+	m := New(6)
+	m.SetJ(1, 4, 9)
+	if m.J(4, 1) != 9 {
+		t.Error("J not symmetric in argument order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("J_ii access did not panic")
+		}
+	}()
+	m.SetJ(2, 2, 1)
+}
+
+func TestTriIndexCoversAllPairs(t *testing.T) {
+	n := 9
+	m := New(n)
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			idx := m.triIndex(i, j)
+			if idx < 0 || idx >= len(m.j) || seen[idx] {
+				t.Fatalf("triIndex(%d,%d) = %d invalid or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != n*(n-1)/2 {
+		t.Errorf("covered %d pairs, want %d", len(seen), n*(n-1)/2)
+	}
+}
+
+func TestHamiltonianByHand(t *testing.T) {
+	// Two ferromagnetically coupled spins, field on spin 0.
+	m := New(2)
+	m.SetJ(0, 1, 3)
+	m.SetH(0, 2)
+	cases := []struct {
+		s    []int8
+		want int64
+	}{
+		{[]int8{1, 1}, -3 - 2},
+		{[]int8{1, -1}, 3 - 2},
+		{[]int8{-1, 1}, 3 + 2},
+		{[]int8{-1, -1}, -3 + 2},
+	}
+	for _, c := range cases {
+		got, err := m.Hamiltonian(c.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("H(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestHamiltonianRejectsBadInput(t *testing.T) {
+	m := New(3)
+	if _, err := m.Hamiltonian([]int8{1, 1}); err == nil {
+		t.Error("short spin slice accepted")
+	}
+	if _, err := m.Hamiltonian([]int8{1, 0, 1}); err == nil {
+		t.Error("spin value 0 accepted")
+	}
+}
+
+func TestSpinBitConversions(t *testing.T) {
+	x, _ := bitvec.FromString("0110")
+	s := SpinsFromBits(x)
+	want := []int8{-1, 1, 1, -1}
+	for i, v := range want {
+		if s[i] != v {
+			t.Errorf("spin %d = %d, want %d", i, s[i], v)
+		}
+	}
+	y, err := BitsFromSpins(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(y) {
+		t.Error("spin/bit round trip failed")
+	}
+	if _, err := BitsFromSpins([]int8{2}); err == nil {
+		t.Error("invalid spin accepted")
+	}
+}
+
+// TestEnergyIdentity checks 2·E(X) = H(S(X)) + C across random bit
+// vectors after FromQUBO.
+func TestEnergyIdentityFromQUBO(t *testing.T) {
+	p := randomQUBO(14, 5)
+	m, c := FromQUBO(p)
+	r := rng.New(6)
+	for trial := 0; trial < 40; trial++ {
+		x := bitvec.Random(p.N(), r)
+		h, err := m.Hamiltonian(SpinsFromBits(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 2*p.Energy(x) != h+c {
+			t.Fatalf("identity broken: 2E=%d, H+C=%d", 2*p.Energy(x), h+c)
+		}
+	}
+}
+
+// TestEnergyIdentityToQUBO checks the same identity in the other
+// direction.
+func TestEnergyIdentityToQUBO(t *testing.T) {
+	m := randomModel(12, 7)
+	p, c, err := m.ToQUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	for trial := 0; trial < 40; trial++ {
+		x := bitvec.Random(m.N(), r)
+		h, err := m.Hamiltonian(SpinsFromBits(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 2*p.Energy(x) != h+c {
+			t.Fatalf("identity broken: 2E=%d, H+C=%d", 2*p.Energy(x), h+c)
+		}
+	}
+}
+
+func TestRoundTripModelQUBOModel(t *testing.T) {
+	m := randomModel(10, 9)
+	p, c1, err := m.ToQUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, c2 := FromQUBO(p)
+	if c1 != c2 {
+		t.Errorf("offsets differ: %d vs %d", c1, c2)
+	}
+	for i := 0; i < m.N(); i++ {
+		if m.H(i) != m2.H(i) {
+			t.Errorf("h[%d] = %d, want %d", i, m2.H(i), m.H(i))
+		}
+		for j := i + 1; j < m.N(); j++ {
+			if m.J(i, j) != m2.J(i, j) {
+				t.Errorf("J[%d][%d] = %d, want %d", i, j, m2.J(i, j), m.J(i, j))
+			}
+		}
+	}
+}
+
+func TestToQUBOOverflowDetection(t *testing.T) {
+	m := New(3)
+	m.SetH(0, 1<<20) // forces W_00 far outside int16
+	if _, _, err := m.ToQUBO(); err == nil {
+		t.Error("overflowing conversion accepted")
+	}
+}
+
+// TestGroundStatePreserved: minimizing QUBO energy finds the Ising
+// ground state.
+func TestGroundStatePreserved(t *testing.T) {
+	m := randomModel(10, 11)
+	p, c, err := m.ToQUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, be, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive spin search.
+	n := m.N()
+	bestH := int64(1) << 62
+	for v := 0; v < 1<<n; v++ {
+		s := make([]int8, n)
+		for k := 0; k < n; k++ {
+			s[k] = int8(2*((v>>k)&1) - 1)
+		}
+		h, _ := m.Hamiltonian(s)
+		if h < bestH {
+			bestH = h
+		}
+	}
+	gotH, err := m.Hamiltonian(SpinsFromBits(bx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != bestH {
+		t.Errorf("QUBO optimum maps to H=%d, true ground state H=%d", gotH, bestH)
+	}
+	if 2*be != gotH+c {
+		t.Errorf("identity at optimum broken: 2E=%d, H+C=%d", 2*be, gotH+c)
+	}
+}
+
+func TestQuickIdentityRandomInstances(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%16)
+		p := randomQUBO(n, seed)
+		m, c := FromQUBO(p)
+		x := bitvec.Random(n, rng.New(seed^0xff))
+		h, err := m.Hamiltonian(SpinsFromBits(x))
+		if err != nil {
+			return false
+		}
+		return 2*p.Energy(x) == h+c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	m := randomModel(15, 21)
+	var sb strings.Builder
+	if err := Write(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.N() != m.N() {
+		t.Fatalf("size %d, want %d", m2.N(), m.N())
+	}
+	for i := 0; i < m.N(); i++ {
+		if m.H(i) != m2.H(i) {
+			t.Errorf("h[%d] changed in round trip", i)
+		}
+		for j := i + 1; j < m.N(); j++ {
+			if m.J(i, j) != m2.J(i, j) {
+				t.Errorf("J[%d][%d] changed in round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no problem":  "h 0 1\n",
+		"dup problem": "p ising 2\np ising 2\n",
+		"bad size":    "p ising 0\n",
+		"bad h":       "p ising 2\nh 5 1\n",
+		"self J":      "p ising 2\nJ 1 1 1\n",
+		"short J":     "p ising 2\nJ 0 1\n",
+		"unknown":     "p ising 2\nq 0 1\n",
+		"non-numeric": "p ising 2\nh x 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	r := rng.New(0xcafe)
+	inputs := []string{"", "p ising", "p ising 9999999999999999999"}
+	for i := 0; i < 150; i++ {
+		n := int(r.Uint64() % 60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Uint64()%96) + 32
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Read panicked on %q: %v", in, rec)
+				}
+			}()
+			_, _ = Read(strings.NewReader(in))
+		}()
+	}
+}

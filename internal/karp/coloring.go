@@ -1,0 +1,192 @@
+package karp
+
+import (
+	"fmt"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// Coloring encodes graph k-coloring feasibility: n·k variables x_{v,c}
+// ("vertex v has colour c"), with one-hot penalties per vertex and a
+// conflict penalty per edge per colour. Using the module's F→E
+// convention (E = 2F + const; see internal/tsp for the same
+// derivation):
+//
+//	W_{(v,c)},{(v,c)}  = −2A        (one-hot linear term)
+//	W_{(v,c)},{(v,c')} = 2A         (one-hot pair, c ≠ c')
+//	W_{(u,c)},{(v,c)}  = B          ((u,v) ∈ E, same colour)
+//
+// A proper k-colouring reaches the minimum energy −2An exactly when it
+// exists; any one-hot violation or conflict raises the energy.
+type Coloring struct {
+	g *Graph
+	k int
+	p *qubo.Problem
+	// A is the one-hot penalty, B the conflict penalty.
+	A, B int64
+}
+
+// EncodeColoring builds the k-coloring encoding. k must be ≥ 2.
+func EncodeColoring(g *Graph, k int) (*Coloring, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("karp: coloring needs k ≥ 2, got %d", k)
+	}
+	n := g.N()
+	if n*k > qubo.MaxBits {
+		return nil, fmt.Errorf("karp: %d vertices × %d colours exceeds %d bits", n, k, qubo.MaxBits)
+	}
+	const a, b = 4, 4
+	c := &Coloring{g: g, k: k, A: a, B: b}
+	p := qubo.New(n * k)
+	p.SetName(fmt.Sprintf("color%d-%s", k, g.Name()))
+	c.p = p
+	idx := c.Var
+	for v := 0; v < n; v++ {
+		for ci := 0; ci < k; ci++ {
+			p.SetWeight(idx(v, ci), idx(v, ci), -2*a)
+			for cj := ci + 1; cj < k; cj++ {
+				p.SetWeight(idx(v, ci), idx(v, cj), 2*a)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for ci := 0; ci < k; ci++ {
+			if err := p.AddWeight(idx(e.U, ci), idx(e.V, ci), b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Var maps (vertex, colour) to a bit index.
+func (c *Coloring) Var(v, colour int) int { return v*c.k + colour }
+
+// Problem returns the QUBO instance.
+func (c *Coloring) Problem() *qubo.Problem { return c.p }
+
+// FeasibleEnergy returns the energy of any proper k-colouring, −2·A·n;
+// use it as the solver target.
+func (c *Coloring) FeasibleEnergy() int64 { return -2 * c.A * int64(c.g.N()) }
+
+// Decode extracts a colour assignment. It fails when any vertex's
+// one-hot group is violated; conflicts are reported by Verify.
+func (c *Coloring) Decode(x *bitvec.Vector) ([]int, error) {
+	if x.Len() != c.p.N() {
+		return nil, fmt.Errorf("karp: %d-bit vector for %d-variable coloring", x.Len(), c.p.N())
+	}
+	colours := make([]int, c.g.N())
+	for v := 0; v < c.g.N(); v++ {
+		colours[v] = -1
+		for ci := 0; ci < c.k; ci++ {
+			if x.Bit(c.Var(v, ci)) == 1 {
+				if colours[v] >= 0 {
+					return nil, fmt.Errorf("karp: vertex %d has multiple colours", v)
+				}
+				colours[v] = ci
+			}
+		}
+		if colours[v] < 0 {
+			return nil, fmt.Errorf("karp: vertex %d has no colour", v)
+		}
+	}
+	return colours, nil
+}
+
+// VerifyColoring reports whether the assignment is a proper colouring
+// with at most k colours.
+func (c *Coloring) VerifyColoring(colours []int) bool {
+	if len(colours) != c.g.N() {
+		return false
+	}
+	for _, col := range colours {
+		if col < 0 || col >= c.k {
+			return false
+		}
+	}
+	for _, e := range c.g.Edges() {
+		if colours[e.U] == colours[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// Partition encodes number partitioning: split a multiset into two
+// sides with minimal difference. With S = Σ aᵢ and diff = S − 2·(side-1
+// sum), diff² = S² + Σᵢ 4aᵢ(aᵢ−S)xᵢ + 8Σ_{i<j} aᵢaⱼxᵢxⱼ, so
+//
+//	W_ii = 4aᵢ(aᵢ−S),  W_ij = 4aᵢaⱼ,  E(X) = diff² − S².
+//
+// The 16-bit weight domain requires aᵢ·S ≤ 8191.
+type Partition struct {
+	nums []int64
+	sum  int64
+	p    *qubo.Problem
+}
+
+// EncodePartition builds the encoding.
+func EncodePartition(nums []int64) (*Partition, error) {
+	if len(nums) < 2 {
+		return nil, fmt.Errorf("karp: partition needs at least 2 numbers")
+	}
+	var s int64
+	for i, a := range nums {
+		if a <= 0 {
+			return nil, fmt.Errorf("karp: number %d at index %d must be positive", a, i)
+		}
+		s += a
+	}
+	p := qubo.New(len(nums))
+	p.SetName("partition")
+	for i, a := range nums {
+		wii := 4 * a * (a - s)
+		if wii < -32768 {
+			return nil, fmt.Errorf("karp: aᵢ·S = %d·%d too large for 16-bit weights", a, s)
+		}
+		p.SetWeight(i, i, int16(wii))
+		for j := i + 1; j < len(nums); j++ {
+			wij := 4 * a * nums[j]
+			if wij > 32767 {
+				return nil, fmt.Errorf("karp: aᵢ·aⱼ = %d·%d too large for 16-bit weights", a, nums[j])
+			}
+			p.SetWeight(i, j, int16(wij))
+		}
+	}
+	return &Partition{nums: append([]int64(nil), nums...), sum: s, p: p}, nil
+}
+
+// Problem returns the QUBO instance.
+func (pt *Partition) Problem() *qubo.Problem { return pt.p }
+
+// DiffFromEnergy converts an energy to the absolute side difference:
+// diff² = E + S².
+func (pt *Partition) DiffFromEnergy(e int64) int64 {
+	d2 := e + pt.sum*pt.sum
+	// Integer square root; d2 is a perfect square by construction.
+	r := int64(0)
+	for r*r < d2 {
+		r++
+	}
+	return r
+}
+
+// EnergyForDiff converts a target absolute difference to an energy.
+func (pt *Partition) EnergyForDiff(d int64) int64 { return d*d - pt.sum*pt.sum }
+
+// Sides splits the numbers per the solution vector (bit 0 side / bit 1
+// side) and returns the two sums.
+func (pt *Partition) Sides(x *bitvec.Vector) (side0, side1 int64, err error) {
+	if x.Len() != len(pt.nums) {
+		return 0, 0, fmt.Errorf("karp: %d-bit vector for %d numbers", x.Len(), len(pt.nums))
+	}
+	for i, a := range pt.nums {
+		if x.Bit(i) == 0 {
+			side0 += a
+		} else {
+			side1 += a
+		}
+	}
+	return side0, side1, nil
+}

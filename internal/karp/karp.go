@@ -1,0 +1,199 @@
+// Package karp provides QUBO encodings for several of Karp's 21
+// NP-complete problems, following the Ising-formulation catalogue of
+// Lucas (2014) that the paper cites as the motivation for QUBO solvers
+// (§1): maximum independent set, minimum vertex cover, graph
+// k-coloring, and number partitioning.
+//
+// Each encoding documents its penalty constants, converts between
+// problem values and QUBO energies, and decodes solver output back to
+// a verified combinatorial object. Energies use the module's
+// convention E(X) = Σ W_ii x_i + 2 Σ_{i<j} W_ij x_i x_j.
+package karp
+
+import (
+	"fmt"
+
+	"abs/internal/bitvec"
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+)
+
+// Graph re-uses the maxcut package's weighted graph with unit weights.
+type Graph = maxcut.Graph
+
+// NewGraph returns an empty n-vertex graph.
+func NewGraph(n int) *Graph { return maxcut.NewGraph(n) }
+
+// MaxIndependentSet encodes maximum independent set: maximize |S| such
+// that no edge has both endpoints in S. The QUBO is
+//
+//	E(X) = −Σ_v x_v + 2·Σ_{(u,v)∈E} x_u x_v
+//
+// (W_vv = −1, W_uv = +1): selecting both endpoints of an edge gains −2
+// but pays +2, so violations are never profitable and the minimum is
+// −α(G), the negated independence number.
+type MaxIndependentSet struct {
+	g *Graph
+	p *qubo.Problem
+}
+
+// EncodeMaxIndependentSet builds the encoding.
+func EncodeMaxIndependentSet(g *Graph) (*MaxIndependentSet, error) {
+	p := qubo.New(g.N())
+	p.SetName("mis-" + g.Name())
+	for v := 0; v < g.N(); v++ {
+		p.SetWeight(v, v, -1)
+	}
+	for _, e := range g.Edges() {
+		p.SetWeight(e.U, e.V, 1)
+	}
+	return &MaxIndependentSet{g: g, p: p}, nil
+}
+
+// Problem returns the QUBO instance.
+func (m *MaxIndependentSet) Problem() *qubo.Problem { return m.p }
+
+// SizeFromEnergy converts an energy of a violation-free solution to the
+// set size.
+func (m *MaxIndependentSet) SizeFromEnergy(e int64) int64 { return -e }
+
+// EnergyForSize converts a target set size to a target energy.
+func (m *MaxIndependentSet) EnergyForSize(k int64) int64 { return -k }
+
+// Decode returns the selected vertices, repairing any edge violations
+// greedily (dropping the higher-degree endpoint) so the result is
+// always a valid independent set.
+func (m *MaxIndependentSet) Decode(x *bitvec.Vector) ([]int, error) {
+	if x.Len() != m.g.N() {
+		return nil, fmt.Errorf("karp: %d-bit vector for %d-vertex graph", x.Len(), m.g.N())
+	}
+	in := make([]bool, m.g.N())
+	for v := range in {
+		in[v] = x.Bit(v) == 1
+	}
+	deg := m.g.Degrees()
+	for _, e := range m.g.Edges() {
+		if in[e.U] && in[e.V] {
+			if deg[e.U] >= deg[e.V] {
+				in[e.U] = false
+			} else {
+				in[e.V] = false
+			}
+		}
+	}
+	var set []int
+	for v, ok := range in {
+		if ok {
+			set = append(set, v)
+		}
+	}
+	return set, nil
+}
+
+// VerifyIndependent reports whether the vertex set is independent.
+func VerifyIndependent(g *Graph, set []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || v >= g.N() || in[v] {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinVertexCover encodes minimum vertex cover: minimize |C| such that
+// every edge has an endpoint in C. With penalty A = 2,
+//
+//	E(X) = Σ_v (1 − A·deg(v))·x_v + 2·Σ_{(u,v)∈E} x_u x_v·(A/2)·2 + A·m
+//
+// concretely W_vv = 1 − 2·deg(v), W_uv = 1, and E + 2m equals the
+// cover size for violation-free solutions.
+type MinVertexCover struct {
+	g *Graph
+	p *qubo.Problem
+}
+
+// EncodeMinVertexCover builds the encoding. Weighted degrees must keep
+// W_vv inside the 16-bit domain.
+func EncodeMinVertexCover(g *Graph) (*MinVertexCover, error) {
+	p := qubo.New(g.N())
+	p.SetName("vc-" + g.Name())
+	deg := g.Degrees()
+	for v := 0; v < g.N(); v++ {
+		w := 1 - 2*deg[v]
+		if w < -32768 {
+			return nil, fmt.Errorf("karp: vertex %d degree %d too large for 16-bit weights", v, deg[v])
+		}
+		p.SetWeight(v, v, int16(w))
+	}
+	for _, e := range g.Edges() {
+		p.SetWeight(e.U, e.V, 1)
+	}
+	return &MinVertexCover{g: g, p: p}, nil
+}
+
+// Problem returns the QUBO instance.
+func (m *MinVertexCover) Problem() *qubo.Problem { return m.p }
+
+// Offset returns 2·m, the constant such that cover size = E + Offset
+// for violation-free solutions.
+func (m *MinVertexCover) Offset() int64 { return 2 * int64(m.g.M()) }
+
+// SizeFromEnergy converts a violation-free energy to the cover size.
+func (m *MinVertexCover) SizeFromEnergy(e int64) int64 { return e + m.Offset() }
+
+// EnergyForSize converts a target cover size to a target energy.
+func (m *MinVertexCover) EnergyForSize(k int64) int64 { return k - m.Offset() }
+
+// Decode returns the selected cover, repairing uncovered edges by
+// adding the higher-degree endpoint, so the result is always a valid
+// cover.
+func (m *MinVertexCover) Decode(x *bitvec.Vector) ([]int, error) {
+	if x.Len() != m.g.N() {
+		return nil, fmt.Errorf("karp: %d-bit vector for %d-vertex graph", x.Len(), m.g.N())
+	}
+	in := make([]bool, m.g.N())
+	for v := range in {
+		in[v] = x.Bit(v) == 1
+	}
+	deg := m.g.Degrees()
+	for _, e := range m.g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			if deg[e.U] >= deg[e.V] {
+				in[e.U] = true
+			} else {
+				in[e.V] = true
+			}
+		}
+	}
+	var cover []int
+	for v, ok := range in {
+		if ok {
+			cover = append(cover, v)
+		}
+	}
+	return cover, nil
+}
+
+// VerifyCover reports whether the vertex set covers every edge.
+func VerifyCover(g *Graph, cover []int) bool {
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		if v < 0 || v >= g.N() {
+			return false
+		}
+		in[v] = true
+	}
+	for _, e := range g.Edges() {
+		if !in[e.U] && !in[e.V] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,362 @@
+package karp
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// pathGraph returns the path 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	g := NewGraph(n)
+	g.SetName("path")
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, v+1, 1)
+	}
+	return g
+}
+
+// cycleGraph returns the n-cycle.
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	g.SetName("cycle")
+	g.AddEdge(n-1, 0, 1)
+	return g
+}
+
+// randomGraph returns an Erdős–Rényi-ish graph.
+func randomGraph(n, m int, seed uint64) *Graph {
+	g := NewGraph(n)
+	g.SetName("rand")
+	r := rng.New(seed)
+	for g.M() < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+// bruteForceMIS returns the independence number by enumeration.
+func bruteForceMIS(g *Graph) int {
+	best := 0
+	for mask := 0; mask < 1<<g.N(); mask++ {
+		x := bitvec.New(g.N())
+		for v := 0; v < g.N(); v++ {
+			x.Set(v, (mask>>v)&1)
+		}
+		var set []int
+		for v := 0; v < g.N(); v++ {
+			if x.Bit(v) == 1 {
+				set = append(set, v)
+			}
+		}
+		if VerifyIndependent(g, set) && len(set) > best {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+// bruteForceVC returns the minimum cover size by enumeration.
+func bruteForceVC(g *Graph) int {
+	best := g.N()
+	for mask := 0; mask < 1<<g.N(); mask++ {
+		var cover []int
+		for v := 0; v < g.N(); v++ {
+			if (mask>>v)&1 == 1 {
+				cover = append(cover, v)
+			}
+		}
+		if VerifyCover(g, cover) && len(cover) < best {
+			best = len(cover)
+		}
+	}
+	return best
+}
+
+func TestMISOptimumMatchesBruteForce(t *testing.T) {
+	for _, g := range []*Graph{pathGraph(8), cycleGraph(9), randomGraph(10, 18, 1)} {
+		enc, err := EncodeMaxIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bx, be, err := qubo.ExactSolve(enc.Problem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceMIS(g)
+		if got := enc.SizeFromEnergy(be); got != int64(want) {
+			t.Errorf("%s: QUBO optimum gives size %d, brute force %d", g.Name(), got, want)
+		}
+		set, err := enc.Decode(bx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyIndependent(g, set) {
+			t.Errorf("%s: decoded set not independent", g.Name())
+		}
+		if len(set) != want {
+			t.Errorf("%s: decoded size %d, want %d", g.Name(), len(set), want)
+		}
+	}
+}
+
+func TestMISDecodeRepairsViolations(t *testing.T) {
+	g := pathGraph(4)
+	enc, err := EncodeMaxIndependentSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All vertices selected: every edge violated.
+	x := bitvec.New(4)
+	for v := 0; v < 4; v++ {
+		x.Set(v, 1)
+	}
+	set, err := enc.Decode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIndependent(g, set) {
+		t.Error("repair left a violation")
+	}
+}
+
+func TestVCOptimumMatchesBruteForce(t *testing.T) {
+	for _, g := range []*Graph{pathGraph(7), cycleGraph(8), randomGraph(9, 14, 2)} {
+		enc, err := EncodeMinVertexCover(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bx, be, err := qubo.ExactSolve(enc.Problem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceVC(g)
+		if got := enc.SizeFromEnergy(be); got != int64(want) {
+			t.Errorf("%s: QUBO optimum gives size %d, brute force %d", g.Name(), got, want)
+		}
+		cover, err := enc.Decode(bx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyCover(g, cover) {
+			t.Errorf("%s: decoded set not a cover", g.Name())
+		}
+		if len(cover) != want {
+			t.Errorf("%s: decoded size %d, want %d", g.Name(), len(cover), want)
+		}
+	}
+}
+
+func TestVCDecodeRepairs(t *testing.T) {
+	g := pathGraph(5)
+	enc, err := EncodeMinVertexCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := enc.Decode(bitvec.New(5)) // empty: nothing covered
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyCover(g, cover) {
+		t.Error("repair did not produce a cover")
+	}
+}
+
+func TestMISVCComplementarity(t *testing.T) {
+	// Gallai: α(G) + τ(G) = n.
+	g := randomGraph(10, 20, 3)
+	mis, err := EncodeMaxIndependentSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := EncodeMinVertexCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, misE, err := qubo.ExactSolve(mis.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vcE, err := qubo.ExactSolve(vc.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.SizeFromEnergy(misE)+vc.SizeFromEnergy(vcE) != int64(g.N()) {
+		t.Errorf("α + τ = %d + %d ≠ n = %d",
+			mis.SizeFromEnergy(misE), vc.SizeFromEnergy(vcE), g.N())
+	}
+}
+
+func TestColoringFeasible(t *testing.T) {
+	// An even cycle is 2-colourable.
+	g := cycleGraph(8)
+	enc, err := EncodeColoring(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, be, err := qubo.ExactSolve(enc.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be != enc.FeasibleEnergy() {
+		t.Fatalf("optimal energy %d, feasible %d", be, enc.FeasibleEnergy())
+	}
+	colours, err := enc.Decode(bx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.VerifyColoring(colours) {
+		t.Error("decoded colouring improper")
+	}
+}
+
+func TestColoringInfeasible(t *testing.T) {
+	// An odd cycle is not 2-colourable: the optimum must sit strictly
+	// above the feasible energy.
+	g := cycleGraph(7)
+	enc, err := EncodeColoring(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, be, err := qubo.ExactSolve(enc.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be <= enc.FeasibleEnergy() {
+		t.Errorf("odd cycle 2-colouring energy %d ≤ feasible %d", be, enc.FeasibleEnergy())
+	}
+}
+
+func TestColoringTriangleNeedsThree(t *testing.T) {
+	tri := NewGraph(3)
+	tri.AddEdge(0, 1, 1)
+	tri.AddEdge(1, 2, 1)
+	tri.AddEdge(0, 2, 1)
+	two, err := EncodeColoring(tri, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, err := qubo.ExactSolve(two.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 <= two.FeasibleEnergy() {
+		t.Error("triangle 2-colourable per encoding")
+	}
+	three, err := EncodeColoring(tri, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, e3, err := qubo.ExactSolve(three.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 != three.FeasibleEnergy() {
+		t.Error("triangle not 3-colourable per encoding")
+	}
+	colours, err := three.Decode(bx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !three.VerifyColoring(colours) {
+		t.Error("triangle colouring improper")
+	}
+}
+
+func TestColoringDecodeErrors(t *testing.T) {
+	g := pathGraph(3)
+	enc, err := EncodeColoring(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Decode(bitvec.New(enc.Problem().N())); err == nil {
+		t.Error("uncoloured vertex decoded")
+	}
+	x := bitvec.New(enc.Problem().N())
+	x.Set(enc.Var(0, 0), 1)
+	x.Set(enc.Var(0, 1), 1)
+	if _, err := enc.Decode(x); err == nil {
+		t.Error("doubly-coloured vertex decoded")
+	}
+	if _, err := EncodeColoring(g, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestPartitionPerfect(t *testing.T) {
+	enc, err := EncodePartition([]int64{4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, be, err := qubo.ExactSolve(enc.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := enc.DiffFromEnergy(be); d != 0 {
+		t.Errorf("optimal difference %d, want 0 (15/15 split exists)", d)
+	}
+	s0, s1, err := enc.Sides(bx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != 15 || s1 != 15 {
+		t.Errorf("sides %d/%d, want 15/15", s0, s1)
+	}
+}
+
+func TestPartitionOddTotal(t *testing.T) {
+	// Odd total: best difference is 1.
+	enc, err := EncodePartition([]int64{3, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, be, err := qubo.ExactSolve(enc.Problem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := enc.DiffFromEnergy(be); d != 1 {
+		t.Errorf("optimal difference %d, want 1", d)
+	}
+	if enc.EnergyForDiff(1) != be {
+		t.Error("EnergyForDiff inversion broken")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := EncodePartition([]int64{5}); err == nil {
+		t.Error("single number accepted")
+	}
+	if _, err := EncodePartition([]int64{5, -2}); err == nil {
+		t.Error("negative number accepted")
+	}
+	if _, err := EncodePartition([]int64{5000, 5000}); err == nil {
+		t.Error("overflowing numbers accepted")
+	}
+}
+
+func TestPartitionEnergyIdentityRandom(t *testing.T) {
+	enc, err := EncodePartition([]int64{7, 11, 13, 3, 20, 9, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 30; trial++ {
+		x := bitvec.Random(7, r)
+		s0, s1, err := enc.Sides(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := s0 - s1
+		if d < 0 {
+			d = -d
+		}
+		if e := enc.Problem().Energy(x); e != enc.EnergyForDiff(d) {
+			t.Fatalf("E = %d, want EnergyForDiff(%d) = %d", e, d, enc.EnergyForDiff(d))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package maxcut
+
+import (
+	"fmt"
+
+	"abs/internal/rng"
+)
+
+// WeightKind selects the edge-weight distribution of a generated
+// instance, matching the two G-set families used in Table 1(a).
+type WeightKind int
+
+const (
+	// WeightsPlusOne gives every edge weight +1 (G1, G22, G35, G55, G70).
+	WeightsPlusOne WeightKind = iota
+	// WeightsPlusMinusOne gives each edge ±1 uniformly (G6, G27, G39).
+	WeightsPlusMinusOne
+)
+
+func (k WeightKind) String() string {
+	switch k {
+	case WeightsPlusOne:
+		return "+1"
+	case WeightsPlusMinusOne:
+		return "±1"
+	default:
+		return fmt.Sprintf("WeightKind(%d)", int(k))
+	}
+}
+
+func (k WeightKind) draw(r *rng.Rand) int32 {
+	if k == WeightsPlusMinusOne && r.Bool() {
+		return -1
+	}
+	return 1
+}
+
+// GenerateRandom builds a random graph on n vertices with m distinct
+// edges, the "random" G-set family. It fails if m exceeds the number of
+// vertex pairs.
+func GenerateRandom(n, m int, kind WeightKind, seed uint64) (*Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m < 0 || m > maxM {
+		return nil, fmt.Errorf("maxcut: %d edges impossible on %d vertices (max %d)", m, n, maxM)
+	}
+	g := NewGraph(n)
+	g.SetName(fmt.Sprintf("rand-n%d-m%d-%s", n, m, kind))
+	r := rng.New(seed)
+	for g.M() < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v, kind.draw(r)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// GenerateToroidal builds a planar-family instance: vertices on a
+// rows×cols torus grid, each connected to its right and down
+// neighbours (the G-set "planar" graphs G35/G39 are 2D grid-like
+// graphs). n = rows·cols, m = 2n.
+func GenerateToroidal(rows, cols int, kind WeightKind, seed uint64) (*Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("maxcut: toroidal grid needs rows, cols >= 2, got %d×%d", rows, cols)
+	}
+	n := rows * cols
+	g := NewGraph(n)
+	g.SetName(fmt.Sprintf("torus-%dx%d-%s", rows, cols, kind))
+	r := rng.New(seed)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if err := g.AddEdge(id(i, j), id(i, (j+1)%cols), kind.draw(r)); err != nil {
+				return nil, err
+			}
+			if err := g.AddEdge(id(i, j), id((i+1)%rows, j), kind.draw(r)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// GSetFamily describes one G-set benchmark instance by its published
+// family parameters, so experiments can generate a statistical twin of
+// each graph the paper uses (the files themselves are a download; the
+// module is offline).
+type GSetFamily struct {
+	Name     string
+	N        int
+	Edges    int // 0 for planar (grid) instances, which fix m = 2n
+	Planar   bool
+	Weights  WeightKind
+	PaperCut int64   // the paper's target cut value (Table 1a)
+	PaperSec float64 // the paper's time-to-solution in seconds
+	// TargetFrac is the paper's target as a fraction of best-known:
+	// 1.0 (best-known), 0.99 or 0.95 per Table 1(a).
+	TargetFrac float64
+}
+
+// PaperGSet lists the eight Table 1(a) instances with their published
+// type, size and target. Edge counts are from the public G-set
+// catalogue.
+func PaperGSet() []GSetFamily {
+	return []GSetFamily{
+		{Name: "G1", N: 800, Edges: 19176, Weights: WeightsPlusOne, PaperCut: 11624, PaperSec: 0.0723, TargetFrac: 1.0},
+		{Name: "G6", N: 800, Edges: 19176, Weights: WeightsPlusMinusOne, PaperCut: 2178, PaperSec: 0.106, TargetFrac: 1.0},
+		{Name: "G22", N: 2000, Edges: 19990, Weights: WeightsPlusOne, PaperCut: 13225, PaperSec: 0.110, TargetFrac: 0.99},
+		{Name: "G27", N: 2000, Edges: 19990, Weights: WeightsPlusMinusOne, PaperCut: 3308, PaperSec: 0.721, TargetFrac: 0.99},
+		{Name: "G35", N: 2000, Planar: true, Weights: WeightsPlusOne, PaperCut: 7611, PaperSec: 0.208, TargetFrac: 0.99},
+		{Name: "G39", N: 2000, Planar: true, Weights: WeightsPlusMinusOne, PaperCut: 2384, PaperSec: 1.89, TargetFrac: 0.99},
+		{Name: "G55", N: 5000, Edges: 12498, Weights: WeightsPlusOne, PaperCut: 9785, PaperSec: 0.150, TargetFrac: 0.95},
+		{Name: "G70", N: 10000, Edges: 9999, Weights: WeightsPlusOne, PaperCut: 9112, PaperSec: 0.360, TargetFrac: 0.95},
+	}
+}
+
+// Generate builds the family's statistical twin with a deterministic
+// per-family seed.
+func (f GSetFamily) Generate() (*Graph, error) {
+	seed := uint64(0x6A5E7)
+	for _, c := range f.Name {
+		seed = seed*131 + uint64(c)
+	}
+	var g *Graph
+	var err error
+	if f.Planar {
+		// Square-ish torus with n = N vertices.
+		rows := 1
+		for rows*rows < f.N {
+			rows++
+		}
+		cols := f.N / rows
+		for rows*cols != f.N {
+			rows--
+			cols = f.N / rows
+		}
+		g, err = GenerateToroidal(rows, cols, f.Weights, seed)
+	} else {
+		g, err = GenerateRandom(f.N, f.Edges, f.Weights, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.SetName(f.Name + "-family")
+	return g, nil
+}

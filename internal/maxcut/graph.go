@@ -1,0 +1,170 @@
+// Package maxcut implements the Max-Cut benchmark of §4.1.1: weighted
+// graphs, the G-set text format, generators for the G-set instance
+// families used by the paper (random and planar graphs with +1 or ±1
+// edge weights, 800–10000 vertices), the QUBO formulation of Eq. (17),
+// and cut-value verification.
+//
+// The real G-set files are a download (the module is offline), so
+// experiments default to generated instances from the same families;
+// ReadGSet accepts genuine G-set files when available.
+package maxcut
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge is one undirected weighted edge; U < V always holds for edges
+// stored in a Graph.
+type Edge struct {
+	U, V int
+	W    int32
+}
+
+// Graph is a simple undirected weighted graph.
+type Graph struct {
+	name  string
+	n     int
+	edges []Edge
+	seen  map[[2]int]int // endpoint pair → index into edges
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("maxcut: graph size %d must be positive", n))
+	}
+	return &Graph{n: n, seen: make(map[[2]int]int)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// Name returns the instance label.
+func (g *Graph) Name() string { return g.name }
+
+// SetName labels the instance.
+func (g *Graph) SetName(s string) { g.name = s }
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges returns the edge list; callers must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts the undirected edge {u, v} with weight w. Adding an
+// existing edge replaces its weight; self-loops are rejected.
+func (g *Graph) AddEdge(u, v int, w int32) error {
+	if u == v {
+		return fmt.Errorf("maxcut: self-loop at vertex %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("maxcut: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if i, ok := g.seen[key]; ok {
+		g.edges[i].W = w
+		return nil
+	}
+	g.seen[key] = len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	return nil
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := g.seen[[2]int{u, v}]
+	return ok
+}
+
+// Degrees returns the weighted degree of every vertex (the Σ_k G_ik of
+// Eq. 17's diagonal).
+func (g *Graph) Degrees() []int64 {
+	d := make([]int64, g.n)
+	for _, e := range g.edges {
+		d[e.U] += int64(e.W)
+		d[e.V] += int64(e.W)
+	}
+	return d
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var t int64
+	for _, e := range g.edges {
+		t += int64(e.W)
+	}
+	return t
+}
+
+// ReadGSet parses the G-set format: a header line "n m" followed by m
+// lines "u v w" with 1-based vertex indices.
+func ReadGSet(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *Graph
+	wantEdges := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "c") {
+			continue
+		}
+		f := strings.Fields(text)
+		if g == nil {
+			if len(f) != 2 {
+				return nil, fmt.Errorf("maxcut: line %d: want 'n m' header, got %q", line, text)
+			}
+			n, err1 := strconv.Atoi(f[0])
+			m, err2 := strconv.Atoi(f[1])
+			if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+				return nil, fmt.Errorf("maxcut: line %d: bad header %q", line, text)
+			}
+			g = NewGraph(n)
+			wantEdges = m
+			continue
+		}
+		if len(f) != 3 {
+			return nil, fmt.Errorf("maxcut: line %d: want 'u v w', got %q", line, text)
+		}
+		u, err1 := strconv.Atoi(f[0])
+		v, err2 := strconv.Atoi(f[1])
+		w, err3 := strconv.ParseInt(f[2], 10, 32)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("maxcut: line %d: malformed edge %q", line, text)
+		}
+		if err := g.AddEdge(u-1, v-1, int32(w)); err != nil {
+			return nil, fmt.Errorf("maxcut: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("maxcut: empty input")
+	}
+	if wantEdges != g.M() {
+		return nil, fmt.Errorf("maxcut: header promised %d edges, got %d", wantEdges, g.M())
+	}
+	return g, nil
+}
+
+// WriteGSet serializes in the G-set format.
+func WriteGSet(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.n, len(g.edges))
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "%d %d %d\n", e.U+1, e.V+1, e.W)
+	}
+	return bw.Flush()
+}

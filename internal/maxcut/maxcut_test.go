@@ -1,0 +1,301 @@
+package maxcut
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+func TestAddEdgeRules(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 9, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	// Replacement, not duplication, in either endpoint order.
+	if err := g.AddEdge(1, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Edges()[0].W != 7 {
+		t.Errorf("edge replacement failed: m=%d w=%d", g.M(), g.Edges()[0].W)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(2, 3) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestDegreesAndTotalWeight(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, -1)
+	d := g.Degrees()
+	want := []int64{2, 1, -1}
+	for i, w := range want {
+		if d[i] != w {
+			t.Errorf("degree[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+	if g.TotalWeight() != 1 {
+		t.Errorf("total weight = %d", g.TotalWeight())
+	}
+}
+
+// TestPaperFigure6 reproduces the worked example of Figure 6: a 5-vertex
+// unit-weight graph where X = 01001 yields E = −5.
+func TestPaperFigure6(t *testing.T) {
+	// Figure 6's graph is K5 minus some edges; from the weight matrix,
+	// W_ii diagonal values are the negated degrees and E(01001) = −5,
+	// i.e. a 5-edge cut. Use the 5-cycle plus chords 0-2, 1-3 variant
+	// whose cut by {1,4} yields 5 unit edges: build the graph explicitly.
+	g := NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}, {1, 3}} {
+		g.AddEdge(e[0], e[1], 1)
+	}
+	p, err := ToQUBO(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := bitvec.FromString("01001")
+	cut := CutValue(g, x)
+	if e := p.Energy(x); e != -cut {
+		t.Errorf("E = %d, want −cut = %d", e, -cut)
+	}
+	if cut != 5 {
+		t.Errorf("cut({1,4}) = %d, want 5", cut)
+	}
+}
+
+func TestEnergyEqualsNegatedCut(t *testing.T) {
+	g, err := GenerateRandom(40, 200, WeightsPlusMinusOne, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ToQUBO(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		x := bitvec.Random(40, r)
+		if e, cut := p.Energy(x), CutValue(g, x); e != -cut {
+			t.Fatalf("E = %d but cut = %d", e, cut)
+		}
+	}
+}
+
+func TestQuickEnergyCutIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 4 + int(seed%30)
+		m := n + int(seed%uint64(n))
+		g, err := GenerateRandom(n, m, WeightsPlusMinusOne, seed)
+		if err != nil {
+			return false
+		}
+		p, err := ToQUBO(g)
+		if err != nil {
+			return false
+		}
+		x := bitvec.Random(n, rng.New(seed^0xbeef))
+		return p.Energy(x) == -CutValue(g, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxCutOptimumViaExactSolver(t *testing.T) {
+	// Complete bipartite K_{3,3}: optimal cut = all 9 edges.
+	g := NewGraph(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	p, err := ToQUBO(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, be, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CutFromEnergy(be) != 9 {
+		t.Errorf("optimal cut = %d, want 9", CutFromEnergy(be))
+	}
+	if CutValue(g, bx) != 9 {
+		t.Error("optimal vector does not realize the full bipartite cut")
+	}
+}
+
+func TestGSetRoundTrip(t *testing.T) {
+	g, err := GenerateRandom(20, 50, WeightsPlusMinusOne, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGSet(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadGSet(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip: %d/%d vertices, %d/%d edges", h.N(), g.N(), h.M(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e.U, e.V) {
+			t.Errorf("edge (%d,%d) lost", e.U, e.V)
+		}
+	}
+}
+
+func TestReadGSetErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "x y\n",
+		"bad edge":      "2 1\n1 x 1\n",
+		"self loop":     "2 1\n1 1 1\n",
+		"out of range":  "2 1\n1 5 1\n",
+		"edge mismatch": "3 5\n1 2 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGSet(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGenerateRandomProperties(t *testing.T) {
+	g, err := GenerateRandom(100, 300, WeightsPlusOne, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || g.M() != 300 {
+		t.Fatalf("size %d/%d", g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if e.W != 1 {
+			t.Fatal("+1 family produced non-unit weight")
+		}
+		if e.U >= e.V {
+			t.Fatal("edge endpoints not ordered")
+		}
+	}
+	// ±1 family produces both signs.
+	g2, _ := GenerateRandom(100, 300, WeightsPlusMinusOne, 5)
+	pos, neg := 0, 0
+	for _, e := range g2.Edges() {
+		if e.W == 1 {
+			pos++
+		} else if e.W == -1 {
+			neg++
+		} else {
+			t.Fatal("±1 family produced |w| != 1")
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Error("±1 family produced only one sign")
+	}
+	// Determinism.
+	g3, _ := GenerateRandom(100, 300, WeightsPlusOne, 4)
+	for i, e := range g.Edges() {
+		if g3.Edges()[i] != e {
+			t.Fatal("same-seed generation not deterministic")
+		}
+	}
+	if _, err := GenerateRandom(4, 100, WeightsPlusOne, 1); err == nil {
+		t.Error("impossible edge count accepted")
+	}
+}
+
+func TestGenerateToroidal(t *testing.T) {
+	g, err := GenerateToroidal(5, 8, WeightsPlusOne, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 40 || g.M() != 80 {
+		t.Fatalf("torus size %d vertices %d edges, want 40/80", g.N(), g.M())
+	}
+	// Every vertex has degree 4 on a torus.
+	for i, d := range g.Degrees() {
+		if d != 4 {
+			t.Errorf("vertex %d degree %d, want 4", i, d)
+		}
+	}
+	if _, err := GenerateToroidal(1, 5, WeightsPlusOne, 1); err == nil {
+		t.Error("degenerate torus accepted")
+	}
+}
+
+func TestPaperGSetFamilies(t *testing.T) {
+	fams := PaperGSet()
+	if len(fams) != 8 {
+		t.Fatalf("%d families, want 8", len(fams))
+	}
+	for _, f := range fams {
+		if f.N > 2000 && testing.Short() {
+			continue
+		}
+		g, err := f.Generate()
+		if err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+			continue
+		}
+		if g.N() != f.N {
+			t.Errorf("%s: generated %d vertices, want %d", f.Name, g.N(), f.N)
+		}
+		if !f.Planar && g.M() != f.Edges {
+			t.Errorf("%s: generated %d edges, want %d", f.Name, g.M(), f.Edges)
+		}
+		if f.Planar && g.M() != 2*f.N {
+			t.Errorf("%s: planar family has %d edges, want 2n=%d", f.Name, g.M(), 2*f.N)
+		}
+		if _, err := ToQUBO(g); err != nil {
+			t.Errorf("%s: formulation failed: %v", f.Name, err)
+		}
+	}
+}
+
+func TestToQUBOOverflow(t *testing.T) {
+	// A star with huge weighted degree on the hub overflows W_ii.
+	g := NewGraph(40)
+	for v := 1; v < 40; v++ {
+		g.AddEdge(0, v, 1000)
+	}
+	if _, err := ToQUBO(g); err == nil {
+		t.Error("degree overflow not detected")
+	}
+}
+
+func TestReadGSetNeverPanicsOnGarbage(t *testing.T) {
+	r := rng.New(0xfeed)
+	inputs := []string{"", "1", "-1 -1", "5 1\n1 2"}
+	for i := 0; i < 150; i++ {
+		n := int(r.Uint64() % 60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Uint64()%96) + 32
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ReadGSet panicked on %q: %v", in, rec)
+				}
+			}()
+			_, _ = ReadGSet(strings.NewReader(in))
+		}()
+	}
+}

@@ -1,0 +1,59 @@
+package maxcut
+
+import (
+	"fmt"
+	"math"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// ToQUBO applies the formulation of Eq. (17):
+//
+//	W_ij = G_ij            (i ≠ j)
+//	W_ii = −Σ_k G_ik       (negated weighted degree)
+//
+// With x the indicator vector of one side of the cut, the resulting
+// energy is exactly the negated cut weight, E(X) = −cut(X) (shown in
+// §4.1.1 and verified by the package tests), so minimizing E maximizes
+// the cut. The conversion fails if any weight — in particular a
+// weighted degree — exceeds the solver's 16-bit weight domain.
+func ToQUBO(g *Graph) (*qubo.Problem, error) {
+	p := qubo.New(g.N())
+	for _, e := range g.Edges() {
+		if e.W < math.MinInt16 || e.W > math.MaxInt16 {
+			return nil, fmt.Errorf("maxcut: edge (%d,%d) weight %d outside 16-bit range", e.U, e.V, e.W)
+		}
+		p.SetWeight(e.U, e.V, int16(e.W))
+	}
+	for i, d := range g.Degrees() {
+		if -d < math.MinInt16 || -d > math.MaxInt16 {
+			return nil, fmt.Errorf("maxcut: vertex %d weighted degree %d outside 16-bit range", i, d)
+		}
+		p.SetWeight(i, i, int16(-d))
+	}
+	p.SetName(g.Name())
+	return p, nil
+}
+
+// CutValue returns the weight of the cut induced by x: the sum of
+// weights of edges whose endpoints lie on different sides.
+func CutValue(g *Graph, x *bitvec.Vector) int64 {
+	if x.Len() != g.N() {
+		panic(fmt.Sprintf("maxcut: %d-bit vector for %d-vertex graph", x.Len(), g.N()))
+	}
+	var cut int64
+	for _, e := range g.Edges() {
+		if x.Bit(e.U) != x.Bit(e.V) {
+			cut += int64(e.W)
+		}
+	}
+	return cut
+}
+
+// CutFromEnergy converts a QUBO energy back to the cut value
+// (cut = −E under Eq. 17).
+func CutFromEnergy(e int64) int64 { return -e }
+
+// EnergyForCut converts a target cut value to a QUBO target energy.
+func EnergyForCut(cut int64) int64 { return -cut }

@@ -1,0 +1,98 @@
+package qubo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/rng"
+)
+
+func TestBranchAndBoundMatchesGrayCode(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 16, 18} {
+		p := randomProblem(n, uint64(n)*31)
+		_, want, err := ExactSolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BranchAndBound(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Energy != want {
+			t.Errorf("n=%d: B&B %d, Gray-code %d", n, res.Energy, want)
+		}
+		if got := p.Energy(res.X); got != res.Energy {
+			t.Errorf("n=%d: B&B vector energy %d != reported %d", n, got, res.Energy)
+		}
+	}
+}
+
+func TestBranchAndBoundPrunes(t *testing.T) {
+	// On an 18-bit instance the pruned tree must be far smaller than
+	// the 2¹⁹−1 nodes of full enumeration.
+	p := randomProblem(18, 7)
+	res, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := uint64(1)<<19 - 1
+	if res.Nodes >= full/2 {
+		t.Errorf("B&B expanded %d nodes of %d — bound not pruning", res.Nodes, full)
+	}
+}
+
+func TestBranchAndBoundBeyondGrayCodeRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("B&B at 34 bits is slow in -short mode")
+	}
+	// A sparse 34-bit instance: out of ExactSolve's reach, fine for B&B.
+	p := New(34)
+	r := rng.New(9)
+	for i := 0; i < 34; i++ {
+		p.SetWeight(i, i, int16(r.Intn(41)-20))
+	}
+	for e := 0; e < 50; e++ {
+		i, j := r.Intn(34), r.Intn(34)
+		if i != j {
+			p.SetWeight(i, j, int16(r.Intn(41)-20))
+		}
+	}
+	res, err := BranchAndBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact optimum must be at least as good as a long heuristic run.
+	s := NewZeroState(p)
+	rr := rng.New(10)
+	for i := 0; i < 20000; i++ {
+		k := rr.Intn(34)
+		if s.Delta(k) < 0 || rr.Intn(8) == 0 {
+			s.Flip(k)
+		}
+	}
+	if res.Energy > s.BestEnergy() {
+		t.Errorf("B&B optimum %d worse than heuristic %d", res.Energy, s.BestEnergy())
+	}
+}
+
+func TestBranchAndBoundRefusesHuge(t *testing.T) {
+	if _, err := BranchAndBound(New(BnBMaxBits + 1)); err == nil {
+		t.Error("oversized B&B accepted")
+	}
+}
+
+func TestQuickBranchAndBoundEqualsEnumeration(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%12)
+		p := randomProblem(n, seed)
+		_, want, err := ExactSolve(p)
+		if err != nil {
+			return false
+		}
+		res, err := BranchAndBound(p)
+		return err == nil && res.Energy == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

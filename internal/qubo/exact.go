@@ -1,0 +1,63 @@
+package qubo
+
+import (
+	"fmt"
+	"math/bits"
+
+	"abs/internal/bitvec"
+)
+
+// ExactMaxBits bounds the exhaustive solver. 2³⁰ states at O(n) per
+// Gray-code step is already minutes of work; the exact solver exists as
+// a ground-truth oracle for tests and tiny instances, not as a
+// competitor (exact QUBO methods top out around 200 bits, §1).
+const ExactMaxBits = 30
+
+// ExactSolve enumerates all 2ⁿ solutions in Gray-code order, flipping a
+// single bit per step and updating the energy incrementally, and returns
+// a minimum-energy vector and its energy. It returns an error when the
+// instance exceeds ExactMaxBits.
+func ExactSolve(p *Problem) (*bitvec.Vector, int64, error) {
+	n := p.N()
+	if n > ExactMaxBits {
+		return nil, 0, fmt.Errorf("qubo: exact solve limited to %d bits, got %d", ExactMaxBits, n)
+	}
+	s := NewZeroState(p)
+	best := s.Snapshot()
+	bestE := s.Energy() // E(0) = 0
+	total := uint64(1) << uint(n)
+	for t := uint64(1); t < total; t++ {
+		// The bit that changes between Gray codes of t-1 and t is the
+		// number of trailing zeros of t.
+		k := bits.TrailingZeros64(t)
+		s.Flip(k)
+		if s.Energy() < bestE {
+			bestE = s.Energy()
+			best.CopyFrom(s.X())
+		}
+	}
+	return best, bestE, nil
+}
+
+// ExactEnergyHistogram enumerates all 2ⁿ energies and returns the number
+// of optimal solutions together with the optimal energy. It is used by
+// tests that need to know whether an instance has a unique ground state.
+func ExactEnergyHistogram(p *Problem) (optE int64, count int, err error) {
+	n := p.N()
+	if n > ExactMaxBits {
+		return 0, 0, fmt.Errorf("qubo: exact solve limited to %d bits, got %d", ExactMaxBits, n)
+	}
+	s := NewZeroState(p)
+	optE, count = s.Energy(), 1
+	total := uint64(1) << uint(n)
+	for t := uint64(1); t < total; t++ {
+		s.Flip(bits.TrailingZeros64(t))
+		switch e := s.Energy(); {
+		case e < optE:
+			optE, count = e, 1
+		case e == optE:
+			count++
+		}
+	}
+	return optE, count, nil
+}

@@ -1,0 +1,62 @@
+package qubo
+
+import (
+	"strings"
+	"testing"
+
+	"abs/internal/rng"
+)
+
+// TestReadersNeverPanicOnGarbage feeds random byte soup and truncated
+// valid prefixes to both parsers; they must return errors (or succeed),
+// never panic. This is the cheap stand-in for a fuzz corpus.
+func TestReadersNeverPanicOnGarbage(t *testing.T) {
+	r := rng.New(0xdead)
+	var valid strings.Builder
+	p := randomProblem(12, 1)
+	if err := WriteText(&valid, p); err != nil {
+		t.Fatal(err)
+	}
+	validText := valid.String()
+	var validBinB strings.Builder
+	if err := WriteBinary(&validBinB, p); err != nil {
+		t.Fatal(err)
+	}
+	validBin := validBinB.String()
+
+	inputs := []string{"", "p", "p qubo", "p qubo -1 0", "\x00\x01\x02", "QBW1", "QBW1\xff\xff\xff\xff"}
+	// Random soup.
+	for i := 0; i < 200; i++ {
+		n := r.Intn(64)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Uint64())
+		}
+		inputs = append(inputs, string(b))
+	}
+	// Truncations of valid payloads.
+	for cut := 0; cut < len(validText); cut += 7 {
+		inputs = append(inputs, validText[:cut])
+	}
+	for cut := 0; cut < len(validBin); cut += 3 {
+		inputs = append(inputs, validBin[:cut])
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ReadText panicked on %q: %v", in, rec)
+				}
+			}()
+			_, _ = ReadText(strings.NewReader(in))
+		}()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ReadBinary panicked on %q: %v", in, rec)
+				}
+			}()
+			_, _ = ReadBinary(strings.NewReader(in))
+		}()
+	}
+}

@@ -1,0 +1,206 @@
+package qubo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+// The package reads and writes a simple line-oriented instance format,
+// compatible in spirit with the sparse formats used by qbsolv and the
+// G-set files:
+//
+//	c free-form comment
+//	p qubo <n> <nonzero-entries>
+//	<i> <j> <w>
+//
+// Entries are 0-based, each (i, j) with i <= j appears at most once, and
+// w is the symmetric weight W_ij = W_ji (the diagonal when i == j).
+// Lines starting with 'c' or '#' are comments.
+
+// WriteText serializes p in the text format, emitting only the non-zero
+// upper triangle.
+func WriteText(w io.Writer, p *Problem) error {
+	bw := bufio.NewWriter(w)
+	if p.name != "" {
+		fmt.Fprintf(bw, "c %s\n", p.name)
+	}
+	nz := 0
+	for i := 0; i < p.n; i++ {
+		for j := i; j < p.n; j++ {
+			if p.w[i*p.n+j] != 0 {
+				nz++
+			}
+		}
+	}
+	fmt.Fprintf(bw, "p qubo %d %d\n", p.n, nz)
+	for i := 0; i < p.n; i++ {
+		for j := i; j < p.n; j++ {
+			if v := p.w[i*p.n+j]; v != 0 {
+				fmt.Fprintf(bw, "%d %d %d\n", i, j, v)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		p       *Problem
+		name    string
+		entries int
+		line    int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c', '#':
+			if name == "" {
+				name = strings.TrimSpace(text[1:])
+			}
+			continue
+		case 'p':
+			if p != nil {
+				return nil, fmt.Errorf("qubo: line %d: duplicate problem line", line)
+			}
+			f := strings.Fields(text)
+			if len(f) < 3 || f[1] != "qubo" {
+				return nil, fmt.Errorf("qubo: line %d: malformed problem line %q", line, text)
+			}
+			// Two header dialects are accepted:
+			//   p qubo <n> <nonzeros>                      (this module)
+			//   p qubo <topology> <maxNodes> <nNodes> <nCouplers>
+			//                                              (qbsolv files)
+			sizeField := f[2]
+			if len(f) == 6 {
+				sizeField = f[3]
+			}
+			n, err := strconv.Atoi(sizeField)
+			if err != nil || n <= 0 || n > MaxBits {
+				return nil, fmt.Errorf("qubo: line %d: bad size %q", line, sizeField)
+			}
+			p = New(n)
+			p.name = name
+			continue
+		}
+		if p == nil {
+			return nil, fmt.Errorf("qubo: line %d: entry before problem line", line)
+		}
+		f := strings.Fields(text)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("qubo: line %d: want 'i j w', got %q", line, text)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		w, err3 := strconv.ParseInt(f[2], 10, 16)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("qubo: line %d: malformed entry %q", line, text)
+		}
+		if i < 0 || i >= p.n || j < 0 || j >= p.n {
+			return nil, fmt.Errorf("qubo: line %d: index out of range in %q", line, text)
+		}
+		p.SetWeight(i, j, int16(w))
+		entries++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qubo: read: %w", err)
+	}
+	if p == nil {
+		return nil, fmt.Errorf("qubo: no problem line found")
+	}
+	_ = entries // informational only; the header count is advisory
+	return p, nil
+}
+
+// Binary format
+//
+// magic "QBW1", uint32 n, uint32 name length, name bytes, then the
+// n(n+1)/2 upper-triangle weights as little-endian int16, row by row.
+// The binary form exists because a 32 k-bit dense instance is ~1 GiB of
+// triangle data and text parsing at that size is impractical.
+
+var binMagic = [4]byte{'Q', 'B', 'W', '1'}
+
+// WriteBinary serializes p in the binary format.
+func WriteBinary(w io.Writer, p *Problem) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(p.n))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(p.name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(p.name); err != nil {
+		return err
+	}
+	var buf [2]byte
+	for i := 0; i < p.n; i++ {
+		for j := i; j < p.n; j++ {
+			binary.LittleEndian.PutUint16(buf[:], uint16(p.w[i*p.n+j]))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*Problem, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("qubo: binary header: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("qubo: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("qubo: binary header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	nameLen := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if n <= 0 || n > MaxBits {
+		return nil, fmt.Errorf("qubo: binary size %d out of range", n)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("qubo: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("qubo: binary name: %w", err)
+	}
+	p := New(n)
+	p.name = string(nameBuf)
+	tri := n * (n + 1) / 2
+	data := make([]byte, 2*tri)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, fmt.Errorf("qubo: binary weights: %w", err)
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := int16(binary.LittleEndian.Uint16(data[2*idx:]))
+			p.w[i*n+j] = v
+			p.w[j*n+i] = v
+			idx++
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,202 @@
+package qubo
+
+import (
+	"fmt"
+
+	"abs/internal/bitvec"
+)
+
+// Persistency implements the classic first-order persistency (variable
+// fixing) rules for QUBO. Writing E(X) = Σ_i c_ii x_i + Σ_{i<j} c_ij
+// x_i x_j with c_ii = W_ii and c_ij = 2·W_ij, variable i's contribution
+// under any assignment of the others lies in
+//
+//	x_i · [ c_ii + Σ_j min(0, c_ij),  c_ii + Σ_j max(0, c_ij) ].
+//
+// If the lower end is ≥ 0, setting x_i = 1 can never reduce the energy,
+// so x_i = 0 is optimal-safe; if the upper end is ≤ 0, x_i = 1 is
+// optimal-safe. Such fixings shrink the instance before the heuristic
+// runs — the preprocessing real QUBO solvers (e.g. qbsolv's roof-duality
+// stage) apply.
+
+// FixedValue is a per-variable presolve verdict.
+type FixedValue int8
+
+const (
+	// Free means the rules could not fix the variable.
+	Free FixedValue = -1
+	// FixedZero and FixedOne mean an optimal solution exists with the
+	// variable at that value.
+	FixedZero FixedValue = 0
+	FixedOne  FixedValue = 1
+)
+
+// Persistencies applies the first-order rules once and returns a
+// verdict per variable.
+func Persistencies(p *Problem) []FixedValue {
+	n := p.N()
+	out := make([]FixedValue, n)
+	for i := 0; i < n; i++ {
+		row := p.Row(i)
+		lo := int64(row[i])
+		hi := int64(row[i])
+		for j, w := range row {
+			if j == i || w == 0 {
+				continue
+			}
+			c := 2 * int64(w)
+			if c < 0 {
+				lo += c
+			} else {
+				hi += c
+			}
+		}
+		switch {
+		case lo >= 0:
+			out[i] = FixedZero
+		case hi <= 0:
+			out[i] = FixedOne
+		default:
+			out[i] = Free
+		}
+	}
+	return out
+}
+
+// PresolveResult describes a reduction produced by Presolve.
+type PresolveResult struct {
+	// Reduced is the sub-instance over the free variables; nil when
+	// every variable was fixed.
+	Reduced *Problem
+	// FreeVars maps reduced indices to original indices.
+	FreeVars []int
+	// Fixed holds the verdict for every original variable (Free for
+	// those still in Reduced).
+	Fixed []FixedValue
+	// Offset is the energy contributed by the fixed variables:
+	// E_original(X) = E_reduced(x_free) + Offset for assignments
+	// respecting the fixings.
+	Offset int64
+}
+
+// Presolve applies the persistency rules to a fixpoint — each fixing
+// folds couplings into neighbouring diagonals, which can enable further
+// fixings — and returns the reduced instance. It fails only if folding
+// pushes a diagonal outside the 16-bit weight domain.
+func Presolve(p *Problem) (*PresolveResult, error) {
+	n := p.N()
+	fixed := make([]FixedValue, n)
+	for i := range fixed {
+		fixed[i] = Free
+	}
+	// diag holds the working diagonal (with folded-in contributions
+	// from variables fixed to one), in int64 to detect overflow only
+	// when materializing.
+	diag := make([]int64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = int64(p.Weight(i, i))
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if fixed[i] != Free {
+				continue
+			}
+			lo, hi := diag[i], diag[i]
+			row := p.Row(i)
+			for j, w := range row {
+				if j == i || w == 0 || fixed[j] != Free {
+					continue
+				}
+				c := 2 * int64(w)
+				if c < 0 {
+					lo += c
+				} else {
+					hi += c
+				}
+			}
+			var v FixedValue
+			switch {
+			case lo >= 0:
+				v = FixedZero
+			case hi <= 0:
+				v = FixedOne
+			default:
+				continue
+			}
+			fixed[i] = v
+			changed = true
+			if v == FixedOne {
+				// Fold couplings to i into neighbours' diagonals.
+				for j, w := range row {
+					if j != i && w != 0 && fixed[j] == Free {
+						diag[j] += 2 * int64(w)
+					}
+				}
+			}
+		}
+	}
+
+	res := &PresolveResult{Fixed: fixed}
+	// Offset: energy of the fixed part. Σ over fixed-one variables of
+	// their original diagonal plus pairwise couplings between fixed
+	// ones.
+	for i := 0; i < n; i++ {
+		if fixed[i] != FixedOne {
+			continue
+		}
+		res.Offset += int64(p.Weight(i, i))
+		for j := i + 1; j < n; j++ {
+			if fixed[j] == FixedOne {
+				res.Offset += 2 * int64(p.Weight(i, j))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if fixed[i] == Free {
+			res.FreeVars = append(res.FreeVars, i)
+		}
+	}
+	if len(res.FreeVars) == 0 {
+		return res, nil
+	}
+	reduced := New(len(res.FreeVars))
+	reduced.SetName(p.Name() + "-presolved")
+	for ri, i := range res.FreeVars {
+		if diag[i] < -32768 || diag[i] > 32767 {
+			return nil, fmt.Errorf("qubo: presolve folded diagonal %d to %d, outside 16-bit range", i, diag[i])
+		}
+		reduced.SetWeight(ri, ri, int16(diag[i]))
+		for rj := ri + 1; rj < len(res.FreeVars); rj++ {
+			j := res.FreeVars[rj]
+			if w := p.Weight(i, j); w != 0 {
+				reduced.SetWeight(ri, rj, w)
+			}
+		}
+	}
+	res.Reduced = reduced
+	return res, nil
+}
+
+// Expand lifts a solution of the reduced instance back to the original
+// variable space, filling fixed variables with their fixed values.
+func (r *PresolveResult) Expand(reducedX *bitvec.Vector) (*bitvec.Vector, error) {
+	if r.Reduced == nil {
+		if reducedX != nil {
+			return nil, fmt.Errorf("qubo: expand of fully-fixed presolve takes nil")
+		}
+	} else if reducedX == nil || reducedX.Len() != r.Reduced.N() {
+		return nil, fmt.Errorf("qubo: expand needs a %d-bit reduced solution", r.Reduced.N())
+	}
+	x := bitvec.New(len(r.Fixed))
+	for i, v := range r.Fixed {
+		if v == FixedOne {
+			x.Set(i, 1)
+		}
+	}
+	for ri, i := range r.FreeVars {
+		x.Set(i, reducedX.Bit(ri))
+	}
+	return x, nil
+}

@@ -1,0 +1,204 @@
+package qubo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+func TestPersistenciesByHand(t *testing.T) {
+	p := New(3)
+	p.SetWeight(0, 0, 5)  // positive diagonal, no couplings: x0 = 0
+	p.SetWeight(1, 1, -5) // negative diagonal, no couplings: x1 = 1
+	p.SetWeight(2, 2, -1) // coupled both ways: free
+	p.SetWeight(2, 0, 3)
+	p.SetWeight(2, 1, -3)
+	got := Persistencies(p)
+	// Variable 0: lo = 5 + min couplings... c_02 = 6 > 0 so lo = 5 ≥ 0 → zero.
+	if got[0] != FixedZero {
+		t.Errorf("x0 verdict %v, want FixedZero", got[0])
+	}
+	// Variable 1: hi = −5 + max(0, −6) = −5 ≤ 0 → one.
+	if got[1] != FixedOne {
+		t.Errorf("x1 verdict %v, want FixedOne", got[1])
+	}
+	// Variable 2: lo = −1 − 6 = −7 < 0, hi = −1 + 6 = 5 > 0 → free.
+	if got[2] != Free {
+		t.Errorf("x2 verdict %v, want Free", got[2])
+	}
+}
+
+// TestPersistencyIsOptimalSafe: on random small instances, fixing the
+// persistent variables must not exclude every optimal solution.
+func TestPersistencyIsOptimalSafe(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		p := randomProblem(12, seed)
+		fixed := Persistencies(p)
+		_, optE, err := ExactSolve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Search exhaustively among assignments respecting the fixings.
+		best := int64(1) << 62
+		for v := 0; v < 1<<12; v++ {
+			x := bitvec.New(12)
+			ok := true
+			for k := 0; k < 12; k++ {
+				bit := (v >> k) & 1
+				switch fixed[k] {
+				case FixedZero:
+					bit = 0
+				case FixedOne:
+					bit = 1
+				}
+				x.Set(k, bit)
+				_ = ok
+			}
+			if e := p.Energy(x); e < best {
+				best = e
+			}
+		}
+		if best != optE {
+			t.Errorf("seed %d: persistency-respecting optimum %d != global %d", seed, best, optE)
+		}
+	}
+}
+
+func TestPresolveFixpointAndExpand(t *testing.T) {
+	// A chain designed to cascade: fixing x0 = 1 folds −6 into x1's
+	// diagonal, which then fixes x1, and so on.
+	p := New(4)
+	p.SetWeight(0, 0, -10) // x0 = 1 immediately (hi = −10 + 2·2 ≤ 0? c_01 = −6 <0 → hi = −10 → one)
+	p.SetWeight(0, 1, -3)
+	p.SetWeight(1, 1, 4) // alone: lo = 4 − 6 = −2, hi = 4 → free; after x0=1 folds −6: diag −2, hi = −2 + 2·1... see below
+	p.SetWeight(1, 2, -1)
+	p.SetWeight(2, 2, 100) // x2 = 0 regardless
+	p.SetWeight(3, 3, -1)  // x3 = 1 (no couplings)
+	res, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fixed[0] != FixedOne {
+		t.Errorf("x0 = %v, want one", res.Fixed[0])
+	}
+	if res.Fixed[2] != FixedZero {
+		t.Errorf("x2 = %v, want zero", res.Fixed[2])
+	}
+	if res.Fixed[3] != FixedOne {
+		t.Errorf("x3 = %v, want one", res.Fixed[3])
+	}
+	// Solve whatever remains exactly and expand; the result must match
+	// the global optimum.
+	_, optE, err := ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full *bitvec.Vector
+	if res.Reduced != nil {
+		rx, re, err := ExactSolve(res.Reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re+res.Offset != optE {
+			t.Errorf("reduced optimum %d + offset %d != global %d", re, res.Offset, optE)
+		}
+		full, err = res.Expand(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		full, err = res.Expand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := p.Energy(full); e != optE {
+		t.Errorf("expanded solution energy %d, want %d", e, optE)
+	}
+}
+
+func TestPresolveNoFixingsOnDenseRandom(t *testing.T) {
+	// Dense balanced random instances rarely admit first-order fixings;
+	// the presolve must degrade gracefully to a same-size instance.
+	p := randomProblem(30, 77)
+	res, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduced == nil {
+		t.Skip("unexpectedly fixed everything")
+	}
+	if res.Reduced.N()+countFixed(res.Fixed) != 30 {
+		t.Error("free + fixed != n")
+	}
+}
+
+func countFixed(f []FixedValue) int {
+	c := 0
+	for _, v := range f {
+		if v != Free {
+			c++
+		}
+	}
+	return c
+}
+
+// TestQuickPresolvePreservesOptimum is the headline property: solving
+// the reduced instance exactly and expanding always reproduces the
+// global optimum energy.
+func TestQuickPresolvePreservesOptimum(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%12)
+		// Mix of sparse structure and biased diagonals so fixings occur.
+		p := New(n)
+		r := rng.New(seed)
+		for i := 0; i < n; i++ {
+			p.SetWeight(i, i, int16(r.Intn(41)-25)) // biased negative
+			if j := r.Intn(n); j != i {
+				p.SetWeight(i, j, int16(r.Intn(21)-10))
+			}
+		}
+		_, optE, err := ExactSolve(p)
+		if err != nil {
+			return false
+		}
+		res, err := Presolve(p)
+		if err != nil {
+			return false
+		}
+		if res.Reduced == nil {
+			full, err := res.Expand(nil)
+			return err == nil && p.Energy(full) == optE
+		}
+		rx, re, err := ExactSolve(res.Reduced)
+		if err != nil {
+			return false
+		}
+		full, err := res.Expand(rx)
+		if err != nil {
+			return false
+		}
+		return re+res.Offset == optE && p.Energy(full) == optE
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	p := randomProblem(10, 5)
+	res, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduced != nil {
+		if _, err := res.Expand(nil); err == nil {
+			t.Error("nil reduced solution accepted")
+		}
+		if _, err := res.Expand(bitvec.New(res.Reduced.N() + 1)); err == nil {
+			t.Error("wrong-size reduced solution accepted")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package randqubo generates the synthetic random benchmark instances
+// of §4.1.3: dense QUBO problems whose weights are uniform 16-bit
+// integers, W_ij ∈ [−32768, 32767]. These are the instances behind
+// Table 1(c), Table 2 and Figure 8.
+package randqubo
+
+import (
+	"fmt"
+
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// Generate returns a dense n-bit instance with uniform 16-bit weights,
+// deterministic in seed.
+func Generate(n int, seed uint64) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			p.SetWeight(i, j, r.Int16())
+		}
+	}
+	p.SetName(fmt.Sprintf("rand16-n%d-s%d", n, seed))
+	return p
+}
+
+// PaperSize describes one Table 1(c) row: the instance size, the
+// published target energy and time-to-solution, and whether the target
+// was relaxed to 99 % of best-known.
+type PaperSize struct {
+	Bits        int
+	PaperEnergy int64
+	PaperSec    float64
+	Relaxed     bool // true when the paper targeted 99 % of best-known
+}
+
+// PaperSizes lists the five Table 1(c) rows. (The paper skips 8192 in
+// Table 1(c) although Table 2 includes it.)
+func PaperSizes() []PaperSize {
+	return []PaperSize{
+		{Bits: 1024, PaperEnergy: -182208337, PaperSec: 0.0172},
+		{Bits: 2048, PaperEnergy: -518114192, PaperSec: 0.0413},
+		{Bits: 4096, PaperEnergy: -1466369859, PaperSec: 1.04},
+		{Bits: 16384, PaperEnergy: -11631426556, PaperSec: 0.417, Relaxed: true},
+		{Bits: 32768, PaperEnergy: -33115098990, PaperSec: 1.79, Relaxed: true},
+	}
+}

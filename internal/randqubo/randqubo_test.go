@@ -1,0 +1,87 @@
+package randqubo
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(64, 7)
+	b := Generate(64, 7)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a.Weight(i, j) != b.Weight(i, j) {
+				t.Fatal("same-seed instances differ")
+			}
+		}
+	}
+	c := Generate(64, 8)
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		for j := 0; j < 64; j++ {
+			if a.Weight(i, j) != c.Weight(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestGenerateDenseSymmetricFullRange(t *testing.T) {
+	p := Generate(128, 3)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Density(); d < 0.99 {
+		t.Errorf("density %.3f, expected ~1 for 16-bit uniform weights", d)
+	}
+	sawNeg, sawPos, sawLarge := false, false, false
+	for i := 0; i < 128; i++ {
+		for j := i; j < 128; j++ {
+			w := p.Weight(i, j)
+			if w < 0 {
+				sawNeg = true
+			}
+			if w > 0 {
+				sawPos = true
+			}
+			if w > 16000 || w < -16000 {
+				sawLarge = true
+			}
+		}
+	}
+	if !sawNeg || !sawPos || !sawLarge {
+		t.Error("weights do not cover the 16-bit range")
+	}
+}
+
+func TestGenerateEnergyEvaluates(t *testing.T) {
+	p := Generate(96, 5)
+	x := bitvec.Random(96, rng.New(6))
+	lo, hi := p.EnergyBound()
+	e := p.Energy(x)
+	if e < lo || e > hi {
+		t.Errorf("energy %d outside bounds [%d, %d]", e, lo, hi)
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	sizes := PaperSizes()
+	if len(sizes) != 5 {
+		t.Fatalf("%d rows, want 5", len(sizes))
+	}
+	wantBits := []int{1024, 2048, 4096, 16384, 32768}
+	for i, s := range sizes {
+		if s.Bits != wantBits[i] {
+			t.Errorf("row %d bits = %d, want %d", i, s.Bits, wantBits[i])
+		}
+		if s.PaperEnergy >= 0 || s.PaperSec <= 0 {
+			t.Errorf("row %d has implausible paper values", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the ABS solver.
+//
+// The solver must be reproducible across runs and platforms given a seed,
+// so it does not use math/rand's global state. SplitMix64 is used for
+// seeding and cheap one-off streams; xoshiro256** is the workhorse
+// generator for the genetic algorithm and workload generators.
+//
+// The GPU-side search itself is deliberately RNG-free (the paper's
+// offset-window selection policy, §2.1/Fig. 2, avoids random numbers in
+// the hot loop); RNG is only needed on the host and in instance
+// generators.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the 64-bit SplitMix generator of Steele, Lea and Flood.
+// It is primarily used to expand a single user seed into independent
+// streams for xoshiro256** instances. The zero value is a valid generator
+// seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. It has a 256-bit state, passes
+// BigCrush, and is far faster than crypto-quality sources; combinatorial
+// search needs volume and reproducibility, not unpredictability.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a Rand whose state is derived from seed via SplitMix64, as
+// recommended by the xoshiro authors (directly seeding with low-entropy
+// values such as 0 or 1 would produce correlated early output).
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Uint64()
+	}
+	// The all-zero state is invalid for xoshiro; SplitMix64 cannot emit
+	// four consecutive zeros, but guard anyway for clarity.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split returns a new generator seeded from this one. Streams produced by
+// repeated Split calls are independent for practical purposes and keep
+// per-worker determinism regardless of scheduling order.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32-bit value (upper bits of Uint64).
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias without a
+// division in the common case.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Int16 returns a uniform int16 across the full 16-bit range
+// [-32768, 32767], the weight domain supported by the solver.
+func (r *Rand) Int16() int16 {
+	return int16(r.Uint64() >> 48)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform boolean.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice, using
+// the inside-out Fisher–Yates construction.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function, matching the contract of math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,160 @@
+// Package sa is the standalone simulated-annealing baseline solver used
+// in the Table 3 comparison and the ablation benchmarks: conventional SA
+// (Algorithm 2's metaheuristic on the incremental state) with restarts,
+// run in parallel across goroutines, but without the ABS ingredients —
+// no genetic algorithm, no straight search, no offset-window forced
+// flips. The gap between this solver and core.Solve isolates the
+// contribution of the paper's framework from the contribution of raw
+// parallelism.
+package sa
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// Workers is the number of parallel independent SA chains; zero
+	// means GOMAXPROCS.
+	Workers int
+	// StepsPerRun is the annealing length of one chain before restart.
+	StepsPerRun int
+	// T0 and T1 are the geometric schedule's endpoints. Zero values
+	// derive defaults from the instance's weight scale.
+	T0, T1 float64
+	// Seed makes runs reproducible per worker.
+	Seed uint64
+	// TargetEnergy stops early when reached (nil to disable).
+	TargetEnergy *int64
+	// MaxDuration bounds the wall-clock time; required.
+	MaxDuration time.Duration
+}
+
+// Result reports the baseline outcome.
+type Result struct {
+	Best          *bitvec.Vector
+	BestEnergy    int64
+	ReachedTarget bool
+	Elapsed       time.Duration
+	// Flips counts accepted flips across all chains; Evaluated counts
+	// proposal evaluations (one solution per proposal — SA evaluates
+	// one neighbour per step, unlike ABS's n per flip).
+	Flips     uint64
+	Evaluated uint64
+}
+
+// Solve runs parallel multi-restart simulated annealing on p.
+func Solve(p *qubo.Problem, opt Options) (*Result, error) {
+	if opt.MaxDuration <= 0 {
+		return nil, fmt.Errorf("sa: MaxDuration must be positive")
+	}
+	if opt.Workers == 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("sa: negative worker count")
+	}
+	if opt.StepsPerRun == 0 {
+		opt.StepsPerRun = 50 * p.N()
+	}
+	if opt.StepsPerRun < 0 {
+		return nil, fmt.Errorf("sa: negative StepsPerRun")
+	}
+	if opt.T0 == 0 || opt.T1 == 0 {
+		// Scale the schedule to typical Δ magnitudes: a random flip on a
+		// dense instance changes the energy by O(√n · E[|W|]).
+		_, hi := p.EnergyBound()
+		scale := float64(hi) / float64(p.N())
+		if scale < 1 {
+			scale = 1
+		}
+		if opt.T0 == 0 {
+			opt.T0 = scale
+		}
+		if opt.T1 == 0 {
+			opt.T1 = scale / 1e4
+			if opt.T1 <= 0 {
+				opt.T1 = 1e-6
+			}
+		}
+	}
+
+	type chainResult struct {
+		best  *bitvec.Vector
+		bestE int64
+		flips uint64
+		evals uint64
+	}
+	deadline := time.Now().Add(opt.MaxDuration)
+	results := make([]chainResult, opt.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(opt.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			sched := search.GeometricSchedule(opt.T0, opt.T1)
+			var best *bitvec.Vector
+			bestE := int64(0)
+			haveBest := false
+			var flips, evals uint64
+			for time.Now().Before(deadline) {
+				s := qubo.NewState(p, bitvec.Random(p.N(), r))
+				s.NoteCurrentAsBest()
+				// Run the chain in slices so the deadline and target are
+				// honoured mid-anneal.
+				const slice = 4096
+				for done := 0; done < opt.StepsPerRun; done += slice {
+					steps := slice
+					if rem := opt.StepsPerRun - done; rem < steps {
+						steps = rem
+					}
+					flips += uint64(search.Anneal(s, steps, sched, r))
+					evals += uint64(steps)
+					if !time.Now().Before(deadline) {
+						break
+					}
+					if opt.TargetEnergy != nil && s.BestEnergy() <= *opt.TargetEnergy {
+						break
+					}
+				}
+				if x, e, ok := s.Best(); ok && (!haveBest || e < bestE) {
+					best, bestE, haveBest = x, e, true
+				}
+				if opt.TargetEnergy != nil && haveBest && bestE <= *opt.TargetEnergy {
+					break
+				}
+			}
+			if !haveBest {
+				best = bitvec.New(p.N())
+				bestE = p.Energy(best)
+			}
+			results[w] = chainResult{best: best, bestE: bestE, flips: flips, evals: evals}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{Elapsed: time.Since(start)}
+	first := true
+	for _, cr := range results {
+		res.Flips += cr.flips
+		res.Evaluated += cr.evals
+		if cr.best != nil && (first || cr.bestE < res.BestEnergy) {
+			res.Best, res.BestEnergy = cr.best, cr.bestE
+			first = false
+		}
+	}
+	if opt.TargetEnergy != nil && res.Best != nil && res.BestEnergy <= *opt.TargetEnergy {
+		res.ReachedTarget = true
+	}
+	return res, nil
+}

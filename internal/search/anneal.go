@@ -1,0 +1,58 @@
+package search
+
+import (
+	"math"
+
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// Schedule maps a step index in [0, steps) to a temperature for
+// simulated annealing (Eq. 7's k_B·t, folded into one number).
+type Schedule func(step, steps int) float64
+
+// GeometricSchedule cools from t0 to t1 geometrically, the classic SA
+// schedule of Kirkpatrick et al. Both temperatures must be positive.
+func GeometricSchedule(t0, t1 float64) Schedule {
+	if t0 <= 0 || t1 <= 0 {
+		panic("search: geometric schedule needs positive temperatures")
+	}
+	lr := math.Log(t1 / t0)
+	return func(step, steps int) float64 {
+		if steps <= 1 {
+			return t0
+		}
+		return t0 * math.Exp(lr*float64(step)/float64(steps-1))
+	}
+}
+
+// LinearSchedule cools from t0 to t1 linearly.
+func LinearSchedule(t0, t1 float64) Schedule {
+	return func(step, steps int) float64 {
+		if steps <= 1 {
+			return t0
+		}
+		return t0 + (t1-t0)*float64(step)/float64(steps-1)
+	}
+}
+
+// Anneal runs simulated annealing on an incremental State: each step
+// proposes a uniformly random bit, evaluates the move in O(1) from the Δ
+// register file, and applies the Metropolis rule at the scheduled
+// temperature. Rejected proposals cost O(1); accepted flips cost O(n).
+// This is the State-backed version of Algorithm 2/3's metaheuristic,
+// used as the SA baseline in the Table 3 comparison.
+//
+// It returns the number of accepted flips.
+func Anneal(s qubo.Engine, steps int, sched Schedule, r *rng.Rand) int {
+	n := s.N()
+	accepted := 0
+	for i := 0; i < steps; i++ {
+		k := r.Intn(n)
+		if metropolis(s.Delta(k), sched(i, steps), r) {
+			s.Flip(k)
+			accepted++
+		}
+	}
+	return accepted
+}

@@ -1,0 +1,206 @@
+package search
+
+import (
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// AcceptFunc decides whether a candidate neighbour replaces the current
+// solution, the pluggable metaheuristic of Algorithms 1–3 ("return true
+// or false depending on metaheuristics"). curE and newE are E(X) and
+// E(flip_k(X)).
+type AcceptFunc func(curE, newE int64, r *rng.Rand) bool
+
+// AcceptDownhill accepts only strict improvements.
+func AcceptDownhill(curE, newE int64, _ *rng.Rand) bool { return newE < curE }
+
+// AcceptMetropolis returns an AcceptFunc implementing Eq. (7) at fixed
+// temperature t.
+func AcceptMetropolis(t float64) AcceptFunc {
+	return func(curE, newE int64, r *rng.Rand) bool {
+		return metropolis(newE-curE, t, r)
+	}
+}
+
+// OpStats records the instrumented cost of a search run, in units of
+// weight-matrix accesses — the "computational cost" of the paper's
+// search-efficiency analysis (Definition 1).
+type OpStats struct {
+	// Ops is the number of weight accesses performed.
+	Ops uint64
+	// Evaluated is the number of solutions whose energy became known
+	// (Definition 1's denominator).
+	Evaluated uint64
+	// Flips is the number of accepted moves.
+	Flips uint64
+}
+
+// Efficiency returns Ops / Evaluated, the measured search efficiency.
+func (o OpStats) Efficiency() float64 {
+	if o.Evaluated == 0 {
+		return 0
+	}
+	return float64(o.Ops) / float64(o.Evaluated)
+}
+
+// Result is the outcome of one standalone local-search run.
+type Result struct {
+	Best   *bitvec.Vector
+	BestE  int64
+	Stats  OpStats
+	FinalE int64
+	FinalX *bitvec.Vector
+}
+
+// energyOps is the instrumented O(n²) energy evaluation used by
+// Algorithm 1: it counts one op per weight access (full matrix scan,
+// exactly as the naive pseudocode's double sum).
+func energyOps(p *qubo.Problem, x *bitvec.Vector, ops *uint64) int64 {
+	n := p.N()
+	var e int64
+	for i := 0; i < n; i++ {
+		if x.Bit(i) == 0 {
+			*ops += uint64(n)
+			continue
+		}
+		row := p.Row(i)
+		for j := 0; j < n; j++ {
+			if x.Bit(j) == 1 {
+				e += int64(row[j])
+			}
+		}
+		*ops += uint64(n)
+	}
+	return e
+}
+
+// deltaOps is the instrumented O(n) evaluation of Eq. (10) used by
+// Algorithm 2.
+func deltaOps(p *qubo.Problem, x *bitvec.Vector, k int, ops *uint64) int64 {
+	n := p.N()
+	row := p.Row(k)
+	var s int64
+	for j := 0; j < n; j++ {
+		if j != k && x.Bit(j) == 1 {
+			s += int64(row[j])
+		}
+	}
+	*ops += uint64(n)
+	return qubo.Phi(x.Bit(k)) * (2*s + int64(row[k]))
+}
+
+// Naive runs Algorithm 1: every candidate energy is recomputed from
+// scratch with the O(n²) double sum, giving O(n²) search efficiency
+// (Lemma 1). steps is the iteration count m.
+func Naive(p *qubo.Problem, x0 *bitvec.Vector, steps int, accept AcceptFunc, r *rng.Rand) Result {
+	var st OpStats
+	x := x0.Clone()
+	e := energyOps(p, x, &st.Ops)
+	st.Evaluated++
+	best, bestE := x.Clone(), e
+	for i := 0; i < steps; i++ {
+		k := r.Intn(p.N())
+		x.Flip(k)
+		ne := energyOps(p, x, &st.Ops)
+		st.Evaluated++
+		if accept(e, ne, r) {
+			e = ne
+			st.Flips++
+			if e < bestE {
+				bestE = e
+				best.CopyFrom(x)
+			}
+		} else {
+			x.Flip(k) // reject: undo
+		}
+	}
+	return Result{Best: best, BestE: bestE, Stats: st, FinalE: e, FinalX: x}
+}
+
+// Diff runs Algorithm 2: candidate energies come from the O(n)
+// difference formula Eq. (10), giving O(n + n²/m) search efficiency
+// (Lemma 2).
+func Diff(p *qubo.Problem, x0 *bitvec.Vector, steps int, accept AcceptFunc, r *rng.Rand) Result {
+	var st OpStats
+	x := x0.Clone()
+	e := energyOps(p, x, &st.Ops) // initial O(n²) evaluation
+	st.Evaluated++
+	best, bestE := x.Clone(), e
+	for i := 0; i < steps; i++ {
+		k := r.Intn(p.N())
+		ne := e + deltaOps(p, x, k, &st.Ops)
+		st.Evaluated++
+		if accept(e, ne, r) {
+			x.Flip(k)
+			e = ne
+			st.Flips++
+			if e < bestE {
+				bestE = e
+				best.CopyFrom(x)
+			}
+		}
+	}
+	return Result{Best: best, BestE: bestE, Stats: st, FinalE: e, FinalX: x}
+}
+
+// Tracked runs Algorithm 3: the Δ register file is initialized from the
+// zero vector in O(n), walked to x0 (first half of the pseudocode), and
+// then maintained across flips with Eq. (6); each candidate costs O(1)
+// to evaluate but each accepted flip costs O(n), giving O(n) search
+// efficiency (Lemma 3) because only one solution is evaluated per step.
+func Tracked(p *qubo.Problem, x0 *bitvec.Vector, steps int, accept AcceptFunc, r *rng.Rand) Result {
+	var st OpStats
+	n := p.N()
+	s := qubo.NewZeroState(p)
+	// Walk 0 → x0, flipping each set bit (the "select a k-th bit such
+	// that x'_k = 1" loop). Each flip is an O(n) Eq. (6) update.
+	for _, k := range x0.Ones(nil) {
+		s.Flip(k)
+		st.Ops += uint64(n)
+		st.Evaluated++
+	}
+	e := s.Energy()
+	best, bestE := s.Snapshot(), e
+	for i := 0; i < steps; i++ {
+		k := r.Intn(n)
+		ne := e + s.Delta(k) // O(1) candidate evaluation
+		st.Evaluated++
+		if accept(e, ne, r) {
+			s.Flip(k)
+			st.Ops += uint64(n)
+			e = ne
+			st.Flips++
+			if e < bestE {
+				bestE = e
+				best.CopyFrom(s.X())
+			}
+		}
+	}
+	return Result{Best: best, BestE: bestE, Stats: st, FinalE: e, FinalX: s.Snapshot()}
+}
+
+// Bulk runs Algorithm 4 with instrumentation: the forced-flip loop under
+// a selection policy, where every flip costs O(n) and evaluates all n
+// neighbour energies (Eq. 5), giving O(1) search efficiency (Theorem 1).
+func Bulk(p *qubo.Problem, x0 *bitvec.Vector, steps int, policy Policy) Result {
+	var st OpStats
+	n := p.N()
+	s := qubo.NewZeroState(p)
+	st.Evaluated += uint64(n) // Δ_i(0) known for all i ⇒ n neighbours evaluated
+	walk := Straight(s, x0)
+	st.Ops += uint64(walk * n)
+	st.Evaluated += uint64(walk * n)
+	st.Flips += uint64(walk)
+	for i := 0; i < steps; i++ {
+		s.Flip(policy.Select(s))
+		st.Ops += uint64(n)
+		st.Evaluated += uint64(n)
+		st.Flips++
+	}
+	bx, be, ok := s.Best()
+	if !ok {
+		bx, be = s.Snapshot(), s.Energy()
+	}
+	return Result{Best: bx, BestE: be, Stats: st, FinalE: s.Energy(), FinalX: s.Snapshot()}
+}

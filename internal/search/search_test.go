@@ -1,0 +1,369 @@
+package search
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+func randomProblem(n int, seed uint64) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			p.SetWeight(i, j, int16(r.Intn(201)-100))
+		}
+	}
+	return p
+}
+
+func TestOffsetWindowAdvances(t *testing.T) {
+	p := randomProblem(10, 1)
+	s := qubo.NewZeroState(p)
+	pol := NewOffsetWindow(3)
+	if pol.Offset() != 0 {
+		t.Fatal("initial offset not 0")
+	}
+	pol.Select(s)
+	if pol.Offset() != 3 {
+		t.Errorf("offset after one select = %d, want 3", pol.Offset())
+	}
+	pol.Select(s)
+	pol.Select(s)
+	pol.Select(s)
+	if pol.Offset() != 2 { // 4*3 mod 10
+		t.Errorf("offset after four selects = %d, want 2", pol.Offset())
+	}
+}
+
+func TestOffsetWindowPicksWindowMin(t *testing.T) {
+	// Craft deltas via diagonal weights: Δ_i(0) = W_ii.
+	p := qubo.New(8)
+	diag := []int16{5, -2, 7, 1, -9, 3, 0, -1}
+	for i, d := range diag {
+		p.SetWeight(i, i, d)
+	}
+	s := qubo.NewZeroState(p)
+	pol := NewOffsetWindow(4)
+	// Window [0,4): min is Δ_1 = −2.
+	if k := pol.Select(s); k != 1 {
+		t.Errorf("first window picked %d, want 1", k)
+	}
+}
+
+func TestOffsetWindowClampsLength(t *testing.T) {
+	p := randomProblem(6, 2)
+	s := qubo.NewZeroState(p)
+	for _, l := range []int{0, -5, 100} {
+		pol := NewOffsetWindow(l)
+		k := pol.Select(s)
+		if k < 0 || k >= 6 {
+			t.Errorf("L=%d selected out-of-range bit %d", l, k)
+		}
+	}
+}
+
+func TestGreedyPicksGlobalMin(t *testing.T) {
+	p := qubo.New(5)
+	for i, d := range []int16{4, 3, -8, 0, 2} {
+		p.SetWeight(i, i, d)
+	}
+	s := qubo.NewZeroState(p)
+	if k := (Greedy{}).Select(s); k != 2 {
+		t.Errorf("greedy picked %d, want 2", k)
+	}
+}
+
+func TestGreedyEqualsFullWindow(t *testing.T) {
+	p := randomProblem(32, 3)
+	s := qubo.NewZeroState(p)
+	g := (Greedy{}).Select(s)
+	w := NewOffsetWindow(32).Select(s)
+	if g != w {
+		t.Errorf("greedy %d != full window %d", g, w)
+	}
+}
+
+func TestRandomBitInRange(t *testing.T) {
+	p := randomProblem(17, 4)
+	s := qubo.NewZeroState(p)
+	pol := &RandomBit{R: rng.New(5)}
+	for i := 0; i < 100; i++ {
+		if k := pol.Select(s); k < 0 || k >= 17 {
+			t.Fatalf("out of range selection %d", k)
+		}
+	}
+}
+
+func TestMetropolisWindowInRange(t *testing.T) {
+	p := randomProblem(23, 6)
+	s := qubo.NewZeroState(p)
+	pol := &MetropolisWindow{L: 5, T: 10, R: rng.New(7)}
+	for i := 0; i < 200; i++ {
+		k := pol.Select(s)
+		if k < 0 || k >= 23 {
+			t.Fatalf("out of range selection %d", k)
+		}
+		s.Flip(k)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunFlipsAndStaysConsistent(t *testing.T) {
+	p := randomProblem(40, 8)
+	s := qubo.NewZeroState(p)
+	n := Run(s, 250, NewOffsetWindow(8))
+	if n != 250 || s.Flips() != 250 {
+		t.Errorf("Run performed %d/%d flips, want 250", n, s.Flips())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunFindsSmallOptimum(t *testing.T) {
+	p := randomProblem(14, 9)
+	_, optE, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := qubo.NewZeroState(p)
+	Run(s, 2000, NewOffsetWindow(4))
+	if be := s.BestEnergy(); be != optE {
+		t.Errorf("bulk search best %d, optimum %d", be, optE)
+	}
+}
+
+func TestStraightReachesTarget(t *testing.T) {
+	p := randomProblem(50, 10)
+	s := qubo.NewZeroState(p)
+	target := bitvec.Random(50, rng.New(11))
+	want := s.X().Hamming(target)
+	flips := Straight(s, target)
+	if flips != want {
+		t.Errorf("straight search used %d flips, want Hamming distance %d", flips, want)
+	}
+	if !s.X().Equal(target) {
+		t.Error("straight search did not arrive at target")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStraightNoOpOnEqualTarget(t *testing.T) {
+	p := randomProblem(12, 12)
+	s := qubo.NewZeroState(p)
+	if flips := Straight(s, bitvec.New(12)); flips != 0 {
+		t.Errorf("straight to identical target flipped %d times", flips)
+	}
+}
+
+func TestStraightTracksBest(t *testing.T) {
+	// Straight search must record intermediate solutions better than the
+	// endpoints: force a valley between 0 and the target.
+	p := qubo.New(3)
+	p.SetWeight(0, 0, -10) // flipping bit 0 first gives E = −10
+	p.SetWeight(1, 1, 2)
+	p.SetWeight(0, 1, 20) // both set is terrible
+	s := qubo.NewZeroState(p)
+	target, _ := bitvec.FromString("110")
+	Straight(s, target)
+	_, be, ok := s.Best()
+	if !ok {
+		t.Fatal("no best tracked")
+	}
+	if be > -10 {
+		t.Errorf("straight search missed the valley: best %d, want ≤ −10", be)
+	}
+}
+
+func TestQuickStraightFlipCountEqualsHamming(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%60)
+		p := randomProblem(n, seed)
+		start := bitvec.Random(n, rng.New(seed+1))
+		target := bitvec.Random(n, rng.New(seed+2))
+		s := qubo.NewState(p, start)
+		want := start.Hamming(target)
+		return Straight(s, target) == want && s.X().Equal(target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaiveDiffTrackedAgree(t *testing.T) {
+	// With the same RNG sequence and always-accept, Algorithms 1, 2 and 3
+	// visit the same solutions; their energies must agree exactly.
+	p := randomProblem(20, 13)
+	x0 := bitvec.Random(20, rng.New(14))
+	alwaysAccept := func(_, _ int64, _ *rng.Rand) bool { return true }
+	r1 := Naive(p, x0, 100, alwaysAccept, rng.New(15))
+	r2 := Diff(p, x0, 100, alwaysAccept, rng.New(15))
+	r3 := Tracked(p, x0, 100, alwaysAccept, rng.New(15))
+	if r1.FinalE != r2.FinalE || r2.FinalE != r3.FinalE {
+		t.Errorf("final energies disagree: %d / %d / %d", r1.FinalE, r2.FinalE, r3.FinalE)
+	}
+	if r1.BestE != r2.BestE || r2.BestE != r3.BestE {
+		t.Errorf("best energies disagree: %d / %d / %d", r1.BestE, r2.BestE, r3.BestE)
+	}
+	if !r1.FinalX.Equal(r2.FinalX) || !r2.FinalX.Equal(r3.FinalX) {
+		t.Error("final solutions disagree")
+	}
+}
+
+func TestSearchEfficiencyOrdering(t *testing.T) {
+	// Lemma 1 vs Lemma 2 vs Lemma 3 vs Theorem 1: measured efficiency
+	// must be strictly ordered naive > diff > tracked > bulk for
+	// reasonably large n and m.
+	p := randomProblem(64, 16)
+	x0 := bitvec.Random(64, rng.New(17))
+	steps := 200
+	eNaive := Naive(p, x0, steps, AcceptDownhill, rng.New(18)).Stats.Efficiency()
+	eDiff := Diff(p, x0, steps, AcceptDownhill, rng.New(18)).Stats.Efficiency()
+	eTracked := Tracked(p, x0, steps, AcceptDownhill, rng.New(18)).Stats.Efficiency()
+	eBulk := Bulk(p, x0, steps, NewOffsetWindow(8)).Stats.Efficiency()
+	if !(eNaive > eDiff && eDiff > eTracked && eTracked > eBulk) {
+		t.Errorf("efficiency ordering violated: naive=%.1f diff=%.1f tracked=%.1f bulk=%.1f",
+			eNaive, eDiff, eTracked, eBulk)
+	}
+	// Theorem 1: bulk efficiency is O(1) — a small constant, certainly
+	// below 2 weight-accesses per evaluated solution.
+	if eBulk > 2 {
+		t.Errorf("bulk efficiency %.2f not O(1)-like", eBulk)
+	}
+	// Lemma 1: naive efficiency ~ n² = 4096.
+	if eNaive < float64(64*64)/2 {
+		t.Errorf("naive efficiency %.1f suspiciously low for n=64", eNaive)
+	}
+}
+
+func TestBulkBestMatchesStateEnergy(t *testing.T) {
+	p := randomProblem(30, 19)
+	x0 := bitvec.Random(30, rng.New(20))
+	res := Bulk(p, x0, 300, NewOffsetWindow(6))
+	if got := p.Energy(res.Best); got != res.BestE {
+		t.Errorf("best vector energy %d != reported %d", got, res.BestE)
+	}
+	if got := p.Energy(res.FinalX); got != res.FinalE {
+		t.Errorf("final vector energy %d != reported %d", got, res.FinalE)
+	}
+	if res.BestE > res.FinalE {
+		t.Error("best worse than final")
+	}
+}
+
+func TestAcceptDownhill(t *testing.T) {
+	if !AcceptDownhill(5, 4, nil) || AcceptDownhill(5, 5, nil) || AcceptDownhill(5, 6, nil) {
+		t.Error("AcceptDownhill wrong")
+	}
+}
+
+func TestAcceptMetropolisLimits(t *testing.T) {
+	r := rng.New(21)
+	acc := AcceptMetropolis(1)
+	if !acc(10, 5, r) {
+		t.Error("improvement rejected")
+	}
+	// At tiny temperature, large uphill moves are (essentially) never
+	// accepted.
+	cold := AcceptMetropolis(1e-9)
+	for i := 0; i < 100; i++ {
+		if cold(0, 1000, r) {
+			t.Fatal("cold Metropolis accepted a huge uphill move")
+		}
+	}
+	// At huge temperature, uphill moves are almost always accepted.
+	hot := AcceptMetropolis(1e12)
+	rejected := 0
+	for i := 0; i < 1000; i++ {
+		if !hot(0, 10, r) {
+			rejected++
+		}
+	}
+	if rejected > 10 {
+		t.Errorf("hot Metropolis rejected %d/1000 tiny uphill moves", rejected)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	g := GeometricSchedule(100, 1)
+	if g(0, 11) != 100 {
+		t.Errorf("geometric start = %v", g(0, 11))
+	}
+	if end := g(10, 11); end < 0.999 || end > 1.001 {
+		t.Errorf("geometric end = %v, want 1", end)
+	}
+	l := LinearSchedule(100, 0)
+	if l(0, 5) != 100 || l(4, 5) != 0 {
+		t.Errorf("linear endpoints wrong: %v, %v", l(0, 5), l(4, 5))
+	}
+	if l(2, 5) != 50 {
+		t.Errorf("linear midpoint = %v, want 50", l(2, 5))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeometricSchedule accepted non-positive temperature")
+		}
+	}()
+	GeometricSchedule(0, 1)
+}
+
+func TestAnnealImprovesAndStaysConsistent(t *testing.T) {
+	p := randomProblem(48, 22)
+	x0 := bitvec.Random(48, rng.New(23))
+	s := qubo.NewState(p, x0)
+	s.NoteCurrentAsBest()
+	e0 := s.Energy()
+	Anneal(s, 5000, GeometricSchedule(500, 0.1), rng.New(24))
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BestEnergy() > e0 {
+		t.Errorf("annealing never improved: best %d, start %d", s.BestEnergy(), e0)
+	}
+}
+
+func TestAnnealFindsSmallOptimum(t *testing.T) {
+	p := randomProblem(12, 25)
+	_, optE, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := qubo.NewZeroState(p)
+	s.NoteCurrentAsBest()
+	Anneal(s, 20000, GeometricSchedule(300, 0.01), rng.New(26))
+	if s.BestEnergy() != optE {
+		t.Errorf("SA best %d, optimum %d", s.BestEnergy(), optE)
+	}
+}
+
+func BenchmarkRunOffsetWindow1k(b *testing.B) {
+	p := randomProblem(1024, 1)
+	s := qubo.NewZeroState(p)
+	pol := NewOffsetWindow(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Flip(pol.Select(s))
+	}
+}
+
+func BenchmarkStraight1k(b *testing.B) {
+	p := randomProblem(1024, 1)
+	r := rng.New(2)
+	targets := make([]*bitvec.Vector, 8)
+	for i := range targets {
+		targets[i] = bitvec.Random(1024, r)
+	}
+	s := qubo.NewZeroState(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Straight(s, targets[i&7])
+	}
+}

@@ -1,0 +1,44 @@
+package search
+
+import (
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// Straight performs the straight search of Algorithm 5: starting from
+// the state's current solution X, it repeatedly flips — among the bits
+// where X still differs from target — the one with the minimum Δ, until
+// X equals target. The number of flips equals the Hamming distance, each
+// flip reuses the Δ register file, and best-solution tracking continues
+// throughout, so the walk both repositions the search unit on the next
+// GA target and keeps searching while it travels (§2.2.2). Visited
+// solutions cannot repeat (the distance shrinks by one per step), which
+// also lets the walk escape local minima.
+//
+// It returns the number of flips performed.
+func Straight(s qubo.Engine, target *bitvec.Vector) int {
+	if target.Len() != s.N() {
+		panic("search: straight-search target length mismatch")
+	}
+	// Collect the differing bit positions once; each flip removes
+	// exactly one entry (flipping bit k makes x_k == target_k, and no
+	// other position's agreement changes).
+	diff := s.X().DiffBits(nil, target)
+	d := s.Deltas()
+	flips := 0
+	for len(diff) > 0 {
+		// Greedily select the pending bit with minimum Δ (Algorithm 5
+		// line 3).
+		best := 0
+		for i := 1; i < len(diff); i++ {
+			if d[diff[i]] < d[diff[best]] {
+				best = i
+			}
+		}
+		s.Flip(diff[best])
+		diff[best] = diff[len(diff)-1]
+		diff = diff[:len(diff)-1]
+		flips++
+	}
+	return flips
+}

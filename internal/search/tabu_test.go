@@ -1,0 +1,113 @@
+package search
+
+import (
+	"testing"
+
+	"abs/internal/qubo"
+)
+
+func TestTabuWindowExcludesRecentFlips(t *testing.T) {
+	// Diagonal-only instance: Δ_i(X) flips sign with x_i, so after
+	// flipping the minimum, plain window selection would immediately
+	// flip something else; with a long tenure the same bit must not be
+	// re-picked while tabu.
+	p := qubo.New(6)
+	for i, d := range []int16{-10, -9, -8, -7, -6, -5} {
+		p.SetWeight(i, i, d)
+	}
+	s := qubo.NewZeroState(p)
+	pol := NewTabuWindow(6, 4)
+	seen := make(map[int]bool)
+	for step := 0; step < 4; step++ {
+		k := pol.Select(s)
+		if seen[k] {
+			t.Fatalf("step %d re-selected tabu bit %d", step, k)
+		}
+		seen[k] = true
+		s.Flip(k)
+	}
+}
+
+func TestTabuWindowAspiration(t *testing.T) {
+	// A tabu bit whose flip beats the best-known energy must be
+	// allowed through.
+	p := qubo.New(2)
+	p.SetWeight(0, 0, -100)
+	p.SetWeight(1, 1, 1)
+	s := qubo.NewZeroState(p)
+	pol := NewTabuWindow(2, 2)
+	k1 := pol.Select(s) // picks 0 (Δ=-100), makes it tabu
+	if k1 != 0 {
+		t.Fatalf("first pick %d, want 0", k1)
+	}
+	s.Flip(0) // E=-100, best=-100 (or lower neighbour)
+	// Now Δ_0 = +100, Δ_1 = 1: picks 1.
+	k2 := pol.Select(s)
+	if k2 != 1 {
+		t.Fatalf("second pick %d, want 1", k2)
+	}
+	s.Flip(1) // E=-99
+	// Both bits tabu now. Δ_0 = +100, Δ_1 = −1. Neither beats best
+	// (E+Δ_1 = −100 = best, not <). Whole window tabu → fallback to
+	// window min, which is bit 1.
+	k3 := pol.Select(s)
+	if k3 != 1 {
+		t.Fatalf("third pick %d, want fallback 1", k3)
+	}
+}
+
+func TestTabuWindowZeroTenureMatchesOffsetWindow(t *testing.T) {
+	p := randomProblem(40, 61)
+	s1 := qubo.NewZeroState(p)
+	s2 := qubo.NewZeroState(p)
+	a := NewOffsetWindow(8)
+	b := NewTabuWindow(8, 0)
+	for step := 0; step < 200; step++ {
+		ka, kb := a.Select(s1), b.Select(s2)
+		if ka != kb {
+			t.Fatalf("step %d: offset %d vs tabu-0 %d", step, ka, kb)
+		}
+		s1.Flip(ka)
+		s2.Flip(kb)
+	}
+}
+
+func TestTabuWindowStaysInRangeAndConsistent(t *testing.T) {
+	p := randomProblem(64, 62)
+	s := qubo.NewZeroState(p)
+	pol := NewTabuWindow(16, 10)
+	for step := 0; step < 500; step++ {
+		k := pol.Select(s)
+		if k < 0 || k >= 64 {
+			t.Fatalf("selection %d out of range", k)
+		}
+		s.Flip(k)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if len(pol.tabu) == 0 {
+		t.Error("tabu memory never populated")
+	}
+	total := 0
+	for _, c := range pol.tabu {
+		total += c
+	}
+	if total != len(pol.ring) || len(pol.ring) > 10 {
+		t.Errorf("tabu bookkeeping broken: %d entries, ring %d", total, len(pol.ring))
+	}
+}
+
+func TestTabuImprovesOnCyclingInstance(t *testing.T) {
+	// On a random instance with a small window, tabu search must at
+	// least match plain window search's best energy given the same
+	// budget — it cannot waste moves undoing itself.
+	p := randomProblem(48, 63)
+	s1 := qubo.NewZeroState(p)
+	s2 := qubo.NewZeroState(p)
+	Run(s1, 2000, NewOffsetWindow(4))
+	Run(s2, 2000, NewTabuWindow(4, 12))
+	if s2.BestEnergy() > s1.BestEnergy()+1000 {
+		t.Errorf("tabu (%d) much worse than plain window (%d)", s2.BestEnergy(), s1.BestEnergy())
+	}
+}

@@ -1,0 +1,194 @@
+package tsp
+
+import (
+	"fmt"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+)
+
+// Encoding captures the QUBO encoding of a TSP instance (§4.1.2,
+// Fig. 7): a c-city tour becomes n = (c−1)² bits, where bit (i, j) means
+// "city i is visited at order j". The last city is pinned to the last
+// position (the paper omits city E "for reducing the number of bits"),
+// so rows and columns range over the first c−1 cities and orders.
+//
+// The QUBO weights encode E(X) = 2·(A·P(X) + L(X)) − 4·A·(c−1), where
+// P(X) counts the squared one-hot violations of every row and column,
+// L(X) is the tour length, and A = 2·MaxDist is the paper's penalty.
+// For any valid tour P = 0, so E = 2L − 4A(c−1) and the QUBO minimum
+// decodes to the optimal tour.
+type Encoding struct {
+	inst    *Instance
+	problem *qubo.Problem
+	// A is the penalty weight.
+	A int64
+}
+
+// Vars returns the number of QUBO variables, (c−1)².
+func (e *Encoding) Vars() int { return (e.inst.c - 1) * (e.inst.c - 1) }
+
+// Problem returns the encoded QUBO instance.
+func (e *Encoding) Problem() *qubo.Problem { return e.problem }
+
+// Instance returns the source TSP instance.
+func (e *Encoding) Instance() *Instance { return e.inst }
+
+// varIndex maps (city i, order j) with i, j ∈ [0, c−1) to a bit index.
+func (e *Encoding) varIndex(i, j int) int { return i*(e.inst.c-1) + j }
+
+// Encode builds the QUBO encoding. It fails when the instance's maximum
+// distance pushes any weight outside the 16-bit domain (the diagonal
+// holds −4A = −8·MaxDist, so MaxDist must be ≤ 4095).
+func Encode(t *Instance) (*Encoding, error) {
+	c := t.c
+	k := c - 1 // cities/orders covered by variables
+	a := 2 * int64(t.MaxDist())
+	if a == 0 {
+		return nil, fmt.Errorf("tsp: instance %q has zero maximum distance", t.name)
+	}
+	enc := &Encoding{inst: t, A: a}
+	p := qubo.New(k * k)
+	p.SetName(t.name + "-qubo")
+	enc.problem = p
+
+	add := func(u, v int, w int64) error {
+		if w > 32767 || w < -32768 {
+			return fmt.Errorf("tsp: weight %d outside 16-bit range (MaxDist %d too large)", w, t.MaxDist())
+		}
+		return p.AddWeight(u, v, int16(w))
+	}
+
+	// One-hot penalties: each variable sits in one row (city) and one
+	// column (order) group; F's linear coefficient is −A per group, so
+	// the E-diagonal gets 2·(−2A) = −4A. Pairs within a group carry
+	// coefficient 2A in F, hence W = 2A.
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if err := add(enc.varIndex(i, j), enc.varIndex(i, j), -4*a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < k; i++ { // row (city) groups
+		for j1 := 0; j1 < k; j1++ {
+			for j2 := j1 + 1; j2 < k; j2++ {
+				if err := add(enc.varIndex(i, j1), enc.varIndex(i, j2), 2*a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for j := 0; j < k; j++ { // column (order) groups
+		for i1 := 0; i1 < k; i1++ {
+			for i2 := i1 + 1; i2 < k; i2++ {
+				if err := add(enc.varIndex(i1, j), enc.varIndex(i2, j), 2*a); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Tour length. Consecutive orders j → j+1 contribute d(i1, i2) per
+	// ordered city pair; W holds the pair coefficient directly because
+	// E double-counts off-diagonal weights (E = 2F).
+	for j := 0; j+1 < k; j++ {
+		for i1 := 0; i1 < k; i1++ {
+			for i2 := 0; i2 < k; i2++ {
+				if i1 == i2 {
+					continue
+				}
+				if err := add(enc.varIndex(i1, j), enc.varIndex(i2, j+1), int64(t.Dist(i1, i2))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Edges through the pinned last city: last → order-0 city and
+	// order-(k−1) city → last. These are linear in F (coefficient
+	// d(i, c−1)), so the E-diagonal gets 2·d.
+	last := c - 1
+	for i := 0; i < k; i++ {
+		if err := add(enc.varIndex(i, 0), enc.varIndex(i, 0), 2*int64(t.Dist(last, i))); err != nil {
+			return nil, err
+		}
+		if err := add(enc.varIndex(i, k-1), enc.varIndex(i, k-1), 2*int64(t.Dist(i, last))); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+// EnergyForLength returns the QUBO energy of a valid tour of the given
+// length: E = 2L − 4A(c−1). Use it to translate target tour lengths
+// into solver target energies.
+func (e *Encoding) EnergyForLength(l int64) int64 {
+	return 2*l - 4*e.A*int64(e.inst.c-1)
+}
+
+// LengthFromEnergy inverts EnergyForLength; it is only meaningful for
+// energies of valid (penalty-free) assignments.
+func (e *Encoding) LengthFromEnergy(en int64) int64 {
+	return (en + 4*e.A*int64(e.inst.c-1)) / 2
+}
+
+// EncodeTour returns the bit vector representing a tour, which must end
+// at the pinned city c−1 ... the tour is rotated so that city c−1 takes
+// the last position.
+func (e *Encoding) EncodeTour(tour []int) (*bitvec.Vector, error) {
+	if err := e.inst.ValidateTour(tour); err != nil {
+		return nil, err
+	}
+	c := e.inst.c
+	// Rotate so the pinned city lands at position c−1.
+	pos := -1
+	for i, city := range tour {
+		if city == c-1 {
+			pos = i
+			break
+		}
+	}
+	rot := make([]int, c)
+	for i := range rot {
+		rot[i] = tour[(pos+1+i)%c]
+	}
+	x := bitvec.New(e.Vars())
+	for j := 0; j < c-1; j++ {
+		x.Set(e.varIndex(rot[j], j), 1)
+	}
+	return x, nil
+}
+
+// DecodeTour converts a QUBO solution to a tour. It fails when the
+// assignment violates the one-hot constraints (an invalid solution the
+// penalties did not suppress).
+func (e *Encoding) DecodeTour(x *bitvec.Vector) ([]int, error) {
+	if x.Len() != e.Vars() {
+		return nil, fmt.Errorf("tsp: %d-bit vector for %d-variable encoding", x.Len(), e.Vars())
+	}
+	c := e.inst.c
+	k := c - 1
+	tour := make([]int, c)
+	cityUsed := make([]bool, k)
+	for j := 0; j < k; j++ {
+		city := -1
+		for i := 0; i < k; i++ {
+			if x.Bit(e.varIndex(i, j)) == 1 {
+				if city >= 0 {
+					return nil, fmt.Errorf("tsp: order %d has multiple cities", j)
+				}
+				city = i
+			}
+		}
+		if city < 0 {
+			return nil, fmt.Errorf("tsp: order %d has no city", j)
+		}
+		if cityUsed[city] {
+			return nil, fmt.Errorf("tsp: city %d appears at multiple orders", city)
+		}
+		cityUsed[city] = true
+		tour[j] = city
+	}
+	tour[c-1] = c - 1
+	return tour, nil
+}

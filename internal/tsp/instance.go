@@ -1,0 +1,178 @@
+// Package tsp implements the traveling-salesman benchmark of §4.1.2: a
+// TSPLIB parser, distance functions, the (c−1)²-bit QUBO encoding with
+// doubled-maximum-distance penalties used by the paper, tour decoding
+// and verification, and exact (Held–Karp) and heuristic (nearest
+// neighbour + 2-opt) reference solvers that supply target tour lengths.
+//
+// The genuine TSPLIB files are a download (the module is offline), so
+// experiments default to deterministic synthetic Euclidean instances at
+// the paper's five sizes; ReadTSPLIB accepts genuine files when
+// available.
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"abs/internal/rng"
+)
+
+// Instance is a symmetric TSP instance with integer distances.
+type Instance struct {
+	name string
+	c    int
+	// dist is the dense c×c symmetric distance matrix with a zero
+	// diagonal.
+	dist []int32
+}
+
+// NewInstance returns a c-city instance with all-zero distances.
+func NewInstance(c int) *Instance {
+	if c < 3 {
+		panic(fmt.Sprintf("tsp: instance needs at least 3 cities, got %d", c))
+	}
+	return &Instance{c: c, dist: make([]int32, c*c)}
+}
+
+// Cities returns the number of cities.
+func (t *Instance) Cities() int { return t.c }
+
+// Name returns the instance label.
+func (t *Instance) Name() string { return t.name }
+
+// SetName labels the instance.
+func (t *Instance) SetName(s string) { t.name = s }
+
+// Dist returns the distance between cities i and j.
+func (t *Instance) Dist(i, j int) int32 { return t.dist[i*t.c+j] }
+
+// SetDist assigns the symmetric distance between distinct cities i, j.
+func (t *Instance) SetDist(i, j int, d int32) {
+	if i == j {
+		panic("tsp: cannot set diagonal distance")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("tsp: negative distance %d", d))
+	}
+	t.dist[i*t.c+j] = d
+	t.dist[j*t.c+i] = d
+}
+
+// MaxDist returns the largest pairwise distance, the basis of the
+// paper's penalty ("twice as much as the maximum distance", §4.1.2).
+func (t *Instance) MaxDist() int32 {
+	var m int32
+	for _, d := range t.dist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TourLength returns the length of the closed tour visiting the cities
+// in the given order. The tour must be a permutation of [0, c).
+func (t *Instance) TourLength(tour []int) (int64, error) {
+	if err := t.ValidateTour(tour); err != nil {
+		return 0, err
+	}
+	var l int64
+	for i, city := range tour {
+		next := tour[(i+1)%len(tour)]
+		l += int64(t.Dist(city, next))
+	}
+	return l, nil
+}
+
+// ValidateTour checks that tour is a permutation of all cities.
+func (t *Instance) ValidateTour(tour []int) error {
+	if len(tour) != t.c {
+		return fmt.Errorf("tsp: tour visits %d cities, instance has %d", len(tour), t.c)
+	}
+	seen := make([]bool, t.c)
+	for _, city := range tour {
+		if city < 0 || city >= t.c {
+			return fmt.Errorf("tsp: tour contains invalid city %d", city)
+		}
+		if seen[city] {
+			return fmt.Errorf("tsp: tour visits city %d twice", city)
+		}
+		seen[city] = true
+	}
+	return nil
+}
+
+// EuclidDistance is the TSPLIB EUC_2D rounding rule: the Euclidean
+// distance rounded to the nearest integer.
+func EuclidDistance(x1, y1, x2, y2 float64) int32 {
+	dx, dy := x1-x2, y1-y2
+	return int32(math.Round(math.Sqrt(dx*dx + dy*dy)))
+}
+
+// GeoDistance is the TSPLIB GEO rule: coordinates are DDD.MM
+// (degrees.minutes), converted to radians, and the distance is computed
+// on an idealized sphere of radius 6378.388 km, truncated to an
+// integer.
+func GeoDistance(lat1, lon1, lat2, lon2 float64) int32 {
+	const rrr = 6378.388
+	toRad := func(x float64) float64 {
+		deg := math.Trunc(x)
+		min := x - deg
+		return math.Pi * (deg + 5.0*min/3.0) / 180.0
+	}
+	la1, lo1 := toRad(lat1), toRad(lon1)
+	la2, lo2 := toRad(lat2), toRad(lon2)
+	q1 := math.Cos(lo1 - lo2)
+	q2 := math.Cos(la1 - la2)
+	q3 := math.Cos(la1 + la2)
+	return int32(rrr*math.Acos(0.5*((1.0+q1)*q2-(1.0-q1)*q3)) + 1.0)
+}
+
+// AttDistance is the TSPLIB ATT pseudo-Euclidean rule.
+func AttDistance(x1, y1, x2, y2 float64) int32 {
+	dx, dy := x1-x2, y1-y2
+	rij := math.Sqrt((dx*dx + dy*dy) / 10.0)
+	tij := math.Round(rij)
+	if tij < rij {
+		return int32(tij) + 1
+	}
+	return int32(tij)
+}
+
+// FromCoords builds an instance from planar coordinates using the given
+// distance rule.
+func FromCoords(xs, ys []float64, rule func(x1, y1, x2, y2 float64) int32) (*Instance, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("tsp: coordinate slices differ in length")
+	}
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("tsp: need at least 3 cities, got %d", len(xs))
+	}
+	t := NewInstance(len(xs))
+	for i := 0; i < t.c; i++ {
+		for j := i + 1; j < t.c; j++ {
+			t.SetDist(i, j, rule(xs[i], ys[i], xs[j], ys[j]))
+		}
+	}
+	return t, nil
+}
+
+// RandomEuclidean generates a deterministic random EUC_2D instance with
+// coordinates in [0, 1000)², the synthetic stand-in for TSPLIB
+// downloads. The resulting maximum distance (≤ ⌈1000·√2⌉) keeps the
+// QUBO weights inside the 16-bit domain.
+func RandomEuclidean(c int, seed uint64) *Instance {
+	r := rng.New(seed)
+	xs := make([]float64, c)
+	ys := make([]float64, c)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+		ys[i] = r.Float64() * 1000
+	}
+	t, err := FromCoords(xs, ys, EuclidDistance)
+	if err != nil {
+		panic(err) // impossible: lengths match and c ≥ 3 is checked by callers
+	}
+	t.SetName(fmt.Sprintf("rande%d-s%d", c, seed))
+	return t
+}

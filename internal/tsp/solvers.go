@@ -1,0 +1,152 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"abs/internal/rng"
+)
+
+// HeldKarpMaxCities bounds the exact DP solver: 2^(c−1)·(c−1)² time and
+// 2^(c−1)·(c−1) memory. 18 cities ≈ 40 M states, comfortably under a
+// second.
+const HeldKarpMaxCities = 18
+
+// HeldKarp solves the instance exactly with the Held–Karp dynamic
+// program and returns an optimal tour (starting at city 0) and its
+// length.
+func HeldKarp(t *Instance) ([]int, int64, error) {
+	c := t.c
+	if c > HeldKarpMaxCities {
+		return nil, 0, fmt.Errorf("tsp: Held–Karp limited to %d cities, got %d", HeldKarpMaxCities, c)
+	}
+	// dp[mask][i]: shortest path from city 0 through exactly the cities
+	// of mask (over cities 1..c−1), ending at city i+1.
+	k := c - 1
+	size := 1 << uint(k)
+	const inf = math.MaxInt64 / 4
+	dp := make([]int64, size*k)
+	parent := make([]int8, size*k)
+	for i := range dp {
+		dp[i] = inf
+	}
+	for i := 0; i < k; i++ {
+		dp[(1<<uint(i))*k+i] = int64(t.Dist(0, i+1))
+		parent[(1<<uint(i))*k+i] = -1
+	}
+	for mask := 1; mask < size; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<uint(i)) == 0 || dp[mask*k+i] == inf {
+				continue
+			}
+			base := dp[mask*k+i]
+			for j := 0; j < k; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(j)
+				cand := base + int64(t.Dist(i+1, j+1))
+				if cand < dp[nm*k+j] {
+					dp[nm*k+j] = cand
+					parent[nm*k+j] = int8(i)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestI, bestL := -1, int64(inf)
+	for i := 0; i < k; i++ {
+		if l := dp[full*k+i] + int64(t.Dist(i+1, 0)); l < bestL {
+			bestI, bestL = i, l
+		}
+	}
+	// Reconstruct.
+	tour := make([]int, c)
+	mask, i := full, bestI
+	for pos := c - 1; pos >= 1; pos-- {
+		tour[pos] = i + 1
+		pi := parent[mask*k+i]
+		mask &^= 1 << uint(i)
+		i = int(pi)
+	}
+	tour[0] = 0
+	return tour, bestL, nil
+}
+
+// NearestNeighbour returns the greedy tour starting from the given
+// city.
+func NearestNeighbour(t *Instance, start int) []int {
+	c := t.c
+	tour := make([]int, 0, c)
+	used := make([]bool, c)
+	cur := start
+	tour = append(tour, cur)
+	used[cur] = true
+	for len(tour) < c {
+		best, bestD := -1, int32(math.MaxInt32)
+		for v := 0; v < c; v++ {
+			if !used[v] && t.Dist(cur, v) < bestD {
+				best, bestD = v, t.Dist(cur, v)
+			}
+		}
+		tour = append(tour, best)
+		used[best] = true
+		cur = best
+	}
+	return tour
+}
+
+// TwoOpt improves tour in place with 2-opt moves until no improving
+// move exists, and returns the resulting length.
+func TwoOpt(t *Instance, tour []int) int64 {
+	c := len(tour)
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < c-1; i++ {
+			for j := i + 2; j < c; j++ {
+				if i == 0 && j == c-1 {
+					continue // same edge pair
+				}
+				a, b := tour[i], tour[i+1]
+				d, e := tour[j], tour[(j+1)%c]
+				delta := int64(t.Dist(a, d)) + int64(t.Dist(b, e)) -
+					int64(t.Dist(a, b)) - int64(t.Dist(d, e))
+				if delta < 0 {
+					// Reverse segment tour[i+1..j].
+					for l, r := i+1, j; l < r; l, r = l+1, r-1 {
+						tour[l], tour[r] = tour[r], tour[l]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	l, err := t.TourLength(tour)
+	if err != nil {
+		panic("tsp: 2-opt corrupted the tour: " + err.Error())
+	}
+	return l
+}
+
+// BestKnown computes a reference tour for target-setting: exact for
+// instances within Held–Karp reach, otherwise the best of `starts`
+// randomized nearest-neighbour + 2-opt descents. The second return is
+// true when the value is provably optimal.
+func BestKnown(t *Instance, starts int, seed uint64) (int64, bool) {
+	if t.c <= HeldKarpMaxCities {
+		_, l, err := HeldKarp(t)
+		if err == nil {
+			return l, true
+		}
+	}
+	r := rng.New(seed)
+	best := int64(math.MaxInt64)
+	for s := 0; s < starts; s++ {
+		tour := NearestNeighbour(t, r.Intn(t.c))
+		if l := TwoOpt(t, tour); l < best {
+			best = l
+		}
+	}
+	return best, false
+}
