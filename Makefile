@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# The standard gate: everything a change must pass before it lands.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) run ./cmd/abs-bench -all -scale quick

@@ -1,6 +1,7 @@
 package abs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -78,6 +79,13 @@ func PaperOptions() Options { return core.PaperOptions() }
 
 // Solve runs the Adaptive Bulk Search until a stop condition fires.
 func Solve(p *Problem, opt Options) (*Result, error) { return core.Solve(p, opt) }
+
+// SolveContext is Solve with cooperative cancellation: when ctx is
+// cancelled the run shuts down cleanly (all simulated blocks joined)
+// and the partial Result is returned with Cancelled set.
+func SolveContext(ctx context.Context, p *Problem, opt Options) (*Result, error) {
+	return core.SolveContext(ctx, p, opt)
+}
 
 // SolveFor is a convenience wrapper: best solution within a wall-clock
 // budget.

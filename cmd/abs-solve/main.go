@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"abs/internal/bitvec"
@@ -47,17 +51,34 @@ func main() {
 		showSolution  = flag.Bool("solution", false, "print the solution bit vector")
 		verbose       = flag.Bool("v", false, "print progress once per second")
 		presolve      = flag.Bool("presolve", false, "apply persistency-based variable fixing before solving")
+		trustDevices  = flag.Bool("trust-devices", false, "skip host-side publication validation (the paper's pure §3.1 protocol)")
+		grace         = flag.Duration("grace", 0, "supervisor grace period before a silent block is respawned (0 = default 2s)")
 	)
 	flag.Parse()
 	if *file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*file, *format, *budget, *target, *hasTarget, *gpus, *sms, *bitsPerThread, *seed, *showSolution, *verbose, *presolve); err != nil {
+	// SIGINT/SIGTERM cancel the solve context: the run shuts down
+	// cleanly and the partial result is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *file, *format, *budget, *target, *hasTarget, *gpus, *sms, *bitsPerThread, *seed, *showSolution, *verbose, *presolve, *trustDevices, *grace)
+	switch {
+	case errors.Is(err, errUnfinished):
+		fmt.Fprintln(os.Stderr, "abs-solve:", err)
+		os.Exit(3)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "abs-solve:", err)
 		os.Exit(1)
 	}
 }
+
+// errUnfinished marks a run that ended without doing what was asked:
+// interrupted, or out of budget before reaching the requested target.
+// main turns it into a distinct non-zero exit code so scripts can tell
+// "searched and missed" from "could not run".
+var errUnfinished = errors.New("run did not complete")
 
 func detectFormat(file, format string) string {
 	if format != "" {
@@ -77,8 +98,9 @@ func detectFormat(file, format string) string {
 	}
 }
 
-func run(file, format string, budget time.Duration, target int64, hasTarget bool,
-	gpus, sms, bitsPerThread int, seed uint64, showSolution, verbose, presolve bool) error {
+func run(ctx context.Context, file, format string, budget time.Duration, target int64, hasTarget bool,
+	gpus, sms, bitsPerThread int, seed uint64, showSolution, verbose, presolve, trustDevices bool,
+	grace time.Duration) error {
 
 	f, err := os.Open(file)
 	if err != nil {
@@ -143,6 +165,8 @@ func run(file, format string, budget time.Duration, target int64, hasTarget bool
 	if hasTarget {
 		opt.TargetEnergy = &target
 	}
+	opt.TrustPublications = trustDevices
+	opt.SupervisorGrace = grace
 	if verbose {
 		opt.Progress = func(pr core.Progress) {
 			best := "n/a"
@@ -191,9 +215,12 @@ func run(file, format string, budget time.Duration, target int64, hasTarget bool
 		}
 	}
 
-	res, err := core.Solve(solveProblem, opt)
+	res, err := core.SolveContext(ctx, solveProblem, opt)
 	if err != nil {
 		return err
+	}
+	if res.Cancelled {
+		fmt.Println("interrupted — reporting partial results")
 	}
 	if pre != nil {
 		full, err := pre.Expand(res.Best)
@@ -207,6 +234,10 @@ func run(file, format string, budget time.Duration, target int64, hasTarget bool
 		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100)
 	fmt.Printf("elapsed: %v   flips: %d   evaluated: %d   search rate: %.3g sol/s\n",
 		res.Elapsed.Round(time.Millisecond), res.Flips, res.Evaluated, res.SearchRate)
+	if res.Quarantined > 0 || res.Recovered > 0 || res.Retired > 0 || res.Dropped > 0 {
+		fmt.Printf("fault tolerance: %d quarantined, %d respawned, %d retired, %d dropped\n",
+			res.Quarantined, res.Recovered, res.Retired, res.Dropped)
+	}
 	fmt.Printf("best energy: %d", res.BestEnergy)
 	if hasTarget {
 		fmt.Printf("   target %d reached: %v", target, res.ReachedTarget)
@@ -225,6 +256,12 @@ func run(file, format string, budget time.Duration, target int64, hasTarget bool
 	}
 	if showSolution {
 		fmt.Println("solution:", res.Best)
+	}
+	switch {
+	case res.Cancelled:
+		return fmt.Errorf("%w: interrupted after %v", errUnfinished, res.Elapsed.Round(time.Millisecond))
+	case hasTarget && !res.ReachedTarget:
+		return fmt.Errorf("%w: budget exhausted before target %d (best %d)", errUnfinished, target, res.BestEnergy)
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -53,7 +56,7 @@ func writeFile(t *testing.T, name string, write func(*os.File) error) string {
 func TestRunEndToEndQUBO(t *testing.T) {
 	p := randqubo.Generate(48, 1)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
-	if err := run(path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, true, false, false); err != nil {
+	if err := run(context.Background(), path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, true, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -61,7 +64,7 @@ func TestRunEndToEndQUBO(t *testing.T) {
 func TestRunEndToEndBinary(t *testing.T) {
 	p := randqubo.Generate(32, 2)
 	path := writeFile(t, "t.qbin", func(f *os.File) error { return qubo.WriteBinary(f, p) })
-	if err := run(path, "", 50*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+	if err := run(context.Background(), path, "", 50*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -72,7 +75,7 @@ func TestRunEndToEndGSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := writeFile(t, "t.gset", func(f *os.File) error { return maxcut.WriteGSet(f, g) })
-	if err := run(path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+	if err := run(context.Background(), path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +83,7 @@ func TestRunEndToEndGSet(t *testing.T) {
 func TestRunEndToEndTSP(t *testing.T) {
 	inst := tsp.RandomEuclidean(6, 4)
 	path := writeFile(t, "t.tsp", func(f *os.File) error { return tsp.WriteTSPLIB(f, inst) })
-	if err := run(path, "", 150*time.Millisecond, 0, false, 1, 1, 0, 1, false, true, false); err != nil {
+	if err := run(context.Background(), path, "", 150*time.Millisecond, 0, false, 1, 1, 0, 1, false, true, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -91,7 +94,7 @@ func TestRunEndToEndIsing(t *testing.T) {
 	m.SetJ(2, 5, -4)
 	m.SetH(7, 2)
 	path := writeFile(t, "t.ising", func(f *os.File) error { return ising.Write(f, m) })
-	if err := run(path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false); err != nil {
+	if err := run(context.Background(), path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -100,26 +103,48 @@ func TestRunWithTargetStop(t *testing.T) {
 	p := randqubo.Generate(32, 5)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
 	// Target of -1 is trivially reachable on a dense random instance.
-	if err := run(path, "", 5*time.Second, -1, true, 1, 1, 0, 1, false, false, false); err != nil {
+	if err := run(context.Background(), path, "", 5*time.Second, -1, true, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunUnreachedTargetIsUnfinished(t *testing.T) {
+	p := randqubo.Generate(32, 9)
+	path := writeFile(t, "u.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	// An unreachable target with a tiny budget: the run must end by
+	// deadline and report itself unfinished (CLI exit status 3).
+	err := run(context.Background(), path, "", 50*time.Millisecond, math.MinInt64, true, 1, 1, 0, 1, false, false, false, false, 0)
+	if !errors.Is(err, errUnfinished) {
+		t.Errorf("missed target returned %v, want errUnfinished", err)
+	}
+}
+
+func TestRunCancelledIsUnfinished(t *testing.T) {
+	p := randqubo.Generate(32, 10)
+	path := writeFile(t, "c.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, path, "", 5*time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0)
+	if !errors.Is(err, errUnfinished) {
+		t.Errorf("cancelled run returned %v, want errUnfinished", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.qubo"), "", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.qubo"), "", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeFile(t, "bad.qubo", func(f *os.File) error {
 		_, err := f.WriteString("not a qubo file\n")
 		return err
 	})
-	if err := run(bad, "", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+	if err := run(context.Background(), bad, "", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
 		t.Error("malformed file accepted")
 	}
 	good := writeFile(t, "g.qubo", func(f *os.File) error {
 		return qubo.WriteText(f, randqubo.Generate(16, 6))
 	})
-	if err := run(good, "nonsense", time.Second, 0, false, 1, 1, 0, 1, false, false, false); err == nil {
+	if err := run(context.Background(), good, "nonsense", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -133,7 +158,7 @@ func TestRunWithPresolve(t *testing.T) {
 	}
 	p.SetWeight(0, 1, 2)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
-	if err := run(path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, true); err != nil {
+	if err := run(context.Background(), path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }

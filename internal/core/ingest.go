@@ -1,0 +1,73 @@
+package core
+
+import (
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+	"abs/internal/qubo"
+)
+
+// ingestGate validates device publications before they reach the GA
+// pool. The paper's host trusts devices unconditionally (§3.1: the host
+// never computes the energy function); a production host cannot, since
+// one corrupted worker would poison every future crossover. The gate
+// always enforces the structural invariants that protect the host's own
+// memory safety — vector present and of the instance's width, block
+// indices addressing a real slot — and, unless trust is set, also
+// re-evaluates the claimed energy host-side and quarantines mismatches.
+// That re-evaluation is the one deliberate deviation from §3.1; see
+// DESIGN.md "Fault model & substitutions".
+type ingestGate struct {
+	p            *qubo.Problem
+	n            int
+	activeBlocks int // per device
+	totalBlocks  int
+	trust        bool
+	quarantined  uint64
+}
+
+// vet classifies one publication. admit reports whether the solution
+// may enter the pool; retarget reports whether the publishing slot
+// could be identified and should receive a fresh target (true even for
+// a quarantined payload from a healthy, addressable block — the block
+// keeps working while its bad publication is discarded). slot is
+// meaningful only when retarget is true.
+func (g *ingestGate) vet(s gpusim.Solution) (slot int, admit, retarget bool) {
+	// Bound the indices before multiplying so absurd values from a
+	// corrupted header can't overflow into a plausible-looking slot.
+	numDevices := g.totalBlocks / g.activeBlocks
+	if s.Device < 0 || s.Device >= numDevices || s.Block < 0 || s.Block >= g.activeBlocks {
+		return 0, false, false
+	}
+	slot = s.Device*g.activeBlocks + s.Block
+	if s.X == nil || s.X.Len() != g.n {
+		return slot, false, true
+	}
+	// UnknownEnergy is the pool's "not yet evaluated" sentinel; a
+	// device claiming it is nonsensical and must not shadow real
+	// entries.
+	if s.Energy == ga.UnknownEnergy {
+		return slot, false, true
+	}
+	return slot, true, true
+}
+
+// ingest runs one publication through the gate and, when admitted, the
+// pool. The O(n²) host-side energy re-evaluation is only paid for
+// publications the pool would actually admit — anything rejected as a
+// duplicate or as worse than the resident worst cannot poison the pool,
+// so validating it would just starve the drain loop.
+func (g *ingestGate) ingest(host *ga.Host, s gpusim.Solution) (slot int, inserted, retarget bool) {
+	slot, admit, retarget := g.vet(s)
+	if !admit {
+		g.quarantined++
+		return slot, false, retarget
+	}
+	if !host.Pool().WouldAdmit(s.X, s.Energy) {
+		return slot, host.Insert(s.X, s.Energy), retarget // counts the rejection
+	}
+	if !g.trust && g.p.Energy(s.X) != s.Energy {
+		g.quarantined++
+		return slot, false, retarget
+	}
+	return slot, host.Insert(s.X, s.Energy), retarget
+}

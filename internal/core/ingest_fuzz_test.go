@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+	"abs/internal/rng"
+)
+
+// FuzzIngestGate throws arbitrary publications — any vector width and
+// content, any claimed energy, any device/block indices — at the host's
+// validation gate. Whatever arrives, the gate must not panic, must only
+// retarget addressable slots, and (with validation on) must never let a
+// lying energy into the pool; pool invariants must hold throughout.
+func FuzzIngestGate(f *testing.F) {
+	f.Add([]byte{0xff, 0x01}, 24, int64(-10), 0, 0, false)
+	f.Add([]byte{}, 0, int64(0), -1, 99, false)
+	f.Add([]byte{0xaa}, 7, ga.UnknownEnergy, 1, 15, true)
+	f.Add([]byte{0x01, 0x02, 0x03}, 1<<16, int64(1), 1<<60, 1<<60, false)
+	f.Add([]byte{0x10}, 24, int64(3), 1, 3, true)
+
+	const (
+		n            = 24
+		activeBlocks = 16
+		totalBlocks  = 32
+	)
+	problem := randomProblem(n, 77)
+
+	f.Fuzz(func(t *testing.T, bits []byte, width int, energy int64, device, block int, trust bool) {
+		// Rebuild a fresh pool per input so invariant checks are cheap
+		// and the pool state is deterministic per case.
+		host, err := ga.NewHost(n, ga.DefaultConfig(), rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate := &ingestGate{
+			p:            problem,
+			n:            n,
+			activeBlocks: activeBlocks,
+			totalBlocks:  totalBlocks,
+			trust:        trust,
+		}
+
+		// Width 0 is unconstructible (bitvec.New panics by design), so
+		// non-positive and absurd widths become the nil-vector case.
+		var x *bitvec.Vector
+		if width >= 1 && width <= 4096 {
+			x = bitvec.New(width)
+			for i := 0; i < width && i/8 < len(bits); i++ {
+				x.Set(i, int(bits[i/8]>>(uint(i)%8))&1)
+			}
+		}
+		s := gpusim.Solution{X: x, Energy: energy, Device: device, Block: block}
+
+		slot, inserted, retarget := gate.ingest(host, s)
+		if retarget && (slot < 0 || slot >= totalBlocks) {
+			t.Fatalf("retarget of unaddressable slot %d", slot)
+		}
+		if inserted {
+			if x == nil || x.Len() != n {
+				t.Fatal("structurally invalid publication inserted")
+			}
+			if energy == ga.UnknownEnergy {
+				t.Fatal("unknown-energy sentinel inserted as a device energy")
+			}
+			if !trust && problem.Energy(x) != energy {
+				t.Fatalf("validated insert of a lying energy: claimed %d, true %d",
+					energy, problem.Energy(x))
+			}
+		}
+		if err := host.Pool().CheckInvariants(); err != nil {
+			t.Fatalf("pool invariants broken after ingest: %v", err)
+		}
+		// A second identical ingest must never panic either (duplicate
+		// path) and must keep invariants.
+		gate.ingest(host, s)
+		if err := host.Pool().CheckInvariants(); err != nil {
+			t.Fatalf("pool invariants broken after duplicate ingest: %v", err)
+		}
+	})
+}

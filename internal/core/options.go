@@ -107,6 +107,41 @@ type Options struct {
 	Adaptive bool
 	// AdaptivePatience is the stagnant-round threshold; zero means 8.
 	AdaptivePatience int
+
+	// Faults, when non-nil, injects simulated block failures (crashes,
+	// stalls, corrupted publications) according to the plan — the test
+	// hook for the fault-tolerance layer. Production runs leave it nil.
+	Faults *gpusim.FaultPlan
+
+	// DisableSupervisor turns off heartbeat-based block supervision.
+	// With supervision on (the default), the host loop detects blocks
+	// that have made no progress for SupervisorGrace and respawns them
+	// with a fresh engine and a new target; blocks on a device the
+	// fault plan has marked failed are retired instead, and their
+	// target slots redistributed over the survivors.
+	DisableSupervisor bool
+	// SupervisorGrace is how long a block may go without a progress
+	// heartbeat before the supervisor declares it dead or stalled.
+	// Zero means 2 s — generously above a healthy round even for large
+	// instances on oversubscribed hosts; a false positive only costs
+	// the superseded incarnation's in-flight round.
+	SupervisorGrace time.Duration
+
+	// TrustPublications recovers the paper's pure §3.1 ingest protocol:
+	// the host inserts device energies as claimed, never evaluating the
+	// energy function itself. By default (false) the host re-evaluates
+	// each publication's energy and quarantines mismatches — a
+	// documented deviation from the paper (see DESIGN.md "Fault model &
+	// substitutions") that keeps a corrupted worker from poisoning the
+	// GA pool. Structural checks (vector width, block indices) are
+	// always enforced.
+	TrustPublications bool
+
+	// SolutionBufferCap bounds the device→host publication buffer: a
+	// drain-starved host drops the oldest pending publications instead
+	// of growing without limit (Result.Dropped counts them). Zero means
+	// 4 × the block count (at least 1024); negative means unbounded.
+	SolutionBufferCap int
 }
 
 // Storage selects the incremental-engine representation used by the
@@ -204,6 +239,12 @@ func (o Options) normalize(n int) (Options, error) {
 	}
 	if o.ProgressEvery == 0 {
 		o.ProgressEvery = time.Second
+	}
+	if o.SupervisorGrace == 0 {
+		o.SupervisorGrace = 2 * time.Second
+	}
+	if o.SupervisorGrace < 0 {
+		return o, fmt.Errorf("core: SupervisorGrace %v must be positive", o.SupervisorGrace)
 	}
 	for i, ws := range o.WarmStarts {
 		if ws == nil || ws.Len() != n {

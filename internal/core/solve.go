@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,11 @@ type Result struct {
 	// ReachedTarget reports whether the TargetEnergy stop condition
 	// fired (as opposed to a time/flip budget running out).
 	ReachedTarget bool
+
+	// Cancelled reports that the run ended because the caller's context
+	// was cancelled (SolveContext); the rest of the Result is the
+	// partial state at shutdown.
+	Cancelled bool
 
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration
@@ -50,6 +56,25 @@ type Result struct {
 	// rejected by the host pool (duplicates or too bad).
 	Inserted, Rejected uint64
 
+	// Quarantined counts publications the ingest gate refused to admit:
+	// wrong-width vectors, unaddressable block indices, or energies the
+	// host-side re-evaluation contradicted (unless
+	// Options.TrustPublications recovered the paper's trusting
+	// protocol).
+	Quarantined uint64
+
+	// Recovered counts block respawns performed by the supervisor after
+	// a missed heartbeat; Retired counts block slots permanently given
+	// up on because their device was marked failed (their target share
+	// was redistributed to survivors).
+	Recovered uint64
+	Retired   int
+
+	// Dropped counts publications the bounded solution buffer
+	// overwrote before the host drained them (see
+	// Options.SolutionBufferCap).
+	Dropped uint64
+
 	// Storage is the engine representation actually used (after auto
 	// selection), and EvaluatedPerFlip its per-flip evaluation count
 	// (n dense, 1+avg-degree sparse).
@@ -72,26 +97,47 @@ type BlockStat struct {
 	// adaptive rescheduling is on).
 	Window int
 	// Flips and Published count the block's work; Inserted counts its
-	// publications that the host admitted to the pool.
+	// publications that the host admitted to the pool. Totals cover all
+	// incarnations of the slot when the supervisor respawned it.
 	Flips     uint64
 	Published uint64
 	Inserted  uint64
+	// Restarts counts supervisor respawns of this slot.
+	Restarts uint64
 }
 
-// blockStats is the per-run shared instrumentation. The aggregate flip
-// counter is read live by the host (budget enforcement); the per-block
-// fields are written only by their owning goroutine and read after the
-// run joins, so they need no atomics except inserted, which the host
-// increments concurrently.
+// blockSlot is the shared per-slot instrumentation. Everything is
+// atomic because a superseded incarnation (respawned after a stall it
+// eventually woke from) may briefly overlap with its replacement.
+type blockSlot struct {
+	flips     atomic.Uint64
+	published atomic.Uint64
+	inserted  atomic.Uint64
+	restarts  atomic.Uint64
+	window    atomic.Int64
+	// heartbeat is the UnixNano stamp of the slot's last completed
+	// round; the supervisor reads it to detect dead/stalled blocks.
+	heartbeat atomic.Int64
+}
+
+// blockStats is the per-run shared instrumentation: the aggregate flip
+// counter read live by the host (budget enforcement) plus one blockSlot
+// per search unit.
 type blockStats struct {
-	flips    atomic.Uint64
-	perBlock []BlockStat
-	inserted []atomic.Uint64
+	flips atomic.Uint64
+	slots []blockSlot
 }
 
 // Solve runs the Adaptive Bulk Search on p until a stop condition
 // fires, returning the best solution found.
 func Solve(p *qubo.Problem, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext is Solve with cooperative cancellation: when ctx is
+// cancelled the run shuts down promptly (all block goroutines joined)
+// and returns the partial Result with Cancelled set, not an error.
+func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, error) {
 	n := p.N()
 	opt, err := opt.normalize(n)
 	if err != nil {
@@ -133,12 +179,16 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 		evaluatedPerFlip = float64(n)
 	}
 
-	targets := gpusim.NewTargetBuffer(totalBlocks)
-	solutions := gpusim.NewSolutionBuffer()
-	stats := &blockStats{
-		perBlock: make([]BlockStat, totalBlocks),
-		inserted: make([]atomic.Uint64, totalBlocks),
+	bufCap := opt.SolutionBufferCap
+	if bufCap == 0 {
+		bufCap = 4 * totalBlocks
+		if bufCap < 1024 {
+			bufCap = 1024
+		}
 	}
+	targets := gpusim.NewTargetBuffer(totalBlocks)
+	solutions := gpusim.NewBoundedSolutionBuffer(bufCap)
+	stats := &blockStats{slots: make([]blockSlot, totalBlocks)}
 
 	// Warm starts join the pool with unknown energy (the host never
 	// evaluates the energy function, §3.1); blocks will visit and
@@ -159,11 +209,31 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	run, err := cluster.Launch(n, opt.BitsPerThread, func(bc gpusim.BlockContext) {
+	// All heartbeats start "now" so a slow-to-schedule goroutine is not
+	// declared dead before its first round.
+	for i := range stats.slots {
+		stats.slots[i].heartbeat.Store(start.UnixNano())
+	}
+	blockFn := func(bc gpusim.BlockContext) {
 		deviceBlock(bc, newEngine(), opt, targets, solutions, stats)
-	})
+	}
+	run, err := cluster.Launch(n, opt.BitsPerThread, blockFn)
 	if err != nil {
 		return nil, err
+	}
+
+	activeBlocks := run.Occupancy().ActiveBlocks
+	gate := &ingestGate{
+		p:            p,
+		n:            n,
+		activeBlocks: activeBlocks,
+		totalBlocks:  totalBlocks,
+		trust:        opt.TrustPublications,
+	}
+	var sup *supervisor
+	if !opt.DisableSupervisor {
+		sup = newSupervisor(run, stats, targets, host, opt.Faults, blockFn,
+			opt.SupervisorGrace, activeBlocks)
 	}
 
 	// Host loop (§3.1 Steps 2–4).
@@ -195,19 +265,25 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 		// Step 2: poll the global counter without draining.
 		if c := solutions.Counter(); c != lastCounter {
 			lastCounter = c
-			// Step 3: insert arrivals into the pool; Step 4: one fresh
-			// target per arrival, stored back into the arriving block's
-			// slot.
+			// Step 3: run arrivals through the ingest gate and into the
+			// pool; Step 4: one fresh target per attributable arrival,
+			// stored back into the arriving block's slot.
 			for _, s := range solutions.Drain() {
-				slot := s.Device*run.Occupancy().ActiveBlocks + s.Block
-				if host.Insert(s.X, s.Energy) {
-					stats.inserted[slot].Add(1)
+				slot, inserted, retarget := gate.ingest(host, s)
+				if inserted {
+					stats.slots[slot].inserted.Add(1)
 				}
-				targets.Store(slot, host.NewTarget())
+				if retarget {
+					targets.Store(slot, host.NewTarget())
+				}
 			}
 		}
 		if best, ok := host.Pool().Best(); ok && opt.TargetEnergy != nil && best.E <= *opt.TargetEnergy {
 			res.ReachedTarget = true
+			break
+		}
+		if ctx.Err() != nil {
+			res.Cancelled = true
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -216,15 +292,20 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 		if opt.MaxFlips > 0 && stats.flips.Load() >= opt.MaxFlips {
 			break
 		}
+		if sup != nil {
+			sup.scan(time.Now())
+		}
 		time.Sleep(opt.PollInterval)
 	}
 	run.Stop()
 
 	// Final drain: blocks publish once more on shutdown; keep the
-	// per-block attribution consistent with the live path.
+	// gating and per-block attribution consistent with the live path
+	// (minus retargeting, which is pointless now).
 	for _, s := range solutions.Drain() {
-		if host.Insert(s.X, s.Energy) {
-			stats.inserted[s.Device*run.Occupancy().ActiveBlocks+s.Block].Add(1)
+		slot, inserted, _ := gate.ingest(host, s)
+		if inserted {
+			stats.slots[slot].inserted.Add(1)
 		}
 	}
 
@@ -245,9 +326,24 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 		res.BestEnergy = 0
 	}
 	res.Inserted, res.Rejected = hostInsertCounts(host)
-	res.BlockStats = stats.perBlock
-	for i := range res.BlockStats {
-		res.BlockStats[i].Inserted = stats.inserted[i].Load()
+	res.Quarantined = gate.quarantined
+	res.Dropped = solutions.Dropped()
+	if sup != nil {
+		res.Recovered = sup.recovered
+		res.Retired = sup.numRetired
+	}
+	res.BlockStats = make([]BlockStat, totalBlocks)
+	for g := range res.BlockStats {
+		slot := &stats.slots[g]
+		res.BlockStats[g] = BlockStat{
+			Device:    g / activeBlocks,
+			Block:     g % activeBlocks,
+			Window:    int(slot.window.Load()),
+			Flips:     slot.flips.Load(),
+			Published: slot.published.Load(),
+			Inserted:  slot.inserted.Load(),
+			Restarts:  slot.restarts.Load(),
+		}
 	}
 	return res, nil
 }
@@ -260,7 +356,10 @@ func hostInsertCounts(h *ga.Host) (uint64, uint64) {
 // deviceBlock is the device-side program of §3.2: the body of one CUDA
 // block, run as a goroutine. The engine arrives initialized at the
 // zero vector — E(0) = 0, Δ_i = W_ii — so the very first straight
-// search already runs at O(1) efficiency (Step 1).
+// search already runs at O(1) efficiency (Step 1). Respawned
+// incarnations run the same program with a fresh engine; the target
+// buffer's version counter makes them pick up the slot's current
+// target immediately.
 func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 	targets *gpusim.TargetBuffer, solutions *gpusim.SolutionBuffer, stats *blockStats) {
 
@@ -276,15 +375,31 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 		adapt = newAdaptiveWindow(initialWindow, opt.WindowMin, opt.WindowMax, opt.AdaptivePatience)
 	}
 
-	// The block owns its BlockStat slot; the final write is published to
-	// the host by the run's WaitGroup join.
-	my := &stats.perBlock[bc.GlobalBlock]
-	my.Device, my.Block = bc.Device, bc.Block
-	defer func() { my.Window = policy.L }()
+	my := &stats.slots[bc.GlobalBlock]
+	defer func() { my.window.Store(int64(policy.L)) }()
 
 	var targetVersion uint64
 	var localFlips uint64
+	// Searches poll Stopped per flip so a shutdown or supersession takes
+	// effect within one flip, not one full round — with thousands of
+	// resident blocks the difference dominates shutdown latency.
+	stopped := bc.Stopped
 	for !bc.Stopped() {
+		// Injected faults (testing only; opt.Faults is nil in real
+		// runs): a crash loses the goroutine and its engine state; a
+		// stall leaves the block resident but inert — it stops flipping
+		// and heartbeating, exactly what the supervisor must detect.
+		if opt.Faults != nil {
+			if kind, fired := opt.Faults.Step(bc.GlobalBlock); fired {
+				if kind == gpusim.FaultCrash {
+					return
+				}
+				for !bc.Stopped() {
+					time.Sleep(time.Millisecond)
+				}
+				return
+			}
+		}
 		// Respect a cluster-wide flip budget: stop starting new rounds
 		// once it is exhausted (the host will shut the run down; the
 		// remaining overshoot is at most one in-flight round per block).
@@ -298,27 +413,34 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 			targetVersion = v
 			// Step 4a: straight search from the current solution C to
 			// the target T (Algorithm 5). Flip count = Hamming(C, T).
-			localFlips += uint64(search.Straight(state, t))
+			localFlips += uint64(search.StraightUntil(state, t, stopped))
 		}
 		// Step 4b: bulk local search with the forced-flip policy.
-		localFlips += uint64(search.Run(state, opt.LocalSteps, policy))
+		localFlips += uint64(search.RunUntil(state, opt.LocalSteps, policy, stopped))
 
 		// Step 5: publish the best solution found this round, then
 		// reset it (Step 3 of the next round) so successive rounds
 		// publish fresh solutions rather than one old champion.
 		x, e, ok := state.Best()
 		if ok {
-			solutions.Publish(gpusim.Solution{X: x, Energy: e, Device: bc.Device, Block: bc.Block})
-			my.Published++
+			s := gpusim.Solution{X: x, Energy: e, Device: bc.Device, Block: bc.Block}
+			if opt.Faults != nil {
+				s, _ = opt.Faults.MaybeCorrupt(s)
+			}
+			solutions.Publish(s)
+			my.published.Add(1)
 		}
 		state.ResetBest()
 		if adapt != nil {
 			policy.L = adapt.Observe(e, ok)
 		}
 
-		my.Flips += localFlips
+		my.flips.Add(localFlips)
 		stats.flips.Add(localFlips)
 		localFlips = 0
+		// The heartbeat marks a completed round; crashed and stalled
+		// blocks stop stamping, which is what the supervisor watches.
+		my.heartbeat.Store(time.Now().UnixNano())
 	}
 }
 

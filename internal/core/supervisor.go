@@ -1,0 +1,130 @@
+package core
+
+import (
+	"time"
+
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+)
+
+// supervisor is the host-side watchdog over the block fleet. Every
+// block stamps an atomic heartbeat at the end of each search round; the
+// supervisor scans those stamps from the Solve poll loop and acts on
+// any block silent for longer than the grace period:
+//
+//   - on a healthy device, the block is respawned — its old incarnation
+//     is superseded (a merely-slow block stops at its next poll; a dead
+//     one is already gone), a fresh engine incarnation takes over the
+//     slot, and a new target from the pool points it at useful work;
+//   - on a device the fault plan has marked failed, respawning is
+//     impossible, so the slot is retired and its share of the target
+//     stream is redistributed round-robin over surviving blocks —
+//     the cluster degrades to its remaining capacity instead of
+//     repeatedly burying work in a dead card.
+type supervisor struct {
+	run     *gpusim.Run
+	stats   *blockStats
+	targets *gpusim.TargetBuffer
+	host    *ga.Host
+	plan    *gpusim.FaultPlan
+	blockFn gpusim.BlockFunc
+
+	grace        time.Duration
+	activeBlocks int // per device
+
+	retired    []bool
+	nextScan   time.Time
+	lastScan   time.Time
+	rr         int // round-robin cursor for redistribution
+	recovered  uint64
+	numRetired int
+}
+
+func newSupervisor(run *gpusim.Run, stats *blockStats, targets *gpusim.TargetBuffer,
+	host *ga.Host, plan *gpusim.FaultPlan, blockFn gpusim.BlockFunc,
+	grace time.Duration, activeBlocks int) *supervisor {
+
+	return &supervisor{
+		run:          run,
+		stats:        stats,
+		targets:      targets,
+		host:         host,
+		plan:         plan,
+		blockFn:      blockFn,
+		grace:        grace,
+		activeBlocks: activeBlocks,
+		retired:      make([]bool, len(stats.slots)),
+	}
+}
+
+// scan checks all heartbeats, at most once per grace/4 (calls in
+// between return immediately, keeping the poll loop cheap).
+func (s *supervisor) scan(now time.Time) {
+	if now.Before(s.nextScan) {
+		return
+	}
+	s.nextScan = now.Add(s.grace / 4)
+	// Starvation guard: when the host goroutine itself could not run for
+	// a whole grace period (thousands of compute-bound blocks sharing
+	// few cores, a GC pause, a suspended laptop), every heartbeat looks
+	// stale at once — but that says nothing about the blocks. Respawning
+	// the fleet would only add more runnable goroutines and starve the
+	// host further, so re-baseline the stamps and let the next scan
+	// judge with a clean clock.
+	if !s.lastScan.IsZero() && now.Sub(s.lastScan) > s.grace {
+		base := now.UnixNano()
+		for g := range s.stats.slots {
+			if !s.retired[g] {
+				s.stats.slots[g].heartbeat.Store(base)
+			}
+		}
+		s.lastScan = now
+		return
+	}
+	s.lastScan = now
+	cutoff := now.Add(-s.grace).UnixNano()
+	for g := range s.stats.slots {
+		if s.retired[g] || s.stats.slots[g].heartbeat.Load() > cutoff {
+			continue
+		}
+		if dev := g / s.activeBlocks; s.plan != nil && s.plan.DeviceFailed(dev) {
+			s.retireDevice(dev)
+			continue
+		}
+		if s.run.Respawn(g, s.blockFn) {
+			s.stats.slots[g].restarts.Add(1)
+			s.stats.slots[g].heartbeat.Store(now.UnixNano())
+			s.recovered++
+			s.targets.Store(g, s.host.NewTarget())
+		}
+	}
+}
+
+// retireDevice halts and retires every block slot of a failed device,
+// redistributing each slot's target stream to a surviving block.
+func (s *supervisor) retireDevice(dev int) {
+	for b := 0; b < s.activeBlocks; b++ {
+		g := dev*s.activeBlocks + b
+		if s.retired[g] {
+			continue
+		}
+		s.run.Halt(g)
+		s.retired[g] = true
+		s.numRetired++
+		if t := s.nextSurvivor(); t >= 0 {
+			s.targets.Store(t, s.host.NewTarget())
+		}
+	}
+}
+
+// nextSurvivor returns the next non-retired slot round-robin, or -1
+// when the whole fleet is gone.
+func (s *supervisor) nextSurvivor() int {
+	for i := 0; i < len(s.retired); i++ {
+		s.rr = (s.rr + 1) % len(s.retired)
+		if !s.retired[s.rr] {
+			return s.rr
+		}
+	}
+	return -1
+}

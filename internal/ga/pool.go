@@ -141,6 +141,23 @@ func (p *Pool) Insert(x *bitvec.Vector, e int64) bool {
 	return true
 }
 
+// WouldAdmit reports whether Insert(x, e) would modify the pool,
+// without modifying it: false for duplicates and for entries no better
+// than a full pool's worst. The host's ingest gate uses it to skip
+// validating publications that would be rejected anyway.
+func (p *Pool) WouldAdmit(x *bitvec.Vector, e int64) bool {
+	if x.Len() != p.n {
+		return false
+	}
+	pos := sort.Search(len(p.entries), func(i int) bool {
+		return !less(p.entries[i].E, p.entries[i].X, e, x)
+	})
+	if !p.allowDuplicates && pos < len(p.entries) && p.entries[pos].E == e && p.entries[pos].X.Equal(x) {
+		return false
+	}
+	return len(p.entries) < p.cap || pos < len(p.entries)
+}
+
 // Contains reports whether an identical vector with the same energy is
 // resident; it exists for tests.
 func (p *Pool) Contains(x *bitvec.Vector, e int64) bool {

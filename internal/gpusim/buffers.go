@@ -27,38 +27,88 @@ type Solution struct {
 
 // SolutionBuffer is the device→host half of global memory: a
 // mutex-guarded append buffer plus an atomically readable counter, so
-// the host can poll for news without taking the lock.
+// the host can poll for news without taking the lock. A bounded buffer
+// (NewBoundedSolutionBuffer) models the fixed-size region a real
+// deployment would reserve in device memory: when a drain-starved host
+// falls behind, the oldest pending publications are overwritten rather
+// than letting the buffer grow without limit.
 type SolutionBuffer struct {
 	mu      sync.Mutex
 	entries []Solution
+	cap     int // 0 = unbounded
 	counter atomic.Uint64
+	dropped atomic.Uint64
+	// salvage is a one-slot register holding the best entry evicted
+	// since the last drain — the analogue of the dedicated best-found
+	// register a real kernel keeps besides the publication queue. It
+	// guarantees a starved host can drop bulk, but never the champion.
+	salvage    Solution
+	hasSalvage bool
 }
 
-// NewSolutionBuffer returns an empty buffer.
+// NewSolutionBuffer returns an empty, unbounded buffer.
 func NewSolutionBuffer() *SolutionBuffer { return &SolutionBuffer{} }
+
+// NewBoundedSolutionBuffer returns an empty buffer holding at most
+// capacity pending solutions; publishing into a full buffer drops the
+// oldest pending entry (newest results carry the freshest search
+// state). capacity <= 0 means unbounded.
+func NewBoundedSolutionBuffer(capacity int) *SolutionBuffer {
+	if capacity <= 0 {
+		return NewSolutionBuffer()
+	}
+	return &SolutionBuffer{cap: capacity}
+}
 
 // Publish appends a solution; the device block transfers ownership of x
 // (it must not mutate it afterwards — blocks publish snapshots).
 func (b *SolutionBuffer) Publish(s Solution) {
 	b.mu.Lock()
+	if b.cap > 0 && len(b.entries) == b.cap {
+		evicted := b.entries[0]
+		copy(b.entries, b.entries[1:])
+		b.entries[len(b.entries)-1] = s
+		// Keep the best evicted entry in the salvage register; whatever
+		// it displaces (or the evictee itself, if worse) is lost.
+		if !b.hasSalvage {
+			b.salvage, b.hasSalvage = evicted, true
+		} else if evicted.Energy < b.salvage.Energy {
+			b.salvage = evicted
+			b.dropped.Add(1)
+		} else {
+			b.dropped.Add(1)
+		}
+		b.mu.Unlock()
+		b.counter.Add(1)
+		return
+	}
 	b.entries = append(b.entries, s)
 	b.mu.Unlock()
 	b.counter.Add(1)
 }
 
+// Dropped returns the number of publications overwritten before the
+// host could drain them (always 0 for an unbounded buffer).
+func (b *SolutionBuffer) Dropped() uint64 { return b.dropped.Load() }
+
 // Counter returns the total number of solutions ever published. The
 // host's Step 2 spin reads this without locking.
 func (b *SolutionBuffer) Counter() uint64 { return b.counter.Load() }
 
-// Drain removes and returns all pending solutions (host Step 3).
+// Drain removes and returns all pending solutions (host Step 3),
+// including the salvage register's best-evicted entry, if any.
 func (b *SolutionBuffer) Drain() []Solution {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.entries) == 0 {
+	if len(b.entries) == 0 && !b.hasSalvage {
 		return nil
 	}
 	out := b.entries
 	b.entries = nil
+	if b.hasSalvage {
+		out = append(out, b.salvage)
+		b.salvage, b.hasSalvage = Solution{}, false
+	}
 	return out
 }
 

@@ -17,12 +17,19 @@ type BlockContext struct {
 	// GlobalBlock is the block's unique index across all devices; it
 	// doubles as the block's slot in the target buffer.
 	GlobalBlock int
+	// Incarnation counts respawns of this slot: 0 for the block started
+	// by Launch, 1 for its first replacement, and so on.
+	Incarnation int
 
-	stop *atomic.Bool
+	stop *atomic.Bool // run-wide shutdown
+	halt *atomic.Bool // this incarnation only (supersession by respawn)
 }
 
-// Stopped reports whether the host has requested shutdown.
-func (bc BlockContext) Stopped() bool { return bc.stop.Load() }
+// Stopped reports whether the host has requested shutdown, or this
+// incarnation has been superseded by a respawn.
+func (bc BlockContext) Stopped() bool {
+	return bc.stop.Load() || (bc.halt != nil && bc.halt.Load())
+}
 
 // BlockFunc is the device-side program: the body of one CUDA block.
 type BlockFunc func(bc BlockContext)
@@ -53,14 +60,24 @@ func (c *Cluster) TotalBlocks(n, p int) (int, error) {
 	return occ.ActiveBlocks * c.NumGPUs, nil
 }
 
+// slotState tracks the live incarnation of one global block slot.
+type slotState struct {
+	halt        *atomic.Bool
+	incarnation int
+}
+
 // Run is a launched kernel: one goroutine per resident block across all
-// devices.
+// devices, plus any replacement incarnations spawned by Respawn.
 type Run struct {
 	cluster *Cluster
 	occ     Occupancy
 	stop    atomic.Bool
 	wg      sync.WaitGroup
 	blocks  int
+
+	mu     sync.Mutex
+	closed bool
+	slots  []slotState
 }
 
 // Launch starts fn on every resident block for an n-bit problem at p
@@ -75,11 +92,14 @@ func (c *Cluster) Launch(n, p int, fn BlockFunc) (*Run, error) {
 		return nil, err
 	}
 	r := &Run{cluster: c, occ: occ, blocks: occ.ActiveBlocks * c.NumGPUs}
+	r.slots = make([]slotState, r.blocks)
 	r.wg.Add(r.blocks)
 	global := 0
 	for dev := 0; dev < c.NumGPUs; dev++ {
 		for blk := 0; blk < occ.ActiveBlocks; blk++ {
-			bc := BlockContext{Device: dev, Block: blk, GlobalBlock: global, stop: &r.stop}
+			halt := new(atomic.Bool)
+			r.slots[global] = slotState{halt: halt}
+			bc := BlockContext{Device: dev, Block: blk, GlobalBlock: global, stop: &r.stop, halt: halt}
 			global++
 			go func() {
 				defer r.wg.Done()
@@ -93,12 +113,77 @@ func (c *Cluster) Launch(n, p int, fn BlockFunc) (*Run, error) {
 // Occupancy returns the per-device occupancy of the launched shape.
 func (r *Run) Occupancy() Occupancy { return r.occ }
 
-// Blocks returns the total number of running blocks.
+// Blocks returns the total number of block slots.
 func (r *Run) Blocks() int { return r.blocks }
 
+// Halt tells the current incarnation of global block g to stop, without
+// starting a replacement — used when retiring a slot on a failed
+// device. The goroutine exits at its next Stopped poll; Halt does not
+// wait for it.
+func (r *Run) Halt(g int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g < 0 || g >= len(r.slots) {
+		return
+	}
+	r.slots[g].halt.Store(true)
+}
+
+// Respawn supersedes the current incarnation of global block g (it is
+// told to stop, as by Halt) and starts fn as a fresh incarnation in the
+// same slot, with the same Device/Block/GlobalBlock identity and a
+// bumped Incarnation. It reports false — spawning nothing — when g is
+// out of range or the run has already been stopped.
+//
+// The superseded goroutine may still be running when fn starts: a
+// stalled block only notices its halt flag at its next Stopped poll.
+// Shared per-slot state written by block code must therefore tolerate
+// two incarnations briefly overlapping (the core solver uses atomics).
+func (r *Run) Respawn(g int, fn BlockFunc) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || g < 0 || g >= len(r.slots) {
+		return false
+	}
+	s := &r.slots[g]
+	s.halt.Store(true) // supersede the old incarnation
+	halt := new(atomic.Bool)
+	s.halt = halt
+	s.incarnation++
+	bc := BlockContext{
+		Device:      g / r.occ.ActiveBlocks,
+		Block:       g % r.occ.ActiveBlocks,
+		GlobalBlock: g,
+		Incarnation: s.incarnation,
+		stop:        &r.stop,
+		halt:        halt,
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn(bc)
+	}()
+	return true
+}
+
+// Incarnation returns the current incarnation number of slot g (0 while
+// the originally launched goroutine is current).
+func (r *Run) Incarnation(g int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g < 0 || g >= len(r.slots) {
+		return 0
+	}
+	return r.slots[g].incarnation
+}
+
 // Stop signals all blocks to finish and waits for them to return. It is
-// idempotent.
+// idempotent and safe to call concurrently; no Respawn can start a new
+// incarnation once Stop has begun.
 func (r *Run) Stop() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
 	r.stop.Store(true)
 	r.wg.Wait()
 }

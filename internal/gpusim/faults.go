@@ -1,0 +1,211 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+// Fault injection. Real multi-GPU deployments lose workers: a kernel
+// hits an Xid error and the block's state is gone (crash), a block
+// livelocks or its SM is throttled into uselessness (stall), or a
+// publication arrives damaged — a stale or truncated cudaMemcpy, a bad
+// energy from a flipped bit in an accumulator (corrupt). The simulated
+// cluster reproduces all three deterministically so the host-side
+// supervision and validation layers can be tested end-to-end; see
+// DESIGN.md "Fault model & substitutions".
+
+// FaultKind classifies an injected block fault.
+type FaultKind int
+
+const (
+	// FaultCrash makes the block goroutine return: its engine state is
+	// lost and it stops publishing, like a kernel killed by an Xid.
+	FaultCrash FaultKind = iota
+	// FaultStall keeps the block resident but inert: it stops flipping
+	// and publishing yet still occupies its slot until told to stop.
+	FaultStall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultCounts reports how many faults a plan has injected so far.
+type FaultCounts struct {
+	Crashes, Stalls, Corruptions uint64
+}
+
+// blockFault is one scheduled per-block fault; it fires once, on the
+// first round at or past AfterRounds, then is consumed (a respawned
+// incarnation of the block runs clean).
+type blockFault struct {
+	kind        FaultKind
+	afterRounds int
+}
+
+// FaultPlan is a deterministic, seeded schedule of injected faults.
+// Blocks consult it once per search round (Step) and once per
+// publication (MaybeCorrupt); a nil *FaultPlan injects nothing.
+// All methods are safe for concurrent use.
+type FaultPlan struct {
+	mu          sync.Mutex
+	r           *rng.Rand
+	pending     map[int]blockFault // keyed by global block index
+	rounds      map[int]int
+	corruptProb float64
+	failedDevs  map[int]bool
+	counts      FaultCounts
+}
+
+// NewFaultPlan returns an empty plan whose random choices (fault
+// placement, corruption draws) derive deterministically from seed.
+func NewFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{
+		r:          rng.New(seed),
+		pending:    make(map[int]blockFault),
+		rounds:     make(map[int]int),
+		failedDevs: make(map[int]bool),
+	}
+}
+
+// CrashBlock schedules a one-shot crash of global block g after it has
+// completed afterRounds search rounds.
+func (p *FaultPlan) CrashBlock(g, afterRounds int) {
+	p.mu.Lock()
+	p.pending[g] = blockFault{FaultCrash, afterRounds}
+	p.mu.Unlock()
+}
+
+// StallBlock schedules a one-shot stall of global block g after
+// afterRounds search rounds.
+func (p *FaultPlan) StallBlock(g, afterRounds int) {
+	p.mu.Lock()
+	p.pending[g] = blockFault{FaultStall, afterRounds}
+	p.mu.Unlock()
+}
+
+// CrashFraction schedules crashes for a deterministic frac-sized subset
+// of the totalBlocks global block indices, each after afterRounds
+// rounds. It returns the chosen block indices.
+func (p *FaultPlan) CrashFraction(totalBlocks int, frac float64, afterRounds int) []int {
+	k := int(frac*float64(totalBlocks) + 0.5)
+	if k > totalBlocks {
+		k = totalBlocks
+	}
+	p.mu.Lock()
+	chosen := p.r.Perm(totalBlocks)[:k]
+	for _, g := range chosen {
+		p.pending[g] = blockFault{FaultCrash, afterRounds}
+	}
+	p.mu.Unlock()
+	return chosen
+}
+
+// StallDevice schedules a stall for every block of one device (global
+// indices [device·blocksPerDevice, (device+1)·blocksPerDevice)), after
+// afterRounds rounds — the whole card going dark at once.
+func (p *FaultPlan) StallDevice(device, blocksPerDevice, afterRounds int) {
+	p.mu.Lock()
+	for b := 0; b < blocksPerDevice; b++ {
+		p.pending[device*blocksPerDevice+b] = blockFault{FaultStall, afterRounds}
+	}
+	p.mu.Unlock()
+}
+
+// FailDevice marks a device as permanently lost: the supervisor must
+// not respawn blocks onto it and should redistribute its target slots
+// instead (graceful degradation).
+func (p *FaultPlan) FailDevice(device int) {
+	p.mu.Lock()
+	p.failedDevs[device] = true
+	p.mu.Unlock()
+}
+
+// DeviceFailed reports whether FailDevice was called for device.
+func (p *FaultPlan) DeviceFailed(device int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failedDevs[device]
+}
+
+// CorruptPublications makes each publication independently corrupted
+// with probability prob (clamped to [0, 1]).
+func (p *FaultPlan) CorruptPublications(prob float64) {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	p.mu.Lock()
+	p.corruptProb = prob
+	p.mu.Unlock()
+}
+
+// Step is called by a block at the top of each search round. When a
+// scheduled fault for the block is due it is consumed and returned with
+// fired=true; the block must then act it out (return for FaultCrash,
+// go inert for FaultStall).
+func (p *FaultPlan) Step(g int) (kind FaultKind, fired bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rounds[g]++
+	f, ok := p.pending[g]
+	if !ok || p.rounds[g] <= f.afterRounds {
+		return 0, false
+	}
+	delete(p.pending, g)
+	switch f.kind {
+	case FaultCrash:
+		p.counts.Crashes++
+	case FaultStall:
+		p.counts.Stalls++
+	}
+	return f.kind, true
+}
+
+// MaybeCorrupt damages s with the plan's configured probability and
+// reports whether it did: either the claimed energy is shifted by a
+// nonzero amount (in either direction, so an optimistic lie is as
+// likely as a pessimistic one) or the vector is replaced by one of the
+// wrong width. The block indices are left intact — on real hardware the
+// buffer slot says who wrote, even when the payload is garbage.
+func (p *FaultPlan) MaybeCorrupt(s Solution) (Solution, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.corruptProb == 0 || p.r.Float64() >= p.corruptProb {
+		return s, false
+	}
+	p.counts.Corruptions++
+	if p.r.Bool() {
+		delta := int64(p.r.Intn(1_000_000) + 1)
+		if p.r.Bool() {
+			delta = -delta
+		}
+		s.Energy += delta
+	} else {
+		n := 1
+		if s.X != nil {
+			n = s.X.Len() + 1 + p.r.Intn(8)
+		}
+		s.X = bitvec.Random(n, p.r)
+	}
+	return s, true
+}
+
+// Counts returns the number of faults injected so far.
+func (p *FaultPlan) Counts() FaultCounts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}

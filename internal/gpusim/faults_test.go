@@ -1,0 +1,127 @@
+package gpusim
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	a := NewFaultPlan(7)
+	b := NewFaultPlan(7)
+	ca := a.CrashFraction(64, 0.25, 2)
+	cb := b.CrashFraction(64, 0.25, 2)
+	if len(ca) != 16 {
+		t.Fatalf("25%% of 64 chose %d blocks", len(ca))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("same seed chose different blocks: %v vs %v", ca, cb)
+		}
+	}
+	if c := NewFaultPlan(8).CrashFraction(64, 0.25, 2); len(c) == 16 && c[0] == ca[0] && c[1] == ca[1] && c[2] == ca[2] && c[3] == ca[3] {
+		t.Error("different seeds chose suspiciously identical blocks")
+	}
+}
+
+func TestFaultPlanStepFiresOnceAfterRounds(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.CrashBlock(3, 2)
+	for round := 1; round <= 2; round++ {
+		if _, fired := p.Step(3); fired {
+			t.Fatalf("fault fired on round %d, scheduled after 2", round)
+		}
+	}
+	kind, fired := p.Step(3)
+	if !fired || kind != FaultCrash {
+		t.Fatalf("round 3: fired=%v kind=%v, want crash", fired, kind)
+	}
+	// Consumed: the respawned incarnation must run clean.
+	for round := 0; round < 10; round++ {
+		if _, fired := p.Step(3); fired {
+			t.Fatal("consumed fault fired again")
+		}
+	}
+	if c := p.Counts(); c.Crashes != 1 || c.Stalls != 0 {
+		t.Errorf("counts = %+v, want 1 crash", c)
+	}
+	// Other blocks are unaffected.
+	if _, fired := p.Step(4); fired {
+		t.Error("unscheduled block faulted")
+	}
+}
+
+func TestFaultPlanStallDevice(t *testing.T) {
+	p := NewFaultPlan(1)
+	p.StallDevice(1, 4, 0)
+	for g := 4; g < 8; g++ {
+		kind, fired := p.Step(g)
+		if !fired || kind != FaultStall {
+			t.Errorf("block %d: fired=%v kind=%v, want stall", g, fired, kind)
+		}
+	}
+	for g := 0; g < 4; g++ {
+		if _, fired := p.Step(g); fired {
+			t.Errorf("device-0 block %d stalled", g)
+		}
+	}
+	if c := p.Counts(); c.Stalls != 4 {
+		t.Errorf("stalls = %d, want 4", c.Stalls)
+	}
+	if p.DeviceFailed(1) {
+		t.Error("stall marked device failed")
+	}
+	p.FailDevice(1)
+	if !p.DeviceFailed(1) || p.DeviceFailed(0) {
+		t.Error("FailDevice mark wrong")
+	}
+}
+
+func TestFaultPlanCorruption(t *testing.T) {
+	p := NewFaultPlan(3)
+	p.CorruptPublications(0.5)
+	const n = 32
+	honest := Solution{X: bitvec.New(n), Energy: -10}
+	var corrupted, wrongWidth, wrongEnergy int
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		s, bad := p.MaybeCorrupt(honest)
+		if !bad {
+			if s.X.Len() != n || s.Energy != -10 {
+				t.Fatal("uncorrupted publication modified")
+			}
+			continue
+		}
+		corrupted++
+		switch {
+		case s.X.Len() != n:
+			wrongWidth++
+		case s.Energy != -10:
+			wrongEnergy++
+		default:
+			t.Fatal("corruption changed nothing")
+		}
+		if s.Device != honest.Device || s.Block != honest.Block {
+			t.Fatal("corruption touched the block indices")
+		}
+	}
+	if corrupted < trials/3 || corrupted > 2*trials/3 {
+		t.Errorf("corrupted %d of %d at prob 0.5", corrupted, trials)
+	}
+	if wrongWidth == 0 || wrongEnergy == 0 {
+		t.Errorf("corruption modes not both exercised: width=%d energy=%d", wrongWidth, wrongEnergy)
+	}
+	if got := p.Counts().Corruptions; got != uint64(corrupted) {
+		t.Errorf("counted %d corruptions, observed %d", got, corrupted)
+	}
+}
+
+func TestFaultPlanZeroProbNeverCorrupts(t *testing.T) {
+	p := NewFaultPlan(3)
+	s := Solution{X: bitvec.New(8), Energy: 1}
+	for i := 0; i < 100; i++ {
+		if _, bad := p.MaybeCorrupt(s); bad {
+			t.Fatal("corruption with zero probability")
+		}
+	}
+}

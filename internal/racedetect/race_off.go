@@ -1,0 +1,7 @@
+//go:build !race
+
+package racedetect
+
+// Enabled reports whether this binary was built with the race
+// detector (go build/test -race).
+const Enabled = false

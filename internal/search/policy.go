@@ -166,3 +166,16 @@ func Run(s qubo.Engine, steps int, policy Policy) int {
 	}
 	return steps
 }
+
+// RunUntil is Run with cooperative interruption: stop (if non-nil) is
+// polled once per step and a true return ends the loop early. It
+// returns the number of flips actually performed.
+func RunUntil(s qubo.Engine, steps int, policy Policy, stop func() bool) int {
+	for i := 0; i < steps; i++ {
+		if stop != nil && stop() {
+			return i
+		}
+		s.Flip(policy.Select(s))
+	}
+	return steps
+}

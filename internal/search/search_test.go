@@ -183,6 +183,55 @@ func TestStraightTracksBest(t *testing.T) {
 	}
 }
 
+func TestStraightUntilAbandonsMidWalk(t *testing.T) {
+	p := randomProblem(50, 27)
+	s := qubo.NewZeroState(p)
+	target := bitvec.Random(50, rng.New(28))
+	dist := s.X().Hamming(target)
+	budget := dist / 2
+	calls := 0
+	flips := StraightUntil(s, target, func() bool {
+		calls++
+		return calls > budget
+	})
+	if flips != budget {
+		t.Errorf("interrupted walk performed %d flips, want %d", flips, budget)
+	}
+	if s.X().Equal(target) {
+		t.Error("interrupted walk still arrived at target")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Errorf("state inconsistent after interruption: %v", err)
+	}
+	// Resuming with no stop finishes the remaining distance exactly.
+	if rest := StraightUntil(s, target, nil); rest != dist-budget {
+		t.Errorf("resumed walk used %d flips, want %d", rest, dist-budget)
+	}
+	if !s.X().Equal(target) {
+		t.Error("resumed walk did not arrive at target")
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	p := randomProblem(40, 29)
+	s := qubo.NewZeroState(p)
+	calls := 0
+	n := RunUntil(s, 250, NewOffsetWindow(8), func() bool {
+		calls++
+		return calls > 100
+	})
+	if n != 100 || s.Flips() != 100 {
+		t.Errorf("RunUntil performed %d/%d flips, want 100", n, s.Flips())
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	// A nil stop matches Run exactly.
+	if m := RunUntil(s, 50, NewOffsetWindow(8), nil); m != 50 {
+		t.Errorf("nil-stop RunUntil performed %d flips, want 50", m)
+	}
+}
+
 func TestQuickStraightFlipCountEqualsHamming(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 2 + int(seed%60)

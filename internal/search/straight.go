@@ -17,6 +17,17 @@ import (
 //
 // It returns the number of flips performed.
 func Straight(s qubo.Engine, target *bitvec.Vector) int {
+	return StraightUntil(s, target, nil)
+}
+
+// StraightUntil is Straight with cooperative interruption: when stop is
+// non-nil it is polled once per flip, and a true return abandons the
+// walk where it stands. The state is left valid mid-walk (each flip is
+// a complete engine step), so an interrupted walk simply resumes — or
+// shuts down — from wherever it got to. This is what lets a cluster of
+// thousands of blocks stop within one flip of a shutdown request
+// instead of one full Hamming walk each.
+func StraightUntil(s qubo.Engine, target *bitvec.Vector, stop func() bool) int {
 	if target.Len() != s.N() {
 		panic("search: straight-search target length mismatch")
 	}
@@ -27,6 +38,9 @@ func Straight(s qubo.Engine, target *bitvec.Vector) int {
 	d := s.Deltas()
 	flips := 0
 	for len(diff) > 0 {
+		if stop != nil && stop() {
+			return flips
+		}
 		// Greedily select the pending bit with minimum Δ (Algorithm 5
 		// line 3).
 		best := 0

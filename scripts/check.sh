@@ -1,0 +1,19 @@
+#!/bin/sh
+# Standard development gate: vet + build + full test suite under the
+# race detector. Run from anywhere; exits non-zero on first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+# Generous timeout: the paper-shape bench tests launch thousands of
+# block goroutines, which race instrumentation slows considerably on
+# small machines.
+go test -race -timeout 30m ./...
+
+echo "check.sh: all green"
