@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench obs-demo
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,18 @@ check:
 
 bench:
 	$(GO) run ./cmd/abs-bench -all -scale quick
+
+# Observability demo: a short solve with the live telemetry endpoint
+# up, scraped once mid-run with curl. Needs nothing beyond the Go
+# toolchain and curl.
+obs-demo:
+	$(GO) build -o /tmp/abs-solve ./cmd/abs-solve
+	$(GO) run ./cmd/qubogen -kind random -n 512 -seed 42 -out /tmp/obs-demo.qubo
+	/tmp/abs-solve -file /tmp/obs-demo.qubo -time 6s -gpus 2 \
+		-metrics-addr 127.0.0.1:9090 -trace-out /tmp/obs-demo-trace.jsonl -v & \
+	sleep 3 && \
+	echo "--- /metrics scrape ---" && \
+	curl -sf http://127.0.0.1:9090/metrics | grep -E '^abs_' | head -25 && \
+	echo "--- waiting for solve to finish ---" && \
+	wait
+	@echo "trace events: $$(wc -l < /tmp/obs-demo-trace.jsonl) (JSONL at /tmp/obs-demo-trace.jsonl)"

@@ -10,6 +10,11 @@
 //	abs-bench -figure 8
 //	abs-bench -ablation efficiency|straight|selection|pool|storage|
 //	                    adaptive|ladder|parameters
+//	abs-bench -report BENCH.json [-scale quick|medium|full]
+//
+// -report solves a fixed seeded problem set with telemetry attached
+// and writes a machine-readable JSON report (per-device flips/sec,
+// best energy, wall time per run).
 package main
 
 import (
@@ -77,6 +82,7 @@ func main() {
 		figure   = flag.String("figure", "", "regenerate one figure: 8")
 		ablation = flag.String("ablation", "", "run one ablation: efficiency, straight, selection, pool, storage, adaptive, ladder, parameters")
 		scale    = flag.String("scale", "quick", "experiment scale: quick, medium or full")
+		report   = flag.String("report", "", "write a machine-readable JSON run report to this file")
 	)
 	flag.Parse()
 
@@ -84,6 +90,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abs-bench:", err)
 		os.Exit(2)
+	}
+	if *report != "" {
+		if err := writeReportFile(*report, s); err != nil {
+			fmt.Fprintln(os.Stderr, "abs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("report written to", *report)
+		if !*all && *table == "" && *figure == "" && *ablation == "" {
+			return
+		}
 	}
 	fn := dispatch(*all, *table, *figure, *ablation)
 	if fn == nil {
@@ -94,4 +110,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "abs-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeReportFile renders the JSON run report to path.
+func writeReportFile(path string, s bench.Scale) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteReport(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,6 +6,7 @@
 //	abs-solve -file problem.qubo [-format qubo|qubobin|gset|tsplib|ising]
 //	          [-time 5s] [-target -12345 -use-target] [-gpus 1] [-sms 2]
 //	          [-bits-per-thread 0] [-seed 1] [-solution] [-v] [-presolve]
+//	          [-metrics-addr :9090] [-trace-out run.jsonl]
 //
 // The format defaults from the file extension: .qubo/.txt → qubo text
 // (including qbsolv-style headers), .qbin → binary, .gset/.mc → G-set
@@ -14,6 +15,13 @@
 // report the Hamiltonian, in addition to the raw energy. -presolve
 // applies persistency-based variable fixing before the search; -v
 // streams progress to stderr.
+//
+// -metrics-addr serves live telemetry while the run is in flight:
+// Prometheus text at /metrics, a JSON snapshot at /metrics.json, the
+// recent event ring at /trace, pprof under /debug/pprof/ and expvar at
+// /debug/vars. -trace-out streams every lifecycle event (target and
+// solution publishes, ingest verdicts, respawns, retirements, pool
+// admissions) as one JSON object per line.
 package main
 
 import (
@@ -34,28 +42,48 @@ import (
 	"abs/internal/ising"
 	"abs/internal/maxcut"
 	"abs/internal/qubo"
+	"abs/internal/telemetry"
 	"abs/internal/tsp"
 )
 
+// config collects the flag surface of one invocation.
+type config struct {
+	file, format  string
+	budget        time.Duration
+	target        int64
+	hasTarget     bool
+	gpus, sms     int
+	bitsPerThread int
+	seed          uint64
+	showSolution  bool
+	verbose       bool
+	presolve      bool
+	trustDevices  bool
+	grace         time.Duration
+	metricsAddr   string
+	traceOut      string
+}
+
 func main() {
-	var (
-		file          = flag.String("file", "", "problem file (required)")
-		format        = flag.String("format", "", "qubo|qubobin|gset|tsplib (default: by extension)")
-		budget        = flag.Duration("time", 5*time.Second, "wall-clock budget")
-		target        = flag.Int64("target", 0, "target energy (stops early when reached)")
-		hasTarget     = flag.Bool("use-target", false, "enable the -target stop condition")
-		gpus          = flag.Int("gpus", 1, "number of simulated GPUs")
-		sms           = flag.Int("sms", 2, "SMs per simulated GPU (0 = full RTX 2080 Ti)")
-		bitsPerThread = flag.Int("bits-per-thread", 0, "bits per thread (0 = auto)")
-		seed          = flag.Uint64("seed", 1, "random seed")
-		showSolution  = flag.Bool("solution", false, "print the solution bit vector")
-		verbose       = flag.Bool("v", false, "print progress once per second")
-		presolve      = flag.Bool("presolve", false, "apply persistency-based variable fixing before solving")
-		trustDevices  = flag.Bool("trust-devices", false, "skip host-side publication validation (the paper's pure §3.1 protocol)")
-		grace         = flag.Duration("grace", 0, "supervisor grace period before a silent block is respawned (0 = default 2s)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.file, "file", "", "problem file (required)")
+	flag.StringVar(&cfg.format, "format", "", "qubo|qubobin|gset|tsplib (default: by extension)")
+	flag.DurationVar(&cfg.budget, "time", 5*time.Second, "wall-clock budget")
+	flag.Int64Var(&cfg.target, "target", 0, "target energy (stops early when reached)")
+	flag.BoolVar(&cfg.hasTarget, "use-target", false, "enable the -target stop condition")
+	flag.IntVar(&cfg.gpus, "gpus", 1, "number of simulated GPUs")
+	flag.IntVar(&cfg.sms, "sms", 2, "SMs per simulated GPU (0 = full RTX 2080 Ti)")
+	flag.IntVar(&cfg.bitsPerThread, "bits-per-thread", 0, "bits per thread (0 = auto)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.showSolution, "solution", false, "print the solution bit vector")
+	flag.BoolVar(&cfg.verbose, "v", false, "print progress once per second")
+	flag.BoolVar(&cfg.presolve, "presolve", false, "apply persistency-based variable fixing before solving")
+	flag.BoolVar(&cfg.trustDevices, "trust-devices", false, "skip host-side publication validation (the paper's pure §3.1 protocol)")
+	flag.DurationVar(&cfg.grace, "grace", 0, "supervisor grace period before a silent block is respawned (0 = default 2s)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve live telemetry on this address (e.g. :9090); empty disables")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write lifecycle events as JSONL to this file")
 	flag.Parse()
-	if *file == "" {
+	if cfg.file == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -63,7 +91,7 @@ func main() {
 	// cleanly and the partial result is still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *file, *format, *budget, *target, *hasTarget, *gpus, *sms, *bitsPerThread, *seed, *showSolution, *verbose, *presolve, *trustDevices, *grace)
+	err := run(ctx, cfg)
 	switch {
 	case errors.Is(err, errUnfinished):
 		fmt.Fprintln(os.Stderr, "abs-solve:", err)
@@ -98,11 +126,8 @@ func detectFormat(file, format string) string {
 	}
 }
 
-func run(ctx context.Context, file, format string, budget time.Duration, target int64, hasTarget bool,
-	gpus, sms, bitsPerThread int, seed uint64, showSolution, verbose, presolve, trustDevices bool,
-	grace time.Duration) error {
-
-	f, err := os.Open(file)
+func run(ctx context.Context, cfg config) error {
+	f, err := os.Open(cfg.file)
 	if err != nil {
 		return err
 	}
@@ -115,7 +140,7 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 		spins       *ising.Model
 		isingOffset int64
 	)
-	switch detectFormat(file, format) {
+	switch detectFormat(cfg.file, cfg.format) {
 	case "qubo":
 		p, err = qubo.ReadText(f)
 	case "qubobin":
@@ -129,7 +154,7 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 		g, err = maxcut.ReadGSet(f)
 		if err == nil {
 			if g.Name() == "" {
-				g.SetName(filepath.Base(file))
+				g.SetName(filepath.Base(cfg.file))
 			}
 			p, err = maxcut.ToQUBO(g)
 		}
@@ -143,50 +168,69 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 			p = enc.Problem()
 		}
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", cfg.format)
 	}
 	if err != nil {
 		return err
 	}
 	if p.Name() == "" {
-		p.SetName(filepath.Base(file))
+		p.SetName(filepath.Base(cfg.file))
 	}
 
 	opt := core.DefaultOptions()
-	opt.MaxDuration = budget
-	opt.NumGPUs = gpus
-	opt.Seed = seed
-	opt.BitsPerThread = bitsPerThread
-	if sms == 0 {
+	opt.MaxDuration = cfg.budget
+	opt.NumGPUs = cfg.gpus
+	opt.Seed = cfg.seed
+	opt.BitsPerThread = cfg.bitsPerThread
+	if cfg.sms == 0 {
 		opt.Device = gpusim.TuringRTX2080Ti()
 	} else {
-		opt.Device = gpusim.ScaledCPU(sms)
+		opt.Device = gpusim.ScaledCPU(cfg.sms)
 	}
-	if hasTarget {
-		opt.TargetEnergy = &target
+	if cfg.hasTarget {
+		opt.TargetEnergy = &cfg.target
 	}
-	opt.TrustPublications = trustDevices
-	opt.SupervisorGrace = grace
-	if verbose {
-		opt.Progress = func(pr core.Progress) {
-			best := "n/a"
-			if pr.BestKnown {
-				best = fmt.Sprintf("%d", pr.BestEnergy)
+	opt.TrustPublications = cfg.trustDevices
+	opt.SupervisorGrace = cfg.grace
+	if cfg.verbose {
+		opt.ProgressWriter = os.Stderr
+	}
+
+	// Telemetry: a live endpoint, a JSONL event dump, or both. The
+	// tracer's ring also backs the endpoint's /trace view, so one is
+	// created whenever either sink is requested.
+	if cfg.metricsAddr != "" || cfg.traceOut != "" {
+		opt.Telemetry = telemetry.NewRegistry()
+		opt.Tracer = telemetry.NewTracer(1 << 14)
+		if cfg.traceOut != "" {
+			tf, err := os.Create(cfg.traceOut)
+			if err != nil {
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "[%7.1fs] best %s, %d flips, %.3g sol/s\n",
-				pr.Elapsed.Seconds(), best, pr.Flips,
-				float64(pr.Evaluated)/pr.Elapsed.Seconds())
+			defer func() {
+				opt.Tracer.Flush()
+				tf.Close()
+			}()
+			opt.Tracer.SetSink(tf)
+		}
+		if cfg.metricsAddr != "" {
+			srv, err := telemetry.Serve(cfg.metricsAddr, opt.Telemetry, opt.Tracer)
+			if err != nil {
+				return fmt.Errorf("metrics endpoint: %w", err)
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, events at /trace)\n", srv.Addr())
 		}
 	}
 
 	fmt.Printf("instance: %s (%d bits, density %.3f)\n", p.Name(), p.N(), p.Density())
-	fmt.Printf("cluster: %d × %s, %d bits/thread requested\n", gpus, opt.Device.Name, bitsPerThread)
+	fmt.Printf("cluster: %d × %s, %d bits/thread requested\n", cfg.gpus, opt.Device.Name, cfg.bitsPerThread)
 
 	// Optional presolve: solve the persistency-reduced instance and
 	// expand the answer back to the original variable space.
 	var pre *qubo.PresolveResult
 	solveProblem := p
-	if presolve {
+	if cfg.presolve {
 		pre, err = qubo.Presolve(p)
 		if err != nil {
 			return err
@@ -203,14 +247,14 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 				return err
 			}
 			fmt.Printf("best energy: %d (exact, by presolve alone)\n", p.Energy(x))
-			if showSolution {
+			if cfg.showSolution {
 				fmt.Println("solution:", x)
 			}
 			return nil
 		}
 		solveProblem = pre.Reduced
-		if hasTarget {
-			reduced := target - pre.Offset
+		if cfg.hasTarget {
+			reduced := cfg.target - pre.Offset
 			opt.TargetEnergy = &reduced
 		}
 	}
@@ -234,13 +278,11 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100)
 	fmt.Printf("elapsed: %v   flips: %d   evaluated: %d   search rate: %.3g sol/s\n",
 		res.Elapsed.Round(time.Millisecond), res.Flips, res.Evaluated, res.SearchRate)
-	if res.Quarantined > 0 || res.Recovered > 0 || res.Retired > 0 || res.Dropped > 0 {
-		fmt.Printf("fault tolerance: %d quarantined, %d respawned, %d retired, %d dropped\n",
-			res.Quarantined, res.Recovered, res.Retired, res.Dropped)
-	}
+	fmt.Printf("fault tolerance: %d quarantined, %d respawned, %d retired, %d dropped\n",
+		res.Quarantined, res.Recovered, res.Retired, res.Dropped)
 	fmt.Printf("best energy: %d", res.BestEnergy)
-	if hasTarget {
-		fmt.Printf("   target %d reached: %v", target, res.ReachedTarget)
+	if cfg.hasTarget {
+		fmt.Printf("   target %d reached: %v", cfg.target, res.ReachedTarget)
 	}
 	fmt.Println()
 
@@ -254,14 +296,14 @@ func run(ctx context.Context, file, format string, budget time.Duration, target 
 		// 2E = H + C, so the Hamiltonian of the found state is 2E − C.
 		fmt.Printf("ising hamiltonian: %d\n", 2*res.BestEnergy-isingOffset)
 	}
-	if showSolution {
+	if cfg.showSolution {
 		fmt.Println("solution:", res.Best)
 	}
 	switch {
 	case res.Cancelled:
 		return fmt.Errorf("%w: interrupted after %v", errUnfinished, res.Elapsed.Round(time.Millisecond))
-	case hasTarget && !res.ReachedTarget:
-		return fmt.Errorf("%w: budget exhausted before target %d (best %d)", errUnfinished, target, res.BestEnergy)
+	case cfg.hasTarget && !res.ReachedTarget:
+		return fmt.Errorf("%w: budget exhausted before target %d (best %d)", errUnfinished, cfg.target, res.BestEnergy)
 	}
 	return nil
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
 	"os"
@@ -13,6 +15,7 @@ import (
 	"abs/internal/maxcut"
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
+	"abs/internal/telemetry"
 	"abs/internal/tsp"
 )
 
@@ -53,10 +56,20 @@ func writeFile(t *testing.T, name string, write func(*os.File) error) string {
 	return path
 }
 
+// testConfig builds the default single-GPU, single-SM test invocation;
+// mutate adjusts individual fields when non-nil.
+func testConfig(file string, budget time.Duration, mutate func(*config)) config {
+	cfg := config{file: file, budget: budget, gpus: 1, sms: 1, seed: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
 func TestRunEndToEndQUBO(t *testing.T) {
 	p := randqubo.Generate(48, 1)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
-	if err := run(context.Background(), path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, true, false, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 80*time.Millisecond, func(c *config) { c.showSolution = true })); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,7 +77,7 @@ func TestRunEndToEndQUBO(t *testing.T) {
 func TestRunEndToEndBinary(t *testing.T) {
 	p := randqubo.Generate(32, 2)
 	path := writeFile(t, "t.qbin", func(f *os.File) error { return qubo.WriteBinary(f, p) })
-	if err := run(context.Background(), path, "", 50*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 50*time.Millisecond, nil)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +88,7 @@ func TestRunEndToEndGSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := writeFile(t, "t.gset", func(f *os.File) error { return maxcut.WriteGSet(f, g) })
-	if err := run(context.Background(), path, "", 80*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 80*time.Millisecond, nil)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -83,7 +96,7 @@ func TestRunEndToEndGSet(t *testing.T) {
 func TestRunEndToEndTSP(t *testing.T) {
 	inst := tsp.RandomEuclidean(6, 4)
 	path := writeFile(t, "t.tsp", func(f *os.File) error { return tsp.WriteTSPLIB(f, inst) })
-	if err := run(context.Background(), path, "", 150*time.Millisecond, 0, false, 1, 1, 0, 1, false, true, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 150*time.Millisecond, func(c *config) { c.verbose = true })); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -94,7 +107,7 @@ func TestRunEndToEndIsing(t *testing.T) {
 	m.SetJ(2, 5, -4)
 	m.SetH(7, 2)
 	path := writeFile(t, "t.ising", func(f *os.File) error { return ising.Write(f, m) })
-	if err := run(context.Background(), path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 60*time.Millisecond, nil)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -103,7 +116,7 @@ func TestRunWithTargetStop(t *testing.T) {
 	p := randqubo.Generate(32, 5)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
 	// Target of -1 is trivially reachable on a dense random instance.
-	if err := run(context.Background(), path, "", 5*time.Second, -1, true, 1, 1, 0, 1, false, false, false, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 5*time.Second, func(c *config) { c.target, c.hasTarget = -1, true })); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -113,7 +126,7 @@ func TestRunUnreachedTargetIsUnfinished(t *testing.T) {
 	path := writeFile(t, "u.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
 	// An unreachable target with a tiny budget: the run must end by
 	// deadline and report itself unfinished (CLI exit status 3).
-	err := run(context.Background(), path, "", 50*time.Millisecond, math.MinInt64, true, 1, 1, 0, 1, false, false, false, false, 0)
+	err := run(context.Background(), testConfig(path, 50*time.Millisecond, func(c *config) { c.target, c.hasTarget = math.MinInt64, true }))
 	if !errors.Is(err, errUnfinished) {
 		t.Errorf("missed target returned %v, want errUnfinished", err)
 	}
@@ -124,27 +137,27 @@ func TestRunCancelledIsUnfinished(t *testing.T) {
 	path := writeFile(t, "c.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, path, "", 5*time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0)
+	err := run(ctx, testConfig(path, 5*time.Second, nil))
 	if !errors.Is(err, errUnfinished) {
 		t.Errorf("cancelled run returned %v, want errUnfinished", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.qubo"), "", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
+	if err := run(context.Background(), testConfig(filepath.Join(t.TempDir(), "missing.qubo"), time.Second, nil)); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeFile(t, "bad.qubo", func(f *os.File) error {
 		_, err := f.WriteString("not a qubo file\n")
 		return err
 	})
-	if err := run(context.Background(), bad, "", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
+	if err := run(context.Background(), testConfig(bad, time.Second, nil)); err == nil {
 		t.Error("malformed file accepted")
 	}
 	good := writeFile(t, "g.qubo", func(f *os.File) error {
 		return qubo.WriteText(f, randqubo.Generate(16, 6))
 	})
-	if err := run(context.Background(), good, "nonsense", time.Second, 0, false, 1, 1, 0, 1, false, false, false, false, 0); err == nil {
+	if err := run(context.Background(), testConfig(good, time.Second, func(c *config) { c.format = "nonsense" })); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -158,7 +171,43 @@ func TestRunWithPresolve(t *testing.T) {
 	}
 	p.SetWeight(0, 1, 2)
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
-	if err := run(context.Background(), path, "", 60*time.Millisecond, 0, false, 1, 1, 0, 1, false, false, true, false, 0); err != nil {
+	if err := run(context.Background(), testConfig(path, 60*time.Millisecond, func(c *config) { c.presolve = true })); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithTelemetry drives the -metrics-addr and -trace-out wiring:
+// the run must succeed and leave a non-empty JSONL trace whose every
+// line decodes as a telemetry event.
+func TestRunWithTelemetry(t *testing.T) {
+	p := randqubo.Generate(48, 12)
+	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	cfg := testConfig(path, 120*time.Millisecond, func(c *config) {
+		c.metricsAddr = "127.0.0.1:0"
+		c.traceOut = tracePath
+	})
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !telemetry.Enabled {
+		return
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) == 0 || len(lines[0]) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	for i, line := range lines {
+		var e telemetry.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("trace line %d does not decode: %v", i, err)
+		}
+		if e.Kind == "" || e.Seq == 0 {
+			t.Fatalf("trace line %d missing kind/seq: %s", i, line)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"abs/internal/core"
+	"abs/internal/randqubo"
+	"abs/internal/telemetry"
+)
+
+// Report is the machine-readable run report written by
+// `abs-bench -report FILE`. One Report covers one problem set at one
+// scale; each run carries per-device throughput pulled from the
+// telemetry registry, so the numbers are the same ones a live
+// /metrics scrape would show.
+type Report struct {
+	Schema    string      `json:"schema"` // "abs-bench-report/1"
+	Scale     string      `json:"scale"`
+	Generated time.Time   `json:"generated"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Runs      []RunReport `json:"runs"`
+}
+
+// RunReport is one solve of one instance.
+type RunReport struct {
+	Problem     string         `json:"problem"`
+	Bits        int            `json:"bits"`
+	Seed        uint64         `json:"seed"`
+	GPUs        int            `json:"gpus"`
+	WallSeconds float64        `json:"wall_seconds"`
+	BestEnergy  int64          `json:"best_energy"`
+	Flips       uint64         `json:"flips"`
+	FlipsPerSec float64        `json:"flips_per_sec"`
+	Evaluated   uint64         `json:"evaluated"`
+	Inserted    uint64         `json:"inserted"`
+	Quarantined uint64         `json:"quarantined"`
+	Dropped     uint64         `json:"dropped"`
+	Devices     []DeviceReport `json:"devices"`
+}
+
+// DeviceReport is one simulated GPU's share of a run.
+type DeviceReport struct {
+	Device      int     `json:"device"`
+	Flips       uint64  `json:"flips"`
+	FlipsPerSec float64 `json:"flips_per_sec"`
+}
+
+// reportProblems is the fixed problem set of the report: seeded random
+// QUBOs in the paper's density regime, sized so the quick scale stays
+// in CI territory.
+var reportProblems = []struct {
+	bits int
+	gpus int
+}{
+	{256, 2},
+	{512, 2},
+	{1024, 2},
+}
+
+// BuildReport solves the report problem set and collects the results.
+// All runs share one telemetry registry — per-run numbers are isolated
+// by diffing snapshots (Snapshot.Sub), mirroring how a Prometheus user
+// would rate() the cumulative counters.
+func BuildReport(s Scale) (*Report, error) {
+	rep := &Report{
+		Schema:    "abs-bench-report/1",
+		Scale:     s.Name,
+		Generated: time.Now().UTC().Round(time.Second),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	reg := telemetry.NewRegistry()
+	prev := reg.Snapshot()
+	for _, rp := range reportProblems {
+		p := randqubo.Generate(rp.bits, uint64(rp.bits))
+		opt := solveOptions()
+		opt.NumGPUs = rp.gpus
+		opt.MaxDuration = s.RateBudget
+		opt.Telemetry = reg
+		res, err := core.Solve(p, opt)
+		if err != nil {
+			return nil, err
+		}
+		cur := reg.Snapshot()
+		delta := cur.Sub(prev)
+		prev = cur
+
+		run := RunReport{
+			Problem:     p.Name(),
+			Bits:        rp.bits,
+			Seed:        uint64(rp.bits),
+			GPUs:        rp.gpus,
+			WallSeconds: res.Elapsed.Seconds(),
+			BestEnergy:  res.BestEnergy,
+			Flips:       res.Flips,
+			Evaluated:   res.Evaluated,
+			Inserted:    res.Inserted,
+			Quarantined: res.Quarantined,
+			Dropped:     res.Dropped,
+		}
+		if res.Elapsed > 0 {
+			run.FlipsPerSec = float64(res.Flips) / res.Elapsed.Seconds()
+		}
+		for d := 0; d < rp.gpus; d++ {
+			f, _ := delta.Counter("abs_flips_total", strconv.Itoa(d))
+			dr := DeviceReport{Device: d, Flips: uint64(f)}
+			if res.Elapsed > 0 {
+				dr.FlipsPerSec = f / res.Elapsed.Seconds()
+			}
+			run.Devices = append(run.Devices, dr)
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}
+
+// WriteReport builds the report and writes it as indented JSON.
+func WriteReport(w io.Writer, s Scale) error {
+	rep, err := BuildReport(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("encode report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"abs/internal/telemetry"
+)
+
+// reportScale is a sub-Quick scale so the three report runs finish in
+// well under a second of test time.
+func reportScale() Scale {
+	s := Quick()
+	s.RateBudget = 40 * time.Millisecond
+	return s
+}
+
+func TestBuildReport(t *testing.T) {
+	rep, err := BuildReport(reportScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "abs-bench-report/1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Runs) != len(reportProblems) {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), len(reportProblems))
+	}
+	for _, run := range rep.Runs {
+		if run.Flips == 0 {
+			t.Errorf("%s: no flips recorded", run.Problem)
+		}
+		if run.WallSeconds <= 0 {
+			t.Errorf("%s: wall_seconds = %v", run.Problem, run.WallSeconds)
+		}
+		if run.BestEnergy >= 0 {
+			t.Errorf("%s: best_energy = %d, random QUBOs have negative optima", run.Problem, run.BestEnergy)
+		}
+		if len(run.Devices) != run.GPUs {
+			t.Fatalf("%s: %d device rows for %d gpus", run.Problem, len(run.Devices), run.GPUs)
+		}
+		// Snapshot.Sub isolation: per-device flips must sum to this
+		// run's flips, not the registry's cumulative total.
+		if telemetry.Enabled {
+			var sum uint64
+			for _, d := range run.Devices {
+				sum += d.Flips
+			}
+			if sum != run.Flips {
+				t.Errorf("%s: device flips sum %d != run flips %d", run.Problem, sum, run.Flips)
+			}
+		}
+	}
+}
+
+func TestWriteReportIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, reportScale()); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(rep.Runs) == 0 {
+		t.Error("decoded report has no runs")
+	}
+}

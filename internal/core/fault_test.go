@@ -181,7 +181,7 @@ func TestSupervisorStarvationGuard(t *testing.T) {
 	}
 	grace := 50 * time.Millisecond
 	sup := newSupervisor(run, stats, targets, host, nil, fn, grace,
-		run.Occupancy().ActiveBlocks)
+		run.Occupancy().ActiveBlocks, nil)
 
 	t0 := time.Now()
 	for i := range stats.slots {

@@ -23,6 +23,7 @@ type ingestGate struct {
 	totalBlocks  int
 	trust        bool
 	quarantined  uint64
+	metrics      *runMetrics
 }
 
 // vet classifies one publication. admit reports whether the solution
@@ -60,14 +61,34 @@ func (g *ingestGate) ingest(host *ga.Host, s gpusim.Solution) (slot int, inserte
 	slot, admit, retarget := g.vet(s)
 	if !admit {
 		g.quarantined++
+		if m := g.metrics; m != nil {
+			m.ingestReject(s, m.rejectStruct, "structural")
+		}
 		return slot, false, retarget
 	}
 	if !host.Pool().WouldAdmit(s.X, s.Energy) {
-		return slot, host.Insert(s.X, s.Energy), retarget // counts the rejection
+		inserted = host.Insert(s.X, s.Energy) // counts the rejection
+		if m := g.metrics; m != nil && !inserted {
+			m.ingestReject(s, m.rejectPool, "pool")
+		}
+		return slot, inserted, retarget
 	}
 	if !g.trust && g.p.Energy(s.X) != s.Energy {
 		g.quarantined++
+		if m := g.metrics; m != nil {
+			m.ingestReject(s, m.rejectEnergy, "energy mismatch")
+		}
 		return slot, false, retarget
 	}
-	return slot, host.Insert(s.X, s.Energy), retarget
+	inserted = host.Insert(s.X, s.Energy)
+	if m := g.metrics; m != nil {
+		if inserted {
+			m.ingestAccept(s)
+		} else {
+			// WouldAdmit said yes but Insert said no: impossible while
+			// the host loop is the pool's only writer, kept for safety.
+			m.ingestReject(s, m.rejectPool, "pool")
+		}
+	}
+	return slot, inserted, retarget
 }

@@ -15,14 +15,17 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"abs/internal/bitvec"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
+	"abs/internal/telemetry"
 )
 
-// Progress is the periodic run snapshot passed to Options.Progress.
+// Progress is the periodic run snapshot passed to Options.Progress and
+// rendered by Options.ProgressWriter.
 type Progress struct {
 	// Elapsed is the time since launch.
 	Elapsed time.Duration
@@ -32,6 +35,29 @@ type Progress struct {
 	BestKnown  bool
 	// Flips and Evaluated are cluster-wide counters so far.
 	Flips, Evaluated uint64
+	// Dropped and Quarantined surface degradation live: publications
+	// lost to the bounded buffer and publications the ingest gate
+	// refused (see the same-named Result fields).
+	Dropped, Quarantined uint64
+}
+
+// String renders the standard one-line human-readable progress report
+// (what abs-solve -v prints once per second).
+func (p Progress) String() string {
+	best := "n/a"
+	if p.BestKnown {
+		best = fmt.Sprintf("%d", p.BestEnergy)
+	}
+	rate := 0.0
+	if s := p.Elapsed.Seconds(); s > 0 {
+		rate = float64(p.Evaluated) / s
+	}
+	s := fmt.Sprintf("[%7.1fs] best %s, %d flips, %.3g sol/s",
+		p.Elapsed.Seconds(), best, p.Flips, rate)
+	if p.Dropped > 0 || p.Quarantined > 0 {
+		s += fmt.Sprintf(" (%d dropped, %d quarantined)", p.Dropped, p.Quarantined)
+	}
+	return s
 }
 
 // Options configures a Solve run. The zero value is not valid; start
@@ -93,11 +119,36 @@ type Options struct {
 	// the regions around them.
 	WarmStarts []*bitvec.Vector
 
-	// Progress, when non-nil, is called from the host loop roughly
-	// every ProgressEvery (default 1 s) with a snapshot of the run.
-	// The callback runs on the host goroutine: keep it fast.
+	// Progress, when non-nil, is called from the host loop every
+	// ProgressEvery (default 1 s) with a snapshot of the run. The
+	// callback runs on the host goroutine: keep it fast. It is kept as
+	// a thin adapter over the telemetry-driven progress path; new code
+	// wanting the standard line should set ProgressWriter, and code
+	// wanting machine-readable live state should scrape Telemetry.
 	Progress      func(Progress)
 	ProgressEvery time.Duration
+
+	// ProgressWriter, when non-nil, receives the standard one-line
+	// progress report (Progress.String) every ProgressEvery. Ticks are
+	// anchored to the launch time, so a slow callback or a loaded host
+	// delays a line but does not stretch the schedule.
+	ProgressWriter io.Writer
+
+	// Telemetry, when non-nil, receives the run's full instrument
+	// catalogue (see DESIGN.md §6): per-device flip counters and rates,
+	// ingest accept/reject classes, pool admission traffic, supervisor
+	// respawns/retirements, drain-batch and ingest-latency histograms.
+	// Device blocks batch their counter updates once per round, so the
+	// flip loop stays free of telemetry work. Registering the same
+	// registry across several runs accumulates counters; use
+	// telemetry.Snapshot.Sub to isolate one run.
+	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, receives structured lifecycle events
+	// (target/solution publishes, ingest verdicts, respawns,
+	// retirements, pool admissions, injected faults). Attach a sink
+	// for a JSONL dump, or scrape /trace on the telemetry endpoint.
+	Tracer *telemetry.Tracer
 
 	// Adaptive lets every block reschedule its own window length when
 	// it stagnates (double on AdaptivePatience stagnant rounds, wrap to

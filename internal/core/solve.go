@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -190,6 +191,17 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 	solutions := gpusim.NewBoundedSolutionBuffer(bufCap)
 	stats := &blockStats{slots: make([]blockSlot, totalBlocks)}
 
+	// Telemetry, when requested: the runMetrics adapter is installed as
+	// the buffers' and pool's observer before anything is shared, so
+	// even the §3.1 Step 1 seeding below is on the record.
+	activeBlocks := totalBlocks / opt.NumGPUs
+	metrics := newRunMetrics(opt.Telemetry, opt.Tracer, opt.NumGPUs, activeBlocks, time.Now())
+	if metrics != nil {
+		solutions.SetObserver(metrics)
+		targets.SetObserver(metrics)
+		host.Pool().SetObserver(metrics)
+	}
+
 	// Warm starts join the pool with unknown energy (the host never
 	// evaluates the energy function, §3.1); blocks will visit and
 	// evaluate their neighbourhoods.
@@ -215,25 +227,25 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 		stats.slots[i].heartbeat.Store(start.UnixNano())
 	}
 	blockFn := func(bc gpusim.BlockContext) {
-		deviceBlock(bc, newEngine(), opt, targets, solutions, stats)
+		deviceBlock(bc, newEngine(), opt, targets, solutions, stats, metrics)
 	}
 	run, err := cluster.Launch(n, opt.BitsPerThread, blockFn)
 	if err != nil {
 		return nil, err
 	}
 
-	activeBlocks := run.Occupancy().ActiveBlocks
 	gate := &ingestGate{
 		p:            p,
 		n:            n,
 		activeBlocks: activeBlocks,
 		totalBlocks:  totalBlocks,
 		trust:        opt.TrustPublications,
+		metrics:      metrics,
 	}
 	var sup *supervisor
 	if !opt.DisableSupervisor {
 		sup = newSupervisor(run, stats, targets, host, opt.Faults, blockFn,
-			opt.SupervisorGrace, activeBlocks)
+			opt.SupervisorGrace, activeBlocks, metrics)
 	}
 
 	// Host loop (§3.1 Steps 2–4).
@@ -248,19 +260,33 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 	if opt.MaxDuration > 0 {
 		deadline = start.Add(opt.MaxDuration)
 	}
+	// The progress ticker is anchored to the launch time: each deadline
+	// is the previous deadline plus the interval, so callback work and
+	// host load delay a tick but never stretch the schedule (missed
+	// ticks are skipped, keeping the phase).
+	emitProgress := opt.Progress != nil || opt.ProgressWriter != nil || metrics != nil
 	nextProgress := start.Add(opt.ProgressEvery)
 	for {
-		if opt.Progress != nil && !time.Now().Before(nextProgress) {
-			nextProgress = time.Now().Add(opt.ProgressEvery)
+		if emitProgress && !time.Now().Before(nextProgress) {
+			now := time.Now()
+			nextProgress = nextDeadline(nextProgress, now, opt.ProgressEvery)
 			pr := Progress{
-				Elapsed: time.Since(start),
-				Flips:   stats.flips.Load(),
+				Elapsed:     now.Sub(start),
+				Flips:       stats.flips.Load(),
+				Dropped:     solutions.Dropped(),
+				Quarantined: gate.quarantined,
 			}
 			pr.Evaluated = uint64(float64(pr.Flips) * evaluatedPerFlip)
 			if best, ok := host.Pool().Best(); ok {
 				pr.BestEnergy, pr.BestKnown = best.E, true
 			}
-			opt.Progress(pr)
+			metrics.progressTick(now, pr, host.Pool().Len())
+			if opt.ProgressWriter != nil {
+				fmt.Fprintln(opt.ProgressWriter, pr)
+			}
+			if opt.Progress != nil {
+				opt.Progress(pr)
+			}
 		}
 		// Step 2: poll the global counter without draining.
 		if c := solutions.Counter(); c != lastCounter {
@@ -268,7 +294,9 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 			// Step 3: run arrivals through the ingest gate and into the
 			// pool; Step 4: one fresh target per attributable arrival,
 			// stored back into the arriving block's slot.
-			for _, s := range solutions.Drain() {
+			ingestStart := time.Now()
+			batch := solutions.Drain()
+			for _, s := range batch {
 				slot, inserted, retarget := gate.ingest(host, s)
 				if inserted {
 					stats.slots[slot].inserted.Add(1)
@@ -276,6 +304,9 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 				if retarget {
 					targets.Store(slot, host.NewTarget())
 				}
+			}
+			if len(batch) > 0 {
+				metrics.ingestBatch(time.Since(ingestStart))
 			}
 		}
 		if best, ok := host.Pool().Best(); ok && opt.TargetEnergy != nil && best.E <= *opt.TargetEnergy {
@@ -312,6 +343,21 @@ func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, e
 	res.Elapsed = time.Since(start)
 	res.Flips = stats.flips.Load()
 	res.Evaluated = uint64(float64(res.Flips) * evaluatedPerFlip)
+	// Final telemetry tick: post-run scrapes and report writers see
+	// gauges consistent with the Result.
+	if metrics != nil {
+		final := Progress{
+			Elapsed:     res.Elapsed,
+			Flips:       res.Flips,
+			Evaluated:   res.Evaluated,
+			Dropped:     solutions.Dropped(),
+			Quarantined: gate.quarantined,
+		}
+		if best, ok := host.Pool().Best(); ok {
+			final.BestEnergy, final.BestKnown = best.E, true
+		}
+		metrics.progressTick(time.Now(), final, host.Pool().Len())
+	}
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.SearchRate = float64(res.Evaluated) / secs
 	}
@@ -353,6 +399,21 @@ func hostInsertCounts(h *ga.Host) (uint64, uint64) {
 	return ins, rej
 }
 
+// nextDeadline advances the progress deadline by whole intervals from
+// the previous deadline, not from the current time, so the tick
+// schedule stays phase-locked to the launch instant: slow callbacks or
+// a loaded host delay individual ticks but intervals do not stretch.
+// When more than one whole interval was missed, the missed ticks are
+// skipped (no burst of catch-up lines).
+func nextDeadline(prev, now time.Time, every time.Duration) time.Time {
+	next := prev.Add(every)
+	if next.After(now) {
+		return next
+	}
+	steps := now.Sub(prev)/every + 1
+	return prev.Add(steps * every)
+}
+
 // deviceBlock is the device-side program of §3.2: the body of one CUDA
 // block, run as a goroutine. The engine arrives initialized at the
 // zero vector — E(0) = 0, Δ_i = W_ii — so the very first straight
@@ -361,7 +422,8 @@ func hostInsertCounts(h *ga.Host) (uint64, uint64) {
 // buffer's version counter makes them pick up the slot's current
 // target immediately.
 func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
-	targets *gpusim.TargetBuffer, solutions *gpusim.SolutionBuffer, stats *blockStats) {
+	targets *gpusim.TargetBuffer, solutions *gpusim.SolutionBuffer, stats *blockStats,
+	metrics *runMetrics) {
 
 	// Window length: interpolate across blocks geometrically between
 	// WindowMin and WindowMax so the population covers exploration
@@ -379,7 +441,10 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 	defer func() { my.window.Store(int64(policy.L)) }()
 
 	var targetVersion uint64
-	var localFlips uint64
+	// meter batches the round's flip tallies; the flush below is the
+	// only shared-counter traffic the block generates, so the flip
+	// loops themselves carry zero telemetry cost.
+	var meter search.Meter
 	// Searches poll Stopped per flip so a shutdown or supersession takes
 	// effect within one flip, not one full round — with thousands of
 	// resident blocks the difference dominates shutdown latency.
@@ -391,6 +456,7 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 		// and heartbeating, exactly what the supervisor must detect.
 		if opt.Faults != nil {
 			if kind, fired := opt.Faults.Step(bc.GlobalBlock); fired {
+				metrics.fault(bc.GlobalBlock, kind)
 				if kind == gpusim.FaultCrash {
 					return
 				}
@@ -413,10 +479,10 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 			targetVersion = v
 			// Step 4a: straight search from the current solution C to
 			// the target T (Algorithm 5). Flip count = Hamming(C, T).
-			localFlips += uint64(search.StraightUntil(state, t, stopped))
+			meter.Straight(search.StraightUntil(state, t, stopped))
 		}
 		// Step 4b: bulk local search with the forced-flip policy.
-		localFlips += uint64(search.RunUntil(state, opt.LocalSteps, policy, stopped))
+		meter.Local(search.RunUntil(state, opt.LocalSteps, policy, stopped))
 
 		// Step 5: publish the best solution found this round, then
 		// reset it (Step 3 of the next round) so successive rounds
@@ -435,9 +501,11 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 			policy.L = adapt.Observe(e, ok)
 		}
 
-		my.flips.Add(localFlips)
-		stats.flips.Add(localFlips)
-		localFlips = 0
+		meter.Round()
+		tally := meter.Take()
+		my.flips.Add(tally.Flips())
+		stats.flips.Add(tally.Flips())
+		metrics.roundDone(bc.Device, tally)
 		// The heartbeat marks a completed round; crashed and stalled
 		// blocks stop stamping, which is what the supervisor watches.
 		my.heartbeat.Store(time.Now().UnixNano())

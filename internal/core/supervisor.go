@@ -38,11 +38,13 @@ type supervisor struct {
 	rr         int // round-robin cursor for redistribution
 	recovered  uint64
 	numRetired int
+
+	metrics *runMetrics
 }
 
 func newSupervisor(run *gpusim.Run, stats *blockStats, targets *gpusim.TargetBuffer,
 	host *ga.Host, plan *gpusim.FaultPlan, blockFn gpusim.BlockFunc,
-	grace time.Duration, activeBlocks int) *supervisor {
+	grace time.Duration, activeBlocks int, metrics *runMetrics) *supervisor {
 
 	return &supervisor{
 		run:          run,
@@ -54,6 +56,7 @@ func newSupervisor(run *gpusim.Run, stats *blockStats, targets *gpusim.TargetBuf
 		grace:        grace,
 		activeBlocks: activeBlocks,
 		retired:      make([]bool, len(stats.slots)),
+		metrics:      metrics,
 	}
 }
 
@@ -95,6 +98,7 @@ func (s *supervisor) scan(now time.Time) {
 			s.stats.slots[g].restarts.Add(1)
 			s.stats.slots[g].heartbeat.Store(now.UnixNano())
 			s.recovered++
+			s.metrics.respawn(g)
 			s.targets.Store(g, s.host.NewTarget())
 		}
 	}
@@ -103,6 +107,7 @@ func (s *supervisor) scan(now time.Time) {
 // retireDevice halts and retires every block slot of a failed device,
 // redistributing each slot's target stream to a surviving block.
 func (s *supervisor) retireDevice(dev int) {
+	slots := 0
 	for b := 0; b < s.activeBlocks; b++ {
 		g := dev*s.activeBlocks + b
 		if s.retired[g] {
@@ -111,9 +116,13 @@ func (s *supervisor) retireDevice(dev int) {
 		s.run.Halt(g)
 		s.retired[g] = true
 		s.numRetired++
+		slots++
 		if t := s.nextSurvivor(); t >= 0 {
 			s.targets.Store(t, s.host.NewTarget())
 		}
+	}
+	if slots > 0 {
+		s.metrics.deviceRetired(dev, slots, s.numRetired)
 	}
 }
 

@@ -49,7 +49,29 @@ type Pool struct {
 	// for the ablation study that quantifies the guard's value (§2.2.1
 	// argues distinctness prevents premature convergence).
 	allowDuplicates bool
+	obs             PoolObserver
 }
+
+// PoolObserver receives pool admission traffic: every Insert outcome
+// and every eviction a full pool performs to make room. The core
+// solver installs a telemetry adapter here; ga itself stays free of
+// any metrics dependency. Callbacks run on the inserting goroutine
+// (the host loop — the pool is single-owner by contract) and must be
+// cheap.
+type PoolObserver interface {
+	// PoolInserted reports an admitted entry and the pool's new size.
+	PoolInserted(e int64, size int)
+	// PoolEvicted reports the worst entry displaced by an insertion
+	// into a full pool.
+	PoolEvicted(e int64)
+	// PoolRejected reports an Insert turned away (duplicate, or no
+	// better than a full pool's worst).
+	PoolRejected(e int64)
+}
+
+// SetObserver installs obs (nil detaches). The pool is not safe for
+// concurrent use, so there is no publication concern.
+func (p *Pool) SetObserver(obs PoolObserver) { p.obs = obs }
 
 // SetAllowDuplicates toggles the distinctness guard (ablation use only).
 func (p *Pool) SetAllowDuplicates(v bool) { p.allowDuplicates = v }
@@ -124,20 +146,34 @@ func (p *Pool) Insert(x *bitvec.Vector, e int64) bool {
 		return !less(p.entries[i].E, p.entries[i].X, e, x)
 	})
 	if !p.allowDuplicates && pos < len(p.entries) && p.entries[pos].E == e && p.entries[pos].X.Equal(x) {
+		if p.obs != nil {
+			p.obs.PoolRejected(e)
+		}
 		return false // duplicate: keep the pool distinct
 	}
 	if len(p.entries) == p.cap {
 		if pos == len(p.entries) {
+			if p.obs != nil {
+				p.obs.PoolRejected(e)
+			}
 			return false // worse than everything resident
 		}
 		// Shift the tail right by one, dropping the worst entry.
+		evicted := p.entries[len(p.entries)-1].E
 		copy(p.entries[pos+1:], p.entries[pos:len(p.entries)-1])
 		p.entries[pos] = Entry{X: x, E: e}
+		if p.obs != nil {
+			p.obs.PoolEvicted(evicted)
+			p.obs.PoolInserted(e, len(p.entries))
+		}
 		return true
 	}
 	p.entries = append(p.entries, Entry{})
 	copy(p.entries[pos+1:], p.entries[pos:len(p.entries)-1])
 	p.entries[pos] = Entry{X: x, E: e}
+	if p.obs != nil {
+		p.obs.PoolInserted(e, len(p.entries))
+	}
 	return true
 }
 

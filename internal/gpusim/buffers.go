@@ -44,6 +44,7 @@ type SolutionBuffer struct {
 	// guarantees a starved host can drop bulk, but never the champion.
 	salvage    Solution
 	hasSalvage bool
+	obs        BufferObserver
 }
 
 // NewSolutionBuffer returns an empty, unbounded buffer.
@@ -70,21 +71,34 @@ func (b *SolutionBuffer) Publish(s Solution) {
 		b.entries[len(b.entries)-1] = s
 		// Keep the best evicted entry in the salvage register; whatever
 		// it displaces (or the evictee itself, if worse) is lost.
+		var lost Solution
+		var anyLost bool
 		if !b.hasSalvage {
 			b.salvage, b.hasSalvage = evicted, true
 		} else if evicted.Energy < b.salvage.Energy {
+			lost, anyLost = b.salvage, true
 			b.salvage = evicted
 			b.dropped.Add(1)
 		} else {
+			lost, anyLost = evicted, true
 			b.dropped.Add(1)
 		}
 		b.mu.Unlock()
 		b.counter.Add(1)
+		if b.obs != nil {
+			b.obs.Published(s)
+			if anyLost {
+				b.obs.Dropped(lost)
+			}
+		}
 		return
 	}
 	b.entries = append(b.entries, s)
 	b.mu.Unlock()
 	b.counter.Add(1)
+	if b.obs != nil {
+		b.obs.Published(s)
+	}
 }
 
 // Dropped returns the number of publications overwritten before the
@@ -99,8 +113,8 @@ func (b *SolutionBuffer) Counter() uint64 { return b.counter.Load() }
 // including the salvage register's best-evicted entry, if any.
 func (b *SolutionBuffer) Drain() []Solution {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if len(b.entries) == 0 && !b.hasSalvage {
+		b.mu.Unlock()
 		return nil
 	}
 	out := b.entries
@@ -108,6 +122,10 @@ func (b *SolutionBuffer) Drain() []Solution {
 	if b.hasSalvage {
 		out = append(out, b.salvage)
 		b.salvage, b.hasSalvage = Solution{}, false
+	}
+	b.mu.Unlock()
+	if b.obs != nil {
+		b.obs.Drained(len(out))
 	}
 	return out
 }
@@ -120,6 +138,7 @@ type TargetBuffer struct {
 	mu       sync.Mutex
 	slots    []*bitvec.Vector
 	versions []uint64
+	obs      BufferObserver
 }
 
 // NewTargetBuffer returns a buffer with one slot per block, all empty.
@@ -140,6 +159,9 @@ func (t *TargetBuffer) Store(block int, x *bitvec.Vector) {
 	t.slots[block] = x
 	t.versions[block]++
 	t.mu.Unlock()
+	if t.obs != nil {
+		t.obs.TargetStored(block)
+	}
 }
 
 // Load returns the slot's current target and version if the version

@@ -1,0 +1,37 @@
+package gpusim
+
+// BufferObserver receives the global-memory traffic of a run: every
+// publication into the solution buffer, every overwrite the bounded
+// buffer performs, every host drain, and every target store. The core
+// solver installs a telemetry adapter here; gpusim itself stays free
+// of any metrics dependency so the simulation layer remains minimal
+// and separately testable.
+//
+// Callbacks run on the goroutine performing the buffer operation —
+// device blocks for Published, the host for Drained and TargetStored,
+// either for Dropped — and outside the buffer's internal lock, so an
+// observer may itself read the buffer. Implementations must be safe
+// for concurrent use and cheap: Published fires once per block round.
+type BufferObserver interface {
+	// Published reports a solution appended by a device block.
+	Published(s Solution)
+	// Dropped reports a pending publication lost to the bounded
+	// buffer's overwrite policy before the host drained it.
+	Dropped(s Solution)
+	// Drained reports a host drain returning n solutions (not called
+	// for empty drains).
+	Drained(n int)
+	// TargetStored reports the host writing a fresh target into the
+	// given global block slot.
+	TargetStored(block int)
+}
+
+// SetObserver installs obs (nil detaches). Install before the buffer
+// is shared with running blocks; the field is read without a lock on
+// the hot path, relying on the happens-before edge of goroutine
+// creation.
+func (b *SolutionBuffer) SetObserver(obs BufferObserver) { b.obs = obs }
+
+// SetObserver installs obs (nil detaches); same publication rules as
+// SolutionBuffer.SetObserver.
+func (t *TargetBuffer) SetObserver(obs BufferObserver) { t.obs = obs }

@@ -1,0 +1,112 @@
+package gpusim
+
+import (
+	"sync"
+	"testing"
+
+	"abs/internal/bitvec"
+)
+
+// countingObserver is a thread-safe BufferObserver for tests.
+type countingObserver struct {
+	mu        sync.Mutex
+	published []Solution
+	dropped   []Solution
+	drains    []int
+	targets   []int
+}
+
+func (o *countingObserver) Published(s Solution) {
+	o.mu.Lock()
+	o.published = append(o.published, s)
+	o.mu.Unlock()
+}
+func (o *countingObserver) Dropped(s Solution) {
+	o.mu.Lock()
+	o.dropped = append(o.dropped, s)
+	o.mu.Unlock()
+}
+func (o *countingObserver) Drained(n int) {
+	o.mu.Lock()
+	o.drains = append(o.drains, n)
+	o.mu.Unlock()
+}
+func (o *countingObserver) TargetStored(block int) {
+	o.mu.Lock()
+	o.targets = append(o.targets, block)
+	o.mu.Unlock()
+}
+
+func TestSolutionBufferObserver(t *testing.T) {
+	obs := &countingObserver{}
+	b := NewBoundedSolutionBuffer(2)
+	b.SetObserver(obs)
+	// Four publications into a cap-2 buffer: the first eviction lands
+	// in the salvage register (nothing lost), the second loses one.
+	for i := 0; i < 4; i++ {
+		b.Publish(Solution{Energy: int64(i), Block: i})
+	}
+	if len(obs.published) != 4 {
+		t.Errorf("published callbacks = %d, want 4", len(obs.published))
+	}
+	if len(obs.dropped) != 1 || obs.dropped[0].Block != 1 {
+		t.Errorf("dropped callbacks = %+v, want exactly block 1", obs.dropped)
+	}
+	if got := b.Dropped(); got != uint64(len(obs.dropped)) {
+		t.Errorf("Dropped counter %d disagrees with observer %d", got, len(obs.dropped))
+	}
+	n := len(b.Drain())
+	if len(obs.drains) != 1 || obs.drains[0] != n {
+		t.Errorf("drain callbacks = %v, want [%d]", obs.drains, n)
+	}
+	// Empty drain: no callback.
+	if b.Drain() != nil || len(obs.drains) != 1 {
+		t.Errorf("empty drain fired a callback: %v", obs.drains)
+	}
+}
+
+func TestTargetBufferObserver(t *testing.T) {
+	obs := &countingObserver{}
+	tb := NewTargetBuffer(3)
+	tb.SetObserver(obs)
+	tb.Store(2, bitvec.New(4))
+	tb.Store(0, bitvec.New(4))
+	if len(obs.targets) != 2 || obs.targets[0] != 2 || obs.targets[1] != 0 {
+		t.Errorf("target callbacks = %v, want [2 0]", obs.targets)
+	}
+}
+
+// TestObserverConcurrent hammers a bounded buffer from many publishers
+// while draining; run under -race this proves observer dispatch is
+// data-race free.
+func TestObserverConcurrent(t *testing.T) {
+	obs := &countingObserver{}
+	b := NewBoundedSolutionBuffer(8)
+	b.SetObserver(obs)
+	var wg sync.WaitGroup
+	const publishers, each = 4, 200
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish(Solution{Energy: int64(i), Device: p})
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Drain()
+		}
+	}()
+	wg.Wait()
+	<-done
+	b.Drain()
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.published) != publishers*each {
+		t.Errorf("published = %d, want %d", len(obs.published), publishers*each)
+	}
+}

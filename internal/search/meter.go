@@ -1,0 +1,39 @@
+package search
+
+// Meter is a per-block, allocation-free tally of search work. The flip
+// loops (Run/Straight and their *Until variants) are the hottest code
+// in the system, so they are never instrumented directly: the owning
+// block adds their plain-int return values into a Meter it keeps on
+// its stack and flushes the batch into shared atomic counters once per
+// round (§3.2: one round = straight walk + local search + publish).
+// Per-flip cost of telemetry is therefore zero — the only added work
+// is a handful of integer adds per round.
+type Meter struct {
+	// StraightFlips counts flips spent walking to GA targets
+	// (Algorithm 5); LocalFlips counts bulk local-search flips
+	// (Algorithm 4). Their sum is the block's total flip work.
+	StraightFlips uint64
+	LocalFlips    uint64
+	// Rounds counts completed publish rounds.
+	Rounds uint64
+}
+
+// Straight records n flips of straight search.
+func (m *Meter) Straight(n int) { m.StraightFlips += uint64(n) }
+
+// Local records n flips of bulk local search.
+func (m *Meter) Local(n int) { m.LocalFlips += uint64(n) }
+
+// Round marks the end of one publish round.
+func (m *Meter) Round() { m.Rounds++ }
+
+// Flips returns the total flips recorded since the last Reset.
+func (m *Meter) Flips() uint64 { return m.StraightFlips + m.LocalFlips }
+
+// Take returns the current tally and zeroes the meter — the flush
+// operation at the end of a round.
+func (m *Meter) Take() Meter {
+	out := *m
+	*m = Meter{}
+	return out
+}

@@ -1,0 +1,25 @@
+package search
+
+import "testing"
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Straight(3)
+	m.Local(10)
+	m.Local(5)
+	m.Round()
+	if m.Flips() != 18 {
+		t.Errorf("Flips = %d, want 18", m.Flips())
+	}
+	got := m.Take()
+	if got.StraightFlips != 3 || got.LocalFlips != 15 || got.Rounds != 1 {
+		t.Errorf("Take = %+v, want {3 15 1}", got)
+	}
+	if m != (Meter{}) {
+		t.Errorf("meter not zeroed after Take: %+v", m)
+	}
+	// A second Take returns zeros.
+	if z := m.Take(); z != (Meter{}) {
+		t.Errorf("second Take = %+v, want zero", z)
+	}
+}

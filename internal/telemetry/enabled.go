@@ -1,0 +1,10 @@
+//go:build !abstelemetryoff
+
+package telemetry
+
+// Enabled reports whether the telemetry layer is compiled in. Building
+// with -tags abstelemetryoff flips it to false, which makes core.Solve
+// ignore Options.Telemetry/Tracer entirely — the compile-time kill
+// switch for measuring (or eliminating) instrumentation overhead.
+// scripts/check.sh vets and builds both configurations.
+const Enabled = true

@@ -1,0 +1,8 @@
+//go:build abstelemetryoff
+
+package telemetry
+
+// Enabled is false: the build carries the abstelemetryoff tag, so
+// core.Solve ignores Options.Telemetry/Tracer and runs exactly the
+// uninstrumented hot path.
+const Enabled = false

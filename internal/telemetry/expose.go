@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// NewHandler returns the live-exposition HTTP handler:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  the same snapshot as JSON
+//	/trace         the tracer's recent event ring as JSON (404 if no tracer)
+//	/debug/pprof/  the standard runtime profiles
+//	/debug/vars    expvar (memstats, cmdline)
+//	/              a plain-text index of the above
+//
+// Scraping is safe concurrent with a live solve: snapshots read
+// atomics and never block instrument writers.
+func NewHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if tr == nil {
+			http.Error(w, "no tracer attached", http.StatusNotFound)
+			return
+		}
+		// ?n=100 caps the dump to the most recent n events.
+		events := tr.Events()
+		if q := req.URL.Query().Get("n"); q != "" {
+			if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Emitted uint64  `json:"emitted"`
+			Events  []Event `json:"events"`
+		}{tr.Emitted(), events})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "abs telemetry\n\n/metrics\n/metrics.json\n/trace\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+// Server is a live telemetry endpoint bound to a TCP address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition handler on addr (":9090", or ":0" to
+// let the kernel pick a free port — tests use this) and returns once
+// the listener is bound, serving in a background goroutine.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewHandler(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43817".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

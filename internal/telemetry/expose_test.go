@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("abs_flips_total", "flips", "device").With("0").Add(3)
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EventIngestAccept, Energy: -7})
+	h := NewHandler(reg, tr)
+
+	code, body := get(t, h, "/metrics")
+	if code != 200 || !strings.Contains(body, `abs_flips_total{device="0"} 3`) {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get(t, h, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if v, ok := snap.Counter("abs_flips_total", "0"); !ok || v != 3 {
+		t.Errorf("JSON snapshot counter = %v,%v", v, ok)
+	}
+	code, body = get(t, h, "/trace")
+	if code != 200 || !strings.Contains(body, string(EventIngestAccept)) {
+		t.Errorf("/trace = %d %q", code, body)
+	}
+	code, body = get(t, h, "/debug/vars")
+	if code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d (len %d)", code, len(body))
+	}
+	code, _ = get(t, h, "/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	code, body = get(t, h, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	code, _ = get(t, h, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestTraceWithoutTracer(t *testing.T) {
+	h := NewHandler(NewRegistry(), nil)
+	if code, _ := get(t, h, "/trace"); code != 404 {
+		t.Errorf("/trace with nil tracer = %d, want 404", code)
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EventPoolInsert})
+	}
+	h := NewHandler(NewRegistry(), tr)
+	_, body := get(t, h, "/trace?n=3")
+	var out struct {
+		Emitted uint64  `json:"emitted"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Emitted != 10 || len(out.Events) != 3 || out.Events[2].Seq != 10 {
+		t.Errorf("trace?n=3 = emitted %d, %d events, last seq %d", out.Emitted, len(out.Events), out.Events[len(out.Events)-1].Seq)
+	}
+}
+
+// TestServe binds a real listener on :0 and scrapes it over TCP.
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("abs_live_total", "live").Add(9)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "abs_live_total 9") {
+		t.Errorf("scrape missing counter: %s", body)
+	}
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// one atomic add on the bucket counter, one on the total count, and a
+// CAS loop on the float sum. Bucket bounds are upper-inclusive
+// (Prometheus `le` semantics): bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i], and a final implicit +Inf bucket
+// catches the overflow.
+//
+// Observation is O(log buckets) via binary search; with the default
+// log-scale layouts (a few dozen buckets) that is a handful of
+// comparisons — cheap enough for per-drain and per-round call sites,
+// though still too dear for per-flip ones, which must batch (see
+// search.Meter).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 || !sortedBounds(bounds) {
+		panic("telemetry: histogram bounds must be non-empty and strictly increasing")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the upper-inclusive bucket; SearchFloat64s
+	// returns len(bounds) when v exceeds them all — the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return floatFromBits(h.sum.Load()) }
+
+func (h *Histogram) snapshot(name string) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   name,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.Sum()
+	return s
+}
+
+// LogBuckets returns count strictly increasing bounds starting at
+// start and growing by factor: {start, start·factor, …}. This is the
+// standard layout for latency and batch-size histograms here — fixed
+// at registration, so observation never allocates.
+func LogBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: LogBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,360 @@
+// Package telemetry is the observability core of the ABS reproduction:
+// a dependency-free metrics registry (atomic counters, float gauges,
+// log-bucket histograms, labeled instrument vectors), a ring-buffered
+// structured event tracer for the ABS lifecycle, and HTTP exposition in
+// Prometheus text and JSON formats.
+//
+// Design constraints, in order:
+//
+//   - the flip loop must stay allocation- and contention-free, so hot
+//     instruments are plain atomics and device blocks batch their adds
+//     per round (see search.Meter and core's deviceBlock);
+//   - scrapes must be safe concurrent with a live solve — Snapshot
+//     reads atomics without stopping writers and never blocks them;
+//   - no third-party dependencies: the Prometheus text format is
+//     simple enough to render by hand, and net/http ships with Go.
+//
+// Instrument naming follows the Prometheus conventions: an `abs_`
+// namespace, `_total` suffix on counters, base units (seconds) on
+// histograms, and at most one label per instrument (`device` for
+// per-device series, `reason` for rejection classes).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use, but counters are normally created through a
+// Registry so they appear in snapshots.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// SetInt stores an integer value (a convenience for sizes and counts).
+func (g *Gauge) SetInt(v int) { g.Set(float64(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFromBits(g.bits.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is one named instrument: a set of series distinguished by the
+// value of a single label (or exactly one unlabeled series).
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label key; "" for unlabeled instruments
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	order    []string // label values in first-seen order
+}
+
+func (f *family) series(labelValue string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.kind {
+	case kindCounter:
+		if c, ok := f.counters[labelValue]; ok {
+			return c
+		}
+		c := &Counter{}
+		f.counters[labelValue] = c
+		f.order = append(f.order, labelValue)
+		return c
+	case kindGauge:
+		if g, ok := f.gauges[labelValue]; ok {
+			return g
+		}
+		g := &Gauge{}
+		f.gauges[labelValue] = g
+		f.order = append(f.order, labelValue)
+		return g
+	}
+	panic("telemetry: series on histogram family")
+}
+
+// Registry holds a set of named instruments and produces consistent
+// snapshots of all of them. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use; instrument
+// handles returned by the constructors are the hot-path objects and
+// should be cached by callers (looking one up takes a lock, using it
+// does not).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the named family, creating it on first use and
+// panicking when a name is reused with a different kind or label key —
+// instrument registration mistakes are programming errors, not runtime
+// conditions.
+func (r *Registry) lookup(name, help string, kind metricKind, label string) *family {
+	if name == "" {
+		panic("telemetry: empty instrument name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("telemetry: instrument %q re-registered as %v/%q, was %v/%q",
+				name, kind, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		label:    label,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter returns the unlabeled counter with the given name, creating
+// it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, "").series("").(*Counter)
+}
+
+// Gauge returns the unlabeled gauge with the given name, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, "").series("").(*Gauge)
+}
+
+// CounterVec is a family of counters distinguished by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with the given name
+// and label key.
+func (r *Registry) CounterVec(name, help, label string) CounterVec {
+	return CounterVec{r.lookup(name, help, kindCounter, label)}
+}
+
+// With returns the counter for one label value, creating it on first
+// use. Callers on hot paths must cache the returned handle.
+func (v CounterVec) With(labelValue string) *Counter {
+	return v.f.series(labelValue).(*Counter)
+}
+
+// GaugeVec is a family of gauges distinguished by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with the given name and
+// label key.
+func (r *Registry) GaugeVec(name, help, label string) GaugeVec {
+	return GaugeVec{r.lookup(name, help, kindGauge, label)}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v GaugeVec) With(labelValue string) *Gauge {
+	return v.f.series(labelValue).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram with the given name,
+// creating it with the given bucket bounds on first use (later calls
+// ignore the bounds and return the existing instrument).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.lookup(name, help, kindHistogram, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.hists[""]; ok {
+		return h
+	}
+	h := newHistogram(bounds)
+	f.hists[""] = h
+	f.order = append(f.order, "")
+	return h
+}
+
+// SeriesSnapshot is one counter or gauge series in a Snapshot.
+type SeriesSnapshot struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"`
+	Label      string  `json:"label,omitempty"`
+	LabelValue string  `json:"label_value,omitempty"`
+	Value      float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram in a Snapshot. Counts are
+// per-bucket (not cumulative); bucket i counts observations v with
+// Bounds[i-1] < v <= Bounds[i], and the final bucket is the +Inf
+// overflow.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time view of every instrument in a registry,
+// ordered by registration then label-value first-use. Individual values
+// are read atomically while writers keep running; the snapshot is
+// internally ordered but not a stop-the-world cut — a counter read
+// early may miss an add that a counter read late observed. For the
+// run reports and tests this is exactly the consistency a live scrape
+// has.
+type Snapshot struct {
+	Series     []SeriesSnapshot    `json:"series"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all instruments.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, f := range fams {
+		f.mu.Lock()
+		values := make([]string, len(f.order))
+		copy(values, f.order)
+		for _, lv := range values {
+			switch f.kind {
+			case kindCounter:
+				s.Series = append(s.Series, SeriesSnapshot{
+					Name: f.name, Kind: "counter", Label: f.label, LabelValue: lv,
+					Value: float64(f.counters[lv].Value()),
+				})
+			case kindGauge:
+				s.Series = append(s.Series, SeriesSnapshot{
+					Name: f.name, Kind: "gauge", Label: f.label, LabelValue: lv,
+					Value: f.gauges[lv].Value(),
+				})
+			case kindHistogram:
+				s.Histograms = append(s.Histograms, f.hists[lv].snapshot(f.name))
+			}
+		}
+		f.mu.Unlock()
+	}
+	return s
+}
+
+// Counter returns the value of the named counter series ("" labelValue
+// for unlabeled counters) and whether it exists. It exists for tests
+// and report writers; scraping code should render the whole snapshot.
+func (s Snapshot) Counter(name, labelValue string) (float64, bool) {
+	return s.value(name, "counter", labelValue)
+}
+
+// Gauge is Counter for gauge series.
+func (s Snapshot) Gauge(name, labelValue string) (float64, bool) {
+	return s.value(name, "gauge", labelValue)
+}
+
+func (s Snapshot) value(name, kind, labelValue string) (float64, bool) {
+	for _, m := range s.Series {
+		if m.Name == name && m.Kind == kind && m.LabelValue == labelValue {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// LabelValues returns the label values of the named series in
+// first-use order, e.g. the device indices of a per-device counter.
+func (s Snapshot) LabelValues(name string) []string {
+	var out []string
+	for _, m := range s.Series {
+		if m.Name == name {
+			out = append(out, m.LabelValue)
+		}
+	}
+	return out
+}
+
+// Sub returns a snapshot whose counter series are s minus prev
+// (matching series by name and label value; series absent from prev
+// pass through unchanged). Gauges and histograms keep s's values.
+// Report writers use it to isolate one run's worth of counts on a
+// registry that outlives the run.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Series:     make([]SeriesSnapshot, len(s.Series)),
+		Histograms: s.Histograms,
+	}
+	copy(out.Series, s.Series)
+	for i, m := range out.Series {
+		if m.Kind != "counter" {
+			continue
+		}
+		if v, ok := prev.value(m.Name, "counter", m.LabelValue); ok {
+			out.Series[i].Value -= v
+		}
+	}
+	return out
+}
+
+// sortedBounds validates histogram bounds: strictly increasing, finite.
+func sortedBounds(bounds []float64) bool {
+	return sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) &&
+		func() bool {
+			for i := 1; i < len(bounds); i++ {
+				if bounds[i] == bounds[i-1] {
+					return false
+				}
+			}
+			return true
+		}()
+}

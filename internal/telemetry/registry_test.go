@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("abs_test_total", "test counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("abs_test_total", "test counter") != c {
+		t.Error("re-lookup returned a different counter")
+	}
+	g := r.Gauge("abs_test_gauge", "test gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	g.SetInt(7)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %v, want 7", got)
+	}
+}
+
+func TestVectors(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("abs_flips_total", "flips", "device")
+	v.With("0").Add(10)
+	v.With("1").Add(20)
+	v.With("0").Add(5)
+	s := r.Snapshot()
+	if got, ok := s.Counter("abs_flips_total", "0"); !ok || got != 15 {
+		t.Errorf("device 0 = %v,%v, want 15,true", got, ok)
+	}
+	if got, ok := s.Counter("abs_flips_total", "1"); !ok || got != 20 {
+		t.Errorf("device 1 = %v,%v, want 20,true", got, ok)
+	}
+	if lv := s.LabelValues("abs_flips_total"); len(lv) != 2 || lv[0] != "0" || lv[1] != "1" {
+		t.Errorf("label values = %v, want [0 1]", lv)
+	}
+	gv := r.GaugeVec("abs_rate", "rate", "device")
+	gv.With("1").Set(3.5)
+	if got, ok := r.Snapshot().Gauge("abs_rate", "1"); !ok || got != 3.5 {
+		t.Errorf("gauge vec = %v,%v, want 3.5,true", got, ok)
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("abs_x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("abs_x", "x")
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("abs_work_total", "work")
+	g := r.Gauge("abs_level", "level")
+	c.Add(100)
+	g.Set(1)
+	before := r.Snapshot()
+	c.Add(25)
+	g.Set(9)
+	diff := r.Snapshot().Sub(before)
+	if got, _ := diff.Counter("abs_work_total", ""); got != 25 {
+		t.Errorf("diffed counter = %v, want 25", got)
+	}
+	// Gauges pass through with the latest value.
+	if got, _ := diff.Gauge("abs_level", ""); got != 9 {
+		t.Errorf("diffed gauge = %v, want 9", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("abs_flips_total", "total flips", "device").With("0").Add(7)
+	r.Gauge("abs_pool_size", "pool size").SetInt(16)
+	h := r.Histogram("abs_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE abs_flips_total counter",
+		`abs_flips_total{device="0"} 7`,
+		"# TYPE abs_pool_size gauge",
+		"abs_pool_size 16",
+		"# TYPE abs_lat_seconds histogram",
+		`abs_lat_seconds_bucket{le="0.1"} 1`,
+		`abs_lat_seconds_bucket{le="1"} 2`,
+		`abs_lat_seconds_bucket{le="+Inf"} 3`,
+		"abs_lat_seconds_sum 2.55",
+		"abs_lat_seconds_count 3",
+		"# HELP abs_flips_total total flips",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("abs_a_total", "a").Inc()
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"abs_a_total"`) {
+		t.Errorf("JSON output missing counter name: %s", b.String())
+	}
+}
+
+// TestConcurrentUse hammers one registry from writer goroutines while
+// snapshotting from others; run under -race this is the data-race
+// proof for scrape-while-solving.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("abs_flips_total", "flips", "device")
+	h := r.Histogram("abs_lat_seconds", "lat", LogBuckets(1e-6, 10, 8))
+	const writers, rounds = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := vec.With(string(rune('0' + w%4)))
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			var b strings.Builder
+			s.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := r.Snapshot()
+	var total float64
+	for _, lv := range s.LabelValues("abs_flips_total") {
+		v, _ := s.Counter("abs_flips_total", lv)
+		total += v
+	}
+	if total != writers*rounds {
+		t.Errorf("total flips = %v, want %d", total, writers*rounds)
+	}
+	if h.Count() != writers*rounds {
+		t.Errorf("histogram count = %d, want %d", h.Count(), writers*rounds)
+	}
+}

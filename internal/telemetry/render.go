@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers per family,
+// one line per series, histograms as cumulative le-buckets plus
+// _sum/_count. help strings were captured at registration and travel
+// with the registry, so the renderer takes them from the registry —
+// use Registry.WritePrometheus for a scrape with headers; the
+// Snapshot method renders bare series for diffing and tests.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return s.writePrometheus(w, nil)
+}
+
+// WritePrometheus takes a fresh snapshot and renders it with
+// HELP/TYPE headers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	helps := make(map[string]string)
+	r.mu.Lock()
+	for name, f := range r.families {
+		helps[name] = f.help
+	}
+	r.mu.Unlock()
+	return r.Snapshot().writePrometheus(w, helps)
+}
+
+func (s Snapshot) writePrometheus(w io.Writer, helps map[string]string) error {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	header := func(name, kind string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if h := helps[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(h))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+	}
+	for _, m := range s.Series {
+		header(m.Name, m.Kind)
+		b.WriteString(m.Name)
+		if m.Label != "" {
+			fmt.Fprintf(&b, "{%s=%q}", m.Label, m.LabelValue)
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatValue(m.Value))
+		b.WriteByte('\n')
+	}
+	for _, h := range s.Histograms {
+		header(h.Name, "histogram")
+		cum := uint64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatValue(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON (the machine-
+// readable twin of the Prometheus endpoint).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// formatValue renders floats the way Prometheus expects: integers
+// without a decimal point, everything else in shortest round-trip
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EventSolutionPublish, Device: i})
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Errorf("emitted = %d, want 10", got)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	// Oldest-first: sequences 7, 8, 9, 10 with devices 6..9.
+	for i, e := range ev {
+		if wantSeq := uint64(7 + i); e.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+		if wantDev := 6 + i; e.Device != wantDev {
+			t.Errorf("event %d device = %d, want %d", i, e.Device, wantDev)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Kind: EventPoolInsert, Energy: -5})
+	tr.Emit(Event{Kind: EventPoolEvict, Energy: 3})
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Kind != EventPoolInsert || ev[1].Kind != EventPoolEvict {
+		t.Errorf("events = %+v, want insert then evict", ev)
+	}
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("sequences = %d,%d, want 1,2", ev[0].Seq, ev[1].Seq)
+	}
+	if ev[0].UnixNano == 0 {
+		t.Error("event not timestamped")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EventFaultInject}) // must not panic
+	if tr.Events() != nil || tr.Emitted() != 0 || tr.Flush() != nil {
+		t.Error("nil tracer returned non-zero state")
+	}
+	tr.SetSink(&bytes.Buffer{})
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2) // smaller than the event count: sink must still see all
+	tr.SetSink(&buf)
+	kinds := []EventKind{EventTargetPublish, EventIngestAccept, EventIngestReject, EventBlockRespawn}
+	for _, k := range kinds {
+		tr.Emit(Event{Kind: k, Device: 1, Block: 2, Detail: "x"})
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(kinds) {
+		t.Fatalf("sink received %d events, want %d", len(got), len(kinds))
+	}
+	for i, e := range got {
+		if e.Kind != kinds[i] || e.Seq != uint64(i+1) {
+			t.Errorf("line %d = kind %q seq %d, want %q seq %d", i, e.Kind, e.Seq, kinds[i], i+1)
+		}
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Event{Kind: EventSolutionPublish})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Events()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.Emitted(); got != workers*each {
+		t.Errorf("emitted = %d, want %d", got, workers*each)
+	}
+	ev := tr.Events()
+	if len(ev) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("ring not in sequence order at %d: %d then %d", i, ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

@@ -7,8 +7,16 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== go vet (telemetry off) =="
+# The abstelemetryoff tag compiles telemetry.Enabled to false so the
+# instrumentation dead-codes away; both build flavours must stay clean.
+go vet -tags abstelemetryoff ./...
+
 echo "== go build =="
 go build ./...
+
+echo "== go build (telemetry off) =="
+go build -tags abstelemetryoff ./...
 
 echo "== go test -race =="
 # Generous timeout: the paper-shape bench tests launch thousands of
