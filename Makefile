@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench obs-demo
+.PHONY: build test vet race check bench obs-demo serve apicheck
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ race:
 # The standard gate: everything a change must pass before it lands.
 check:
 	./scripts/check.sh
+
+# API-surface gate alone; APICHECK_UPDATE=1 make apicheck regenerates
+# the snapshot after an intentional change.
+apicheck:
+	sh scripts/apicheck.sh
+
+# Long-lived HTTP solver service on a small simulated fleet.
+serve:
+	$(GO) run ./cmd/abs-serve -gpus 2 -sms 2
 
 bench:
 	$(GO) run ./cmd/abs-bench -all -scale quick

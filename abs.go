@@ -1,3 +1,8 @@
+// Package abs is the public surface of the Adaptive Bulk Search QUBO
+// solver. One import covers the whole API: problems (NewProblem,
+// ReadProblem, RandomProblem), one-shot solves (SolveContext and its
+// convenience wrappers), and the multi-job Solver service (New, Submit,
+// Job) that shares one simulated device fleet across concurrent solves.
 package abs
 
 import (
@@ -13,6 +18,8 @@ import (
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
 	"abs/internal/sa"
+	"abs/internal/serve"
+	"abs/internal/telemetry"
 )
 
 // Core problem and solution types, re-exported from the implementation
@@ -34,7 +41,45 @@ type (
 	// Storage selects the search-engine representation (auto, dense,
 	// sparse).
 	Storage = core.Storage
+
+	// Progress is the periodic run snapshot passed to Options.Progress
+	// and reported live by Job.Status.
+	Progress = core.Progress
+	// BlockStat is the per-search-unit record in Result.BlockStats.
+	BlockStat = core.BlockStat
+	// Occupancy is the per-device residency report in Result.Occupancy.
+	Occupancy = gpusim.Occupancy
+	// FaultPlan schedules injected block faults (Options.Faults); it is
+	// the test hook behind the fault-tolerance layer. See NewFaultPlan.
+	FaultPlan = gpusim.FaultPlan
+	// FaultCounts tallies what a FaultPlan actually injected.
+	FaultCounts = gpusim.FaultCounts
+	// Telemetry is the metrics registry accepted by Options.Telemetry
+	// and served at /metrics; see NewTelemetry.
+	Telemetry = telemetry.Registry
+	// Tracer records structured lifecycle events (Options.Tracer); see
+	// NewTracer.
+	Tracer = telemetry.Tracer
+	// TraceEvent is one structured record in a Tracer's ring.
+	TraceEvent = telemetry.Event
+	// EventKind names the kind of a TraceEvent; the kinds are plain
+	// strings ("target_publish", "job_submit", …) so they compare
+	// directly against string literals.
+	EventKind = telemetry.EventKind
 )
+
+// NewTelemetry returns an empty metrics registry for Options.Telemetry
+// or Solver wiring.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// NewTracer returns a tracer whose ring keeps the most recent capacity
+// events.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// NewFaultPlan returns an empty fault-injection plan whose random
+// choices derive deterministically from seed; attach it via
+// Options.Faults.
+func NewFaultPlan(seed uint64) *FaultPlan { return gpusim.NewFaultPlan(seed) }
 
 // Storage constants, re-exported from the core package.
 const (
@@ -77,32 +122,168 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // shape: four simulated RTX 2080 Ti at 100 % occupancy.
 func PaperOptions() Options { return core.PaperOptions() }
 
-// Solve runs the Adaptive Bulk Search until a stop condition fires.
-func Solve(p *Problem, opt Options) (*Result, error) { return core.Solve(p, opt) }
+// Multi-job service types, re-exported from the scheduler package. A
+// Solver owns one simulated device fleet and schedules many concurrent
+// jobs onto it fair-share; each Submit returns a Job handle.
+type (
+	// Job is a handle on one submitted solve; all methods are safe for
+	// concurrent use.
+	Job = serve.Job
+	// JobSpec is the per-job request: stop conditions, seed, an
+	// optional name and a device cap. Zero fields inherit the Solver's
+	// default Options.
+	JobSpec = serve.JobSpec
+	// JobStatus is a point-in-time job snapshot, safe to read while the
+	// job runs.
+	JobStatus = serve.JobStatus
+	// JobState is a job's position in the lifecycle
+	// queued → running → done | cancelled | failed.
+	JobState = serve.JobState
+)
 
-// SolveContext is Solve with cooperative cancellation: when ctx is
-// cancelled the run shuts down cleanly (all simulated blocks joined)
-// and the partial Result is returned with Cancelled set.
-func SolveContext(ctx context.Context, p *Problem, opt Options) (*Result, error) {
-	return core.SolveContext(ctx, p, opt)
+// Job lifecycle states, re-exported from the scheduler package.
+const (
+	JobQueued    = serve.StateQueued
+	JobRunning   = serve.StateRunning
+	JobDone      = serve.StateDone
+	JobCancelled = serve.StateCancelled
+	JobFailed    = serve.StateFailed
+)
+
+// Service errors, re-exported so callers can errors.Is against them.
+var (
+	// ErrQueueFull is Submit's backpressure signal: the waiting-job
+	// queue is at capacity.
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = serve.ErrClosed
+	// ErrNotFinished is returned by Job.Result while the job is live.
+	ErrNotFinished = serve.ErrNotFinished
+)
+
+// Solver is a long-lived multi-job solver: one simulated device fleet
+// (opt.NumGPUs × opt.Device) shared by many concurrent jobs. Jobs run
+// at most one per device and split the fleet fair-share — D devices
+// across J running jobs is ⌊D/J⌋ each with the earliest arrivals
+// holding the remainders — rebalancing live whenever a job arrives or
+// finishes. Excess jobs wait in a bounded queue; Submit fails with
+// ErrQueueFull when it is full.
+//
+// For one-shot solves, SolveContext and its wrappers remain the
+// simpler entry point (they run a private single-job Solver under the
+// hood). Command abs-serve exposes a Solver-equivalent service over
+// HTTP.
+type Solver struct {
+	svc *serve.Service
 }
 
-// SolveFor is a convenience wrapper: best solution within a wall-clock
-// budget.
-func SolveFor(p *Problem, budget time.Duration) (*Result, error) {
+// New starts a Solver whose fleet shape and per-job defaults come from
+// opt (start from DefaultOptions or PaperOptions): opt.Device and
+// opt.NumGPUs size the fleet, the remaining fields — including any
+// stop conditions — are the template each JobSpec overrides. A
+// non-nil opt.Telemetry receives the service-plane instruments
+// (queue/running gauges, settlement counters, per-job device gauges)
+// alongside each run's own; opt.Tracer receives job lifecycle events.
+// The Solver runs until Close.
+func New(opt Options) (*Solver, error) {
+	svc, err := serve.New(serve.Config{
+		Device:     opt.Device,
+		NumDevices: opt.NumGPUs,
+		Defaults:   opt,
+		Registry:   opt.Telemetry,
+		Tracer:     opt.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{svc: svc}, nil
+}
+
+// Submit validates and enqueues one job. The returned Job is live:
+// Job.Wait blocks for the Result, Job.Status snapshots progress,
+// Job.Cancel stops it early. Cancelling ctx cancels the job itself —
+// queued or running — not just the submission. Submit fails fast with
+// ErrQueueFull when the waiting queue is at capacity and ErrClosed
+// after Close.
+func (s *Solver) Submit(ctx context.Context, p *Problem, spec JobSpec) (*Job, error) {
+	return s.svc.Submit(ctx, p, spec)
+}
+
+// Job returns the handle for id, if the job is live or still retained.
+func (s *Solver) Job(id string) (*Job, bool) { return s.svc.Job(id) }
+
+// Jobs returns all live and retained jobs, newest submission first.
+func (s *Solver) Jobs() []*Job { return s.svc.Jobs() }
+
+// Fleet reports the device model and fleet size the Solver runs.
+func (s *Solver) Fleet() (DeviceSpec, int) { return s.svc.Fleet() }
+
+// Close stops accepting jobs, cancels everything queued or running and
+// waits for all device blocks to stand down. Safe to call more than
+// once.
+func (s *Solver) Close() error { return s.svc.Close() }
+
+// Solve runs the Adaptive Bulk Search until a stop condition fires. It
+// is exactly SolveContext(context.Background(), p, opt).
+func Solve(p *Problem, opt Options) (*Result, error) {
+	return SolveContext(context.Background(), p, opt)
+}
+
+// SolveContext is the canonical one-shot solve: run until a stop
+// condition fires or ctx is cancelled. Cancellation is cooperative and
+// clean — all simulated blocks are joined — and not an error: the
+// partial Result comes back with Cancelled set. Internally the run is
+// a single job on a private Solver, so one-shot and service solves
+// share one scheduling path.
+func SolveContext(ctx context.Context, p *Problem, opt Options) (*Result, error) {
+	s, err := New(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	j, err := s.Submit(ctx, p, JobSpec{})
+	if err != nil {
+		return nil, err
+	}
+	// Wait on the background context: ctx cancelling the *job* must
+	// still deliver the partial Result, exactly like a one-shot run.
+	return j.Wait(context.Background())
+}
+
+// SolveForContext solves for at most a wall-clock budget, honouring
+// ctx for early cancellation.
+func SolveForContext(ctx context.Context, p *Problem, budget time.Duration) (*Result, error) {
 	opt := core.DefaultOptions()
 	opt.MaxDuration = budget
-	return core.Solve(p, opt)
+	return SolveContext(ctx, p, opt)
 }
 
-// SolveToTarget is a convenience wrapper: run until the energy target
-// is reached or the budget expires; Result.ReachedTarget distinguishes
-// the two.
-func SolveToTarget(p *Problem, target int64, budget time.Duration) (*Result, error) {
+// SolveToTargetContext runs until the energy target is reached or the
+// budget expires, honouring ctx for early cancellation;
+// Result.ReachedTarget distinguishes the outcomes.
+func SolveToTargetContext(ctx context.Context, p *Problem, target int64, budget time.Duration) (*Result, error) {
 	opt := core.DefaultOptions()
 	opt.TargetEnergy = &target
 	opt.MaxDuration = budget
-	return core.Solve(p, opt)
+	return SolveContext(ctx, p, opt)
+}
+
+// SolveFor is SolveForContext without cancellation.
+//
+// Deprecated: use SolveForContext. SolveFor is kept for source
+// compatibility and will not be removed in v1, but new code should
+// pass a context.
+func SolveFor(p *Problem, budget time.Duration) (*Result, error) {
+	return SolveForContext(context.Background(), p, budget)
+}
+
+// SolveToTarget is SolveToTargetContext without cancellation.
+//
+// Deprecated: use SolveToTargetContext. SolveToTarget is kept for
+// source compatibility and will not be removed in v1, but new code
+// should pass a context.
+func SolveToTarget(p *Problem, target int64, budget time.Duration) (*Result, error) {
+	return SolveToTargetContext(context.Background(), p, target, budget)
 }
 
 // ExactSolve enumerates all solutions of a small instance (≤ 30 bits)

@@ -1,0 +1,141 @@
+// Command abs-serve runs the Adaptive Bulk Search solver as a long-
+// lived HTTP service: one simulated device fleet, many concurrent jobs
+// scheduled onto it fair-share.
+//
+// Usage:
+//
+//	abs-serve [-addr :8080] [-gpus 2] [-sms 2] [-queue-cap 16]
+//	          [-retain 64] [-default-time 10s] [-max-time 5m]
+//
+// API (JSON):
+//
+//	POST   /v1/jobs             submit a job; 202 on accept, 429 when
+//	                            the queue is full (backpressure)
+//	GET    /v1/jobs             list live and retained jobs
+//	GET    /v1/jobs/{id}        status, plus the result once settled
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events NDJSON status stream until settled
+//
+// A submission carries either an inline text-format QUBO ("problem")
+// or a server-side generator spec ("random": {"n": 512, "seed": 7}),
+// plus stop conditions: "time" (Go duration), "max_flips",
+// "target_energy". "max_devices" caps the job's fair share of the
+// fleet.
+//
+// The same listener exposes the telemetry plane: Prometheus text at
+// /metrics, a JSON snapshot at /metrics.json, the recent lifecycle
+// event ring at /trace and pprof under /debug/pprof/.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"abs/internal/core"
+	"abs/internal/gpusim"
+	"abs/internal/serve"
+	"abs/internal/telemetry"
+)
+
+type config struct {
+	addr        string
+	gpus, sms   int
+	queueCap    int
+	retain      int
+	defaultTime time.Duration
+	maxTime     time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.gpus, "gpus", 2, "fleet size (simulated devices)")
+	flag.IntVar(&cfg.sms, "sms", 2, "SMs per simulated device (0 = full RTX 2080 Ti)")
+	flag.IntVar(&cfg.queueCap, "queue-cap", 16, "max jobs waiting for a device before 429")
+	flag.IntVar(&cfg.retain, "retain", 64, "settled jobs kept queryable")
+	flag.DurationVar(&cfg.defaultTime, "default-time", 10*time.Second, "wall-clock budget for jobs that set no stop condition")
+	flag.DurationVar(&cfg.maxTime, "max-time", 5*time.Minute, "hard cap on any job's wall-clock budget")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "abs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and serves until ctx is cancelled; split from
+// main so tests can drive a whole server lifecycle in-process.
+func run(ctx context.Context, cfg config, out *os.File) error {
+	svc, reg, tr, err := newService(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           serve.NewHTTPHandler(svc, reg, tr),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	spec, size := svc.Fleet()
+	fmt.Fprintf(out, "abs-serve: fleet %d × %s\n", size, spec.Name)
+	fmt.Fprintf(out, "abs-serve: listening on http://%s/v1/jobs (metrics at /metrics)\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(out, "abs-serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// newService builds the Service plus its telemetry plane from flags.
+func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tracer, error) {
+	defaults := core.DefaultOptions()
+	defaults.MaxDuration = cfg.defaultTime
+
+	var device gpusim.DeviceSpec
+	if cfg.sms == 0 {
+		device = gpusim.TuringRTX2080Ti()
+	} else {
+		device = gpusim.ScaledCPU(cfg.sms)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(1 << 14)
+	svc, err := serve.New(serve.Config{
+		Device:         device,
+		NumDevices:     cfg.gpus,
+		Defaults:       defaults,
+		QueueCap:       cfg.queueCap,
+		RetainResults:  cfg.retain,
+		MaxJobDuration: cfg.maxTime,
+		Registry:       reg,
+		Tracer:         tr,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return svc, reg, tr, nil
+}

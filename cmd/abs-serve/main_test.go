@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunLifecycle boots the whole binary path — flags → service →
+// listener — on an ephemeral port, hits the API once, and shuts down
+// via context cancellation the way SIGINT does.
+func TestRunLifecycle(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "abs-serve-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	cfg := config{
+		addr:        "127.0.0.1:0",
+		gpus:        1,
+		sms:         1,
+		queueCap:    4,
+		retain:      8,
+		defaultTime: time.Second,
+		maxTime:     time.Minute,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, out) }()
+
+	// The bound address appears in the startup banner.
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)/v1/jobs`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && addr == "" {
+		b, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := addrRe.FindStringSubmatch(string(b)); m != nil {
+			addr = m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatal("server never printed its address")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"random": {"n": 32}, "time": "50ms"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit over the binary's listener: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not shut down after cancellation")
+	}
+}

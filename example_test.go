@@ -1,22 +1,23 @@
 package abs_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"abs"
 )
 
-// ExampleSolveToTarget shows the basic target-driven workflow: build an
-// instance, compute a ground-truth target for this tiny size, and run
-// ABS until it is reached.
-func ExampleSolveToTarget() {
+// ExampleSolveToTargetContext shows the basic target-driven workflow:
+// build an instance, compute a ground-truth target for this tiny size,
+// and run ABS until it is reached.
+func ExampleSolveToTargetContext() {
 	p := abs.RandomProblem(16, 7)
 	_, optimum, err := abs.ExactSolve(p) // tiny instance: exact oracle
 	if err != nil {
 		panic(err)
 	}
-	res, err := abs.SolveToTarget(p, optimum, 30*time.Second)
+	res, err := abs.SolveToTargetContext(context.Background(), p, optimum, 30*time.Second)
 	if err != nil {
 		panic(err)
 	}
@@ -25,6 +26,77 @@ func ExampleSolveToTarget() {
 	// Output:
 	// reached optimum: true
 	// energies match: true
+}
+
+// ExampleSolver runs two jobs concurrently on one shared two-device
+// fleet; the scheduler splits the devices fair-share while both run.
+func ExampleSolver() {
+	opt := abs.DefaultOptions()
+	opt.NumGPUs = 2 // fleet size
+
+	solver, err := abs.New(opt)
+	if err != nil {
+		panic(err)
+	}
+	defer solver.Close()
+
+	ctx := context.Background()
+	// A flip budget (not wall clock) keeps the example deterministic on
+	// slow or loaded machines.
+	spec := abs.JobSpec{MaxFlips: 200_000}
+	a, err := solver.Submit(ctx, abs.RandomProblem(48, 1), spec)
+	if err != nil {
+		panic(err)
+	}
+	b, err := solver.Submit(ctx, abs.RandomProblem(48, 2), spec)
+	if err != nil {
+		panic(err)
+	}
+
+	resA, err := a.Wait(ctx)
+	if err != nil {
+		panic(err)
+	}
+	resB, err := b.Wait(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("a improved:", resA.BestEnergy < 0)
+	fmt.Println("b improved:", resB.BestEnergy < 0)
+	// Output:
+	// a improved: true
+	// b improved: true
+}
+
+// ExampleJob follows one job through its lifecycle: submit with a long
+// budget, watch the status, cancel early, and still get the partial
+// result back.
+func ExampleJob() {
+	solver, err := abs.New(abs.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	defer solver.Close()
+
+	ctx := context.Background()
+	j, err := solver.Submit(ctx, abs.RandomProblem(64, 7),
+		abs.JobSpec{Name: "overnight", MaxDuration: time.Hour})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("id:", j.ID())
+
+	j.Cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cancelled:", res.Cancelled)
+	fmt.Println("state:", j.Status().State)
+	// Output:
+	// id: job-1
+	// cancelled: true
+	// state: cancelled
 }
 
 // ExampleNewProblem builds an instance weight by weight and evaluates a

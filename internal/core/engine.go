@@ -1,0 +1,509 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+	"abs/internal/gpusim"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// Engine is one ABS run decoupled from fleet ownership: the host-side
+// state of a solve (GA pool, target/solution buffers, ingest gate,
+// supervisor, instrumentation) without a fixed set of devices. Where
+// SolveContext owns its cluster for the whole run, an Engine is driven
+// from outside — a scheduler attaches and detaches gpusim fleet
+// devices while the run is in flight, which is what lets one simulated
+// fleet be shared fairly across many concurrent jobs (see
+// internal/serve).
+//
+// Threading contract:
+//
+//   - exactly one goroutine (the "pump" goroutine) calls Pump,
+//     ShouldStop and Finish — it owns the GA pool;
+//   - Attach and Detach may be called from any goroutine (a scheduler)
+//     concurrently with the pump;
+//   - Snapshot and AttachedDevices may be called from any goroutine
+//     (status endpoints) — they read only atomics.
+//
+// The engine is sized at creation for maxDevices = Options.NumGPUs
+// devices: every fleet device that may ever attach needs a slot range
+// in the target buffer, whether or not it is attached right now. Slots
+// of detached devices simply hold stale targets until a device picks
+// them up again.
+type Engine struct {
+	p   *qubo.Problem
+	opt Options // normalized
+	n   int
+
+	host      *ga.Host
+	targets   *gpusim.TargetBuffer
+	solutions *gpusim.SolutionBuffer
+	stats     *blockStats
+	gate      *ingestGate
+	metrics   *runMetrics
+	sup       *supervisor
+	blockFn   gpusim.BlockFunc
+
+	storage          Storage
+	evaluatedPerFlip float64
+	occ              gpusim.Occupancy
+	blocksPerDevice  int
+	maxDevices       int
+	totalSlots       int
+
+	start        time.Time
+	deadline     time.Time
+	lastCounter  uint64
+	nextProgress time.Time
+	emitProgress bool
+	reachedTrgt  bool
+
+	// Live snapshot for readers outside the pump goroutine.
+	bestE     atomic.Int64
+	bestKnown atomic.Bool
+
+	mu       sync.Mutex
+	runs     map[int]*gpusim.DeviceRun // device ID → this job's launch on it
+	attached int                       // len(runs), kept for atomic-free reads under mu
+	devGauge atomic.Int64              // attached device count for Snapshot
+	finished bool
+	res      *Result
+}
+
+// NewEngine prepares a run of the Adaptive Bulk Search on p without
+// launching any blocks: options are normalized, the GA pool seeded, the
+// target buffer pre-filled for every possible device slot (§3.1 Step 1)
+// and the supervisor armed. The engine does no work until a device is
+// attached. Options.NumGPUs bounds how many devices may ever attach.
+func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
+	n := p.N()
+	opt, err := opt.normalize(n)
+	if err != nil {
+		return nil, err
+	}
+	occ, err := opt.Device.Occupancy(n, opt.BitsPerThread)
+	if err != nil {
+		return nil, err
+	}
+	blocksPerDevice := occ.ActiveBlocks
+	totalSlots := blocksPerDevice * opt.NumGPUs
+
+	hostRNG := rng.New(opt.Seed)
+	host, err := ga.NewHost(n, opt.GA, hostRNG)
+	if err != nil {
+		return nil, err
+	}
+
+	// Engine selection: the dense kernel is the paper's; the sparse
+	// adjacency engine wins on low-density instances (G-set graphs).
+	storage := opt.Storage
+	if storage == StorageAuto {
+		if p.Density() < 0.25 {
+			storage = StorageSparse
+		} else {
+			storage = StorageDense
+		}
+	}
+	var newState func() qubo.Engine
+	var evaluatedPerFlip float64
+	if storage == StorageSparse {
+		sp := qubo.Sparsify(p)
+		newState = func() qubo.Engine { return qubo.NewSparseZeroState(sp) }
+		evaluatedPerFlip = 1 + sp.AvgDegree()
+	} else {
+		newState = func() qubo.Engine { return qubo.NewZeroState(p) }
+		evaluatedPerFlip = float64(n)
+	}
+
+	bufCap := opt.SolutionBufferCap
+	if bufCap == 0 {
+		bufCap = 4 * totalSlots
+		if bufCap < 1024 {
+			bufCap = 1024
+		}
+	}
+	targets := gpusim.NewTargetBuffer(totalSlots)
+	solutions := gpusim.NewBoundedSolutionBuffer(bufCap)
+	stats := &blockStats{slots: make([]blockSlot, totalSlots)}
+
+	// Telemetry, when requested: the runMetrics adapter is installed as
+	// the buffers' and pool's observer before anything is shared, so
+	// even the §3.1 Step 1 seeding below is on the record.
+	metrics := newRunMetrics(opt.Telemetry, opt.Tracer, opt.NumGPUs, blocksPerDevice, time.Now())
+	if metrics != nil {
+		solutions.SetObserver(metrics)
+		targets.SetObserver(metrics)
+		host.Pool().SetObserver(metrics)
+	}
+
+	// Warm starts join the pool with unknown energy (the host never
+	// evaluates the energy function, §3.1); blocks will visit and
+	// evaluate their neighbourhoods.
+	for _, ws := range opt.WarmStarts {
+		host.Pool().Insert(ws.Clone(), ga.UnknownEnergy)
+	}
+
+	// §3.1 Step 1: seed every slot before any device attaches so blocks
+	// have work the moment they launch. The first slots get the warm
+	// starts verbatim so at least one block walks straight to each.
+	for b := 0; b < totalSlots; b++ {
+		if b < len(opt.WarmStarts) {
+			targets.Store(b, opt.WarmStarts[b].Clone())
+			continue
+		}
+		targets.Store(b, host.NewTarget())
+	}
+
+	e := &Engine{
+		p:                p,
+		opt:              opt,
+		n:                n,
+		host:             host,
+		targets:          targets,
+		solutions:        solutions,
+		stats:            stats,
+		metrics:          metrics,
+		storage:          storage,
+		evaluatedPerFlip: evaluatedPerFlip,
+		occ:              occ,
+		blocksPerDevice:  blocksPerDevice,
+		maxDevices:       opt.NumGPUs,
+		totalSlots:       totalSlots,
+		runs:             make(map[int]*gpusim.DeviceRun),
+	}
+	e.blockFn = func(bc gpusim.BlockContext) {
+		deviceBlock(bc, newState(), opt, targets, solutions, stats, metrics)
+	}
+	e.gate = &ingestGate{
+		p:            p,
+		n:            n,
+		activeBlocks: blocksPerDevice,
+		totalBlocks:  totalSlots,
+		trust:        opt.TrustPublications,
+		metrics:      metrics,
+	}
+
+	e.start = time.Now()
+	if opt.MaxDuration > 0 {
+		e.deadline = e.start.Add(opt.MaxDuration)
+	}
+	// All heartbeats start "now" so a slow-to-attach device is not
+	// declared dead before its first round (Attach re-stamps its slots
+	// again at attach time).
+	for i := range stats.slots {
+		stats.slots[i].heartbeat.Store(e.start.UnixNano())
+	}
+	if !opt.DisableSupervisor {
+		e.sup = newSupervisor(e, stats, targets, host, opt.Faults, e.blockFn,
+			opt.SupervisorGrace, blocksPerDevice, metrics)
+	}
+	// The progress ticker is anchored to the engine start: each deadline
+	// is the previous deadline plus the interval, so callback work and
+	// host load delay a tick but never stretch the schedule.
+	e.emitProgress = opt.Progress != nil || opt.ProgressWriter != nil || metrics != nil
+	e.nextProgress = e.start.Add(opt.ProgressEvery)
+	return e, nil
+}
+
+// Options returns the engine's normalized options.
+func (e *Engine) Options() Options { return e.opt }
+
+// Occupancy returns the per-device occupancy of the chosen shape.
+func (e *Engine) Occupancy() gpusim.Occupancy { return e.occ }
+
+// BlocksPerDevice returns the resident block count per attached device.
+func (e *Engine) BlocksPerDevice() int { return e.blocksPerDevice }
+
+// MaxDevices returns the engine's device capacity (Options.NumGPUs).
+func (e *Engine) MaxDevices() int { return e.maxDevices }
+
+// AttachedDevices returns the number of currently attached devices.
+func (e *Engine) AttachedDevices() int { return int(e.devGauge.Load()) }
+
+// Attach launches this run's block program on dev: the device's slot
+// range comes alive and starts feeding the solution buffer. It fails
+// when dev's ID is outside the engine's capacity, the device is already
+// attached here, or the run has finished. Safe to call concurrently
+// with the pump goroutine.
+func (e *Engine) Attach(dev *gpusim.Device) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished {
+		return fmt.Errorf("core: attach to a finished engine")
+	}
+	if dev.ID < 0 || dev.ID >= e.maxDevices {
+		return fmt.Errorf("core: device %d outside engine capacity %d", dev.ID, e.maxDevices)
+	}
+	if _, ok := e.runs[dev.ID]; ok {
+		return fmt.Errorf("core: device %d already attached", dev.ID)
+	}
+	// Re-baseline the device's heartbeats: its slots may have been
+	// detached (or never attached) for much longer than the supervisor
+	// grace, and must not be respawned the moment they come alive.
+	base := dev.ID * e.blocksPerDevice
+	now := time.Now().UnixNano()
+	for b := 0; b < e.blocksPerDevice; b++ {
+		e.stats.slots[base+b].heartbeat.Store(now)
+	}
+	run, err := dev.Launch(e.blocksPerDevice, base, e.blockFn)
+	if err != nil {
+		return err
+	}
+	e.runs[dev.ID] = run
+	e.attached++
+	e.devGauge.Store(int64(e.attached))
+	return nil
+}
+
+// Detach stops this run's blocks on dev and waits for them to return,
+// freeing the device for another job. The device's slot range goes
+// quiet (its targets stay in place for a future re-attach). It reports
+// false when dev is not attached. Safe to call concurrently with the
+// pump goroutine.
+func (e *Engine) Detach(dev *gpusim.Device) bool {
+	e.mu.Lock()
+	run, ok := e.runs[dev.ID]
+	if ok {
+		delete(e.runs, dev.ID)
+		e.attached--
+		e.devGauge.Store(int64(e.attached))
+	}
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	run.Stop() // outside the lock: waits for the device's block goroutines
+	return true
+}
+
+// Respawn supersedes the incarnation of global slot g with a fresh one,
+// reporting false when g's device is not currently attached (the
+// supervisor keeps probing detached slots; that is harmless). fn is the
+// block program, as in gpusim.Run.Respawn.
+func (e *Engine) Respawn(g int, fn gpusim.BlockFunc) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.finished || g < 0 || g >= e.totalSlots {
+		return false
+	}
+	run, ok := e.runs[g/e.blocksPerDevice]
+	if !ok {
+		return false
+	}
+	return run.Respawn(g%e.blocksPerDevice, fn)
+}
+
+// Halt tells the incarnation of global slot g to stop without
+// replacement (supervisor device retirement). A no-op for slots of
+// detached devices.
+func (e *Engine) Halt(g int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g < 0 || g >= e.totalSlots {
+		return
+	}
+	if run, ok := e.runs[g/e.blocksPerDevice]; ok {
+		run.Halt(g % e.blocksPerDevice)
+	}
+}
+
+// Pump runs one host-loop iteration (§3.1 Steps 2–4): emit due
+// progress, drain and ingest device publications, hand fresh targets to
+// publishing blocks, refresh the live best-energy snapshot and let the
+// supervisor scan heartbeats. The driver calls it in a loop with
+// Options.PollInterval sleeps; see SolveContext for the canonical shape.
+func (e *Engine) Pump(now time.Time) {
+	if e.emitProgress && !now.Before(e.nextProgress) {
+		e.nextProgress = nextDeadline(e.nextProgress, now, e.opt.ProgressEvery)
+		pr := e.progressLocked(now)
+		e.metrics.progressTick(now, pr, e.host.Pool().Len())
+		if e.opt.ProgressWriter != nil {
+			fmt.Fprintln(e.opt.ProgressWriter, pr)
+		}
+		if e.opt.Progress != nil {
+			e.opt.Progress(pr)
+		}
+	}
+	// Step 2: poll the global counter without draining.
+	if c := e.solutions.Counter(); c != e.lastCounter {
+		e.lastCounter = c
+		// Step 3: run arrivals through the ingest gate and into the
+		// pool; Step 4: one fresh target per attributable arrival,
+		// stored back into the arriving block's slot.
+		ingestStart := time.Now()
+		batch := e.solutions.Drain()
+		for _, s := range batch {
+			slot, inserted, retarget := e.gate.ingest(e.host, s)
+			if inserted {
+				e.stats.slots[slot].inserted.Add(1)
+			}
+			if retarget {
+				e.targets.Store(slot, e.host.NewTarget())
+			}
+		}
+		if len(batch) > 0 {
+			e.metrics.ingestBatch(time.Since(ingestStart))
+		}
+	}
+	if best, ok := e.host.Pool().Best(); ok {
+		e.bestE.Store(best.E)
+		e.bestKnown.Store(true)
+	}
+	if e.sup != nil {
+		e.sup.scan(now)
+	}
+}
+
+// progressLocked builds the pump-goroutine progress snapshot (it reads
+// the pool, which only the pump goroutine may touch).
+func (e *Engine) progressLocked(now time.Time) Progress {
+	pr := Progress{
+		Elapsed:     now.Sub(e.start),
+		Flips:       e.stats.flips.Load(),
+		Dropped:     e.solutions.Dropped(),
+		Quarantined: e.gate.quarantined.Load(),
+	}
+	pr.Evaluated = uint64(float64(pr.Flips) * e.evaluatedPerFlip)
+	if best, ok := e.host.Pool().Best(); ok {
+		pr.BestEnergy, pr.BestKnown = best.E, true
+	}
+	return pr
+}
+
+// Snapshot returns a live progress snapshot safe to read from any
+// goroutine (status endpoints, event streams): it touches only atomics,
+// never the GA pool.
+func (e *Engine) Snapshot(now time.Time) Progress {
+	pr := Progress{
+		Elapsed:     now.Sub(e.start),
+		Flips:       e.stats.flips.Load(),
+		Dropped:     e.solutions.Dropped(),
+		Quarantined: e.gate.quarantined.Load(),
+	}
+	pr.Evaluated = uint64(float64(pr.Flips) * e.evaluatedPerFlip)
+	if e.bestKnown.Load() {
+		pr.BestEnergy, pr.BestKnown = e.bestE.Load(), true
+	}
+	return pr
+}
+
+// ShouldStop reports whether a stop condition has fired: target energy
+// reached, wall-clock deadline passed, or flip budget exhausted. Pump
+// goroutine only.
+func (e *Engine) ShouldStop(now time.Time) bool {
+	if e.opt.TargetEnergy != nil {
+		if best, ok := e.host.Pool().Best(); ok && best.E <= *e.opt.TargetEnergy {
+			e.reachedTrgt = true
+			return true
+		}
+	}
+	if !e.deadline.IsZero() && now.After(e.deadline) {
+		return true
+	}
+	if e.opt.MaxFlips > 0 && e.stats.flips.Load() >= e.opt.MaxFlips {
+		return true
+	}
+	return false
+}
+
+// Finish shuts the run down — detaches every remaining device, drains
+// the last publications and assembles the Result. cancelled marks a run
+// ended by caller cancellation rather than a stop condition. Finish is
+// idempotent: later calls return the same Result. Pump goroutine only.
+func (e *Engine) Finish(cancelled bool) *Result {
+	e.mu.Lock()
+	if e.finished {
+		res := e.res
+		e.mu.Unlock()
+		return res
+	}
+	e.finished = true
+	runs := e.runs
+	e.runs = make(map[int]*gpusim.DeviceRun)
+	e.attached = 0
+	e.devGauge.Store(0)
+	e.mu.Unlock()
+	for _, r := range runs {
+		r.Stop()
+	}
+
+	// Final drain: blocks publish once more on shutdown; keep the
+	// gating and per-block attribution consistent with the live path
+	// (minus retargeting, which is pointless now).
+	for _, s := range e.solutions.Drain() {
+		slot, inserted, _ := e.gate.ingest(e.host, s)
+		if inserted {
+			e.stats.slots[slot].inserted.Add(1)
+		}
+	}
+
+	res := &Result{
+		Blocks:           e.totalSlots,
+		Occupancy:        e.occ,
+		Storage:          e.storage,
+		EvaluatedPerFlip: e.evaluatedPerFlip,
+		Cancelled:        cancelled,
+		ReachedTarget:    e.reachedTrgt,
+	}
+	res.Elapsed = time.Since(e.start)
+	res.Flips = e.stats.flips.Load()
+	res.Evaluated = uint64(float64(res.Flips) * e.evaluatedPerFlip)
+	// Final telemetry tick: post-run scrapes and report writers see
+	// gauges consistent with the Result.
+	if e.metrics != nil {
+		final := Progress{
+			Elapsed:     res.Elapsed,
+			Flips:       res.Flips,
+			Evaluated:   res.Evaluated,
+			Dropped:     e.solutions.Dropped(),
+			Quarantined: e.gate.quarantined.Load(),
+		}
+		if best, ok := e.host.Pool().Best(); ok {
+			final.BestEnergy, final.BestKnown = best.E, true
+		}
+		e.metrics.progressTick(time.Now(), final, e.host.Pool().Len())
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.SearchRate = float64(res.Evaluated) / secs
+	}
+	res.ModelledRate = gpusim.DefaultCostModel.SearchRate(e.opt.Device, e.n, e.opt.BitsPerThread, e.opt.NumGPUs)
+	if best, ok := e.host.Pool().Best(); ok {
+		res.Best = best.X.Clone()
+		res.BestEnergy = best.E
+	} else {
+		// No device ever published (budget too small): fall back to the
+		// zero vector, whose energy is 0 by construction.
+		res.Best = bitvec.New(e.n)
+		res.BestEnergy = 0
+	}
+	res.Inserted, res.Rejected = hostInsertCounts(e.host)
+	res.Quarantined = e.gate.quarantined.Load()
+	res.Dropped = e.solutions.Dropped()
+	if e.sup != nil {
+		res.Recovered = e.sup.recovered
+		res.Retired = e.sup.numRetired
+	}
+	res.BlockStats = make([]BlockStat, e.totalSlots)
+	for g := range res.BlockStats {
+		slot := &e.stats.slots[g]
+		res.BlockStats[g] = BlockStat{
+			Device:    g / e.blocksPerDevice,
+			Block:     g % e.blocksPerDevice,
+			Window:    int(slot.window.Load()),
+			Flips:     slot.flips.Load(),
+			Published: slot.published.Load(),
+			Inserted:  slot.inserted.Load(),
+			Restarts:  slot.restarts.Load(),
+		}
+	}
+	e.mu.Lock()
+	e.res = res
+	e.mu.Unlock()
+	return res
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"abs/internal/ga"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
@@ -21,9 +23,12 @@ type ingestGate struct {
 	n            int
 	activeBlocks int // per device
 	totalBlocks  int
-	trust        bool
-	quarantined  uint64
-	metrics      *runMetrics
+	trust bool
+	// quarantined is atomic so live status readers (Engine.Snapshot,
+	// the serve job endpoints) can observe it while the pump goroutine
+	// keeps ingesting.
+	quarantined atomic.Uint64
+	metrics     *runMetrics
 }
 
 // vet classifies one publication. admit reports whether the solution
@@ -60,7 +65,7 @@ func (g *ingestGate) vet(s gpusim.Solution) (slot int, admit, retarget bool) {
 func (g *ingestGate) ingest(host *ga.Host, s gpusim.Solution) (slot int, inserted, retarget bool) {
 	slot, admit, retarget := g.vet(s)
 	if !admit {
-		g.quarantined++
+		g.quarantined.Add(1)
 		if m := g.metrics; m != nil {
 			m.ingestReject(s, m.rejectStruct, "structural")
 		}
@@ -74,7 +79,7 @@ func (g *ingestGate) ingest(host *ga.Host, s gpusim.Solution) (slot int, inserte
 		return slot, inserted, retarget
 	}
 	if !g.trust && g.p.Energy(s.X) != s.Energy {
-		g.quarantined++
+		g.quarantined.Add(1)
 		if m := g.metrics; m != nil {
 			m.ingestReject(s, m.rejectEnergy, "energy mismatch")
 		}

@@ -248,6 +248,15 @@ func PaperOptions() Options {
 	return o
 }
 
+// Validate reports whether the options are viable for an n-bit
+// instance, applying the same defaulting and checks a Solve run would.
+// Schedulers use it to reject a bad job at submission time, before any
+// run state is built.
+func (o Options) Validate(n int) error {
+	_, err := o.normalize(n)
+	return err
+}
+
 // normalize fills derived defaults and validates; it returns the final
 // options.
 func (o Options) normalize(n int) (Options, error) {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -11,7 +10,6 @@ import (
 	"abs/internal/ga"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
-	"abs/internal/rng"
 	"abs/internal/search"
 )
 
@@ -138,260 +136,40 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 // SolveContext is Solve with cooperative cancellation: when ctx is
 // cancelled the run shuts down promptly (all block goroutines joined)
 // and returns the partial Result with Cancelled set, not an error.
+//
+// It is the canonical single-job driver over the reusable Engine: build
+// the engine, attach a private fleet of Options.NumGPUs devices, pump
+// the host loop until a stop condition or cancellation, finish. A
+// scheduler sharing one fleet across many jobs runs the same protocol
+// with Attach/Detach calls interleaved (see internal/serve).
 func SolveContext(ctx context.Context, p *qubo.Problem, opt Options) (*Result, error) {
-	n := p.N()
-	opt, err := opt.normalize(n)
+	eng, err := NewEngine(p, opt)
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := gpusim.NewCluster(opt.Device, opt.NumGPUs)
+	fleet, err := gpusim.NewFleet(eng.opt.Device, eng.maxDevices)
 	if err != nil {
 		return nil, err
 	}
-	totalBlocks, err := cluster.TotalBlocks(n, opt.BitsPerThread)
-	if err != nil {
-		return nil, err
-	}
-
-	hostRNG := rng.New(opt.Seed)
-	host, err := ga.NewHost(n, opt.GA, hostRNG)
-	if err != nil {
-		return nil, err
-	}
-
-	// Engine selection: the dense kernel is the paper's; the sparse
-	// adjacency engine wins on low-density instances (G-set graphs).
-	storage := opt.Storage
-	if storage == StorageAuto {
-		if p.Density() < 0.25 {
-			storage = StorageSparse
-		} else {
-			storage = StorageDense
+	for i := 0; i < fleet.Size(); i++ {
+		if err := eng.Attach(fleet.Device(i)); err != nil {
+			eng.Finish(false)
+			return nil, err
 		}
 	}
-	var newEngine func() qubo.Engine
-	var evaluatedPerFlip float64
-	if storage == StorageSparse {
-		sp := qubo.Sparsify(p)
-		newEngine = func() qubo.Engine { return qubo.NewSparseZeroState(sp) }
-		evaluatedPerFlip = 1 + sp.AvgDegree()
-	} else {
-		newEngine = func() qubo.Engine { return qubo.NewZeroState(p) }
-		evaluatedPerFlip = float64(n)
-	}
-
-	bufCap := opt.SolutionBufferCap
-	if bufCap == 0 {
-		bufCap = 4 * totalBlocks
-		if bufCap < 1024 {
-			bufCap = 1024
-		}
-	}
-	targets := gpusim.NewTargetBuffer(totalBlocks)
-	solutions := gpusim.NewBoundedSolutionBuffer(bufCap)
-	stats := &blockStats{slots: make([]blockSlot, totalBlocks)}
-
-	// Telemetry, when requested: the runMetrics adapter is installed as
-	// the buffers' and pool's observer before anything is shared, so
-	// even the §3.1 Step 1 seeding below is on the record.
-	activeBlocks := totalBlocks / opt.NumGPUs
-	metrics := newRunMetrics(opt.Telemetry, opt.Tracer, opt.NumGPUs, activeBlocks, time.Now())
-	if metrics != nil {
-		solutions.SetObserver(metrics)
-		targets.SetObserver(metrics)
-		host.Pool().SetObserver(metrics)
-	}
-
-	// Warm starts join the pool with unknown energy (the host never
-	// evaluates the energy function, §3.1); blocks will visit and
-	// evaluate their neighbourhoods.
-	for _, ws := range opt.WarmStarts {
-		host.Pool().Insert(ws.Clone(), ga.UnknownEnergy)
-	}
-
-	// §3.1 Step 1: seed every target slot before launch so blocks have
-	// work immediately. The first slots get the warm starts verbatim so
-	// at least one block walks straight to each of them.
-	for b := 0; b < totalBlocks; b++ {
-		if b < len(opt.WarmStarts) {
-			targets.Store(b, opt.WarmStarts[b].Clone())
-			continue
-		}
-		targets.Store(b, host.NewTarget())
-	}
-
-	start := time.Now()
-	// All heartbeats start "now" so a slow-to-schedule goroutine is not
-	// declared dead before its first round.
-	for i := range stats.slots {
-		stats.slots[i].heartbeat.Store(start.UnixNano())
-	}
-	blockFn := func(bc gpusim.BlockContext) {
-		deviceBlock(bc, newEngine(), opt, targets, solutions, stats, metrics)
-	}
-	run, err := cluster.Launch(n, opt.BitsPerThread, blockFn)
-	if err != nil {
-		return nil, err
-	}
-
-	gate := &ingestGate{
-		p:            p,
-		n:            n,
-		activeBlocks: activeBlocks,
-		totalBlocks:  totalBlocks,
-		trust:        opt.TrustPublications,
-		metrics:      metrics,
-	}
-	var sup *supervisor
-	if !opt.DisableSupervisor {
-		sup = newSupervisor(run, stats, targets, host, opt.Faults, blockFn,
-			opt.SupervisorGrace, activeBlocks, metrics)
-	}
-
-	// Host loop (§3.1 Steps 2–4).
-	res := &Result{
-		Blocks:           totalBlocks,
-		Occupancy:        run.Occupancy(),
-		Storage:          storage,
-		EvaluatedPerFlip: evaluatedPerFlip,
-	}
-	var lastCounter uint64
-	deadline := time.Time{}
-	if opt.MaxDuration > 0 {
-		deadline = start.Add(opt.MaxDuration)
-	}
-	// The progress ticker is anchored to the launch time: each deadline
-	// is the previous deadline plus the interval, so callback work and
-	// host load delay a tick but never stretch the schedule (missed
-	// ticks are skipped, keeping the phase).
-	emitProgress := opt.Progress != nil || opt.ProgressWriter != nil || metrics != nil
-	nextProgress := start.Add(opt.ProgressEvery)
+	cancelled := false
 	for {
-		if emitProgress && !time.Now().Before(nextProgress) {
-			now := time.Now()
-			nextProgress = nextDeadline(nextProgress, now, opt.ProgressEvery)
-			pr := Progress{
-				Elapsed:     now.Sub(start),
-				Flips:       stats.flips.Load(),
-				Dropped:     solutions.Dropped(),
-				Quarantined: gate.quarantined,
-			}
-			pr.Evaluated = uint64(float64(pr.Flips) * evaluatedPerFlip)
-			if best, ok := host.Pool().Best(); ok {
-				pr.BestEnergy, pr.BestKnown = best.E, true
-			}
-			metrics.progressTick(now, pr, host.Pool().Len())
-			if opt.ProgressWriter != nil {
-				fmt.Fprintln(opt.ProgressWriter, pr)
-			}
-			if opt.Progress != nil {
-				opt.Progress(pr)
-			}
-		}
-		// Step 2: poll the global counter without draining.
-		if c := solutions.Counter(); c != lastCounter {
-			lastCounter = c
-			// Step 3: run arrivals through the ingest gate and into the
-			// pool; Step 4: one fresh target per attributable arrival,
-			// stored back into the arriving block's slot.
-			ingestStart := time.Now()
-			batch := solutions.Drain()
-			for _, s := range batch {
-				slot, inserted, retarget := gate.ingest(host, s)
-				if inserted {
-					stats.slots[slot].inserted.Add(1)
-				}
-				if retarget {
-					targets.Store(slot, host.NewTarget())
-				}
-			}
-			if len(batch) > 0 {
-				metrics.ingestBatch(time.Since(ingestStart))
-			}
-		}
-		if best, ok := host.Pool().Best(); ok && opt.TargetEnergy != nil && best.E <= *opt.TargetEnergy {
-			res.ReachedTarget = true
+		eng.Pump(time.Now())
+		if eng.ShouldStop(time.Now()) {
 			break
 		}
 		if ctx.Err() != nil {
-			res.Cancelled = true
+			cancelled = true
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
-		}
-		if opt.MaxFlips > 0 && stats.flips.Load() >= opt.MaxFlips {
-			break
-		}
-		if sup != nil {
-			sup.scan(time.Now())
-		}
-		time.Sleep(opt.PollInterval)
+		time.Sleep(eng.opt.PollInterval)
 	}
-	run.Stop()
-
-	// Final drain: blocks publish once more on shutdown; keep the
-	// gating and per-block attribution consistent with the live path
-	// (minus retargeting, which is pointless now).
-	for _, s := range solutions.Drain() {
-		slot, inserted, _ := gate.ingest(host, s)
-		if inserted {
-			stats.slots[slot].inserted.Add(1)
-		}
-	}
-
-	res.Elapsed = time.Since(start)
-	res.Flips = stats.flips.Load()
-	res.Evaluated = uint64(float64(res.Flips) * evaluatedPerFlip)
-	// Final telemetry tick: post-run scrapes and report writers see
-	// gauges consistent with the Result.
-	if metrics != nil {
-		final := Progress{
-			Elapsed:     res.Elapsed,
-			Flips:       res.Flips,
-			Evaluated:   res.Evaluated,
-			Dropped:     solutions.Dropped(),
-			Quarantined: gate.quarantined,
-		}
-		if best, ok := host.Pool().Best(); ok {
-			final.BestEnergy, final.BestKnown = best.E, true
-		}
-		metrics.progressTick(time.Now(), final, host.Pool().Len())
-	}
-	if secs := res.Elapsed.Seconds(); secs > 0 {
-		res.SearchRate = float64(res.Evaluated) / secs
-	}
-	res.ModelledRate = gpusim.DefaultCostModel.SearchRate(opt.Device, n, opt.BitsPerThread, opt.NumGPUs)
-	if best, ok := host.Pool().Best(); ok {
-		res.Best = best.X.Clone()
-		res.BestEnergy = best.E
-	} else {
-		// No device ever published (budget too small): fall back to the
-		// zero vector, whose energy is 0 by construction.
-		res.Best = bitvec.New(n)
-		res.BestEnergy = 0
-	}
-	res.Inserted, res.Rejected = hostInsertCounts(host)
-	res.Quarantined = gate.quarantined
-	res.Dropped = solutions.Dropped()
-	if sup != nil {
-		res.Recovered = sup.recovered
-		res.Retired = sup.numRetired
-	}
-	res.BlockStats = make([]BlockStat, totalBlocks)
-	for g := range res.BlockStats {
-		slot := &stats.slots[g]
-		res.BlockStats[g] = BlockStat{
-			Device:    g / activeBlocks,
-			Block:     g % activeBlocks,
-			Window:    int(slot.window.Load()),
-			Flips:     slot.flips.Load(),
-			Published: slot.published.Load(),
-			Inserted:  slot.inserted.Load(),
-			Restarts:  slot.restarts.Load(),
-		}
-	}
-	return res, nil
+	return eng.Finish(cancelled), nil
 }
 
 func hostInsertCounts(h *ga.Host) (uint64, uint64) {

@@ -21,8 +21,18 @@ import (
 //     stream is redistributed round-robin over surviving blocks —
 //     the cluster degrades to its remaining capacity instead of
 //     repeatedly burying work in a dead card.
+// slotRunner is the supervisor's view of whatever owns the block
+// goroutines: a whole-cluster gpusim.Run (the classic single-job
+// launch) or an Engine whose devices attach and detach while the run is
+// live. Respawn reports false when the slot cannot currently be
+// respawned (stopped run, or the slot's device is detached).
+type slotRunner interface {
+	Respawn(g int, fn gpusim.BlockFunc) bool
+	Halt(g int)
+}
+
 type supervisor struct {
-	run     *gpusim.Run
+	run     slotRunner
 	stats   *blockStats
 	targets *gpusim.TargetBuffer
 	host    *ga.Host
@@ -42,7 +52,7 @@ type supervisor struct {
 	metrics *runMetrics
 }
 
-func newSupervisor(run *gpusim.Run, stats *blockStats, targets *gpusim.TargetBuffer,
+func newSupervisor(run slotRunner, stats *blockStats, targets *gpusim.TargetBuffer,
 	host *ga.Host, plan *gpusim.FaultPlan, blockFn gpusim.BlockFunc,
 	grace time.Duration, activeBlocks int, metrics *runMetrics) *supervisor {
 

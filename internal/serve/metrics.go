@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"abs/internal/telemetry"
+)
+
+// serveMetrics is the service-level instrument set: job lifecycle
+// counters and gauges keyed by job id where per-job resolution matters.
+// It deliberately does not register the per-run core instruments for
+// each job — those are labeled by device only, and two concurrent jobs
+// sharing the "device 0" label would corrupt each other's rate deltas.
+// A nil *serveMetrics (no registry and no tracer, or telemetry compiled
+// out) is valid and makes every method a no-op.
+type serveMetrics struct {
+	jobsSubmitted *telemetry.Counter
+	jobsRejected  *telemetry.Counter
+	jobsEvicted   *telemetry.Counter
+	jobsSettled   telemetry.CounterVec // label: terminal state
+	jobsQueued    *telemetry.Gauge
+	jobsRunning   *telemetry.Gauge
+	devicesBusy   *telemetry.Gauge
+	devicesFree   *telemetry.Gauge
+	jobDevs       telemetry.GaugeVec // label: job id
+
+	tracer *telemetry.Tracer
+}
+
+func newServeMetrics(reg *telemetry.Registry, tr *telemetry.Tracer) *serveMetrics {
+	if !telemetry.Enabled || (reg == nil && tr == nil) {
+		return nil
+	}
+	if reg == nil {
+		// Tracer-only configuration: park the instruments in a private
+		// registry nobody scrapes so the code below stays uniform.
+		reg = telemetry.NewRegistry()
+	}
+	return &serveMetrics{
+		jobsSubmitted: reg.Counter("abs_serve_jobs_submitted_total",
+			"jobs accepted into the service"),
+		jobsRejected: reg.Counter("abs_serve_jobs_rejected_total",
+			"submissions rejected by queue backpressure"),
+		jobsEvicted: reg.Counter("abs_serve_jobs_evicted_total",
+			"settled jobs evicted from the retention window"),
+		jobsSettled: reg.CounterVec("abs_serve_jobs_settled_total",
+			"jobs settled, by terminal state", "state"),
+		jobsQueued: reg.Gauge("abs_serve_jobs_queued",
+			"jobs waiting for a device"),
+		jobsRunning: reg.Gauge("abs_serve_jobs_running",
+			"jobs currently holding devices"),
+		devicesBusy: reg.Gauge("abs_serve_devices_busy",
+			"fleet devices allocated to jobs"),
+		devicesFree: reg.Gauge("abs_serve_devices_free",
+			"fleet devices in the free pool"),
+		jobDevs: reg.GaugeVec("abs_serve_job_devices",
+			"devices currently allocated to each job", "job"),
+		tracer: tr,
+	}
+}
+
+func (m *serveMetrics) emit(kind telemetry.EventKind, detail string) {
+	if m != nil {
+		m.tracer.Emit(telemetry.Event{Kind: kind, Device: -1, Block: -1, Detail: detail})
+	}
+}
+
+func (m *serveMetrics) submitted(j *Job) {
+	if m == nil {
+		return
+	}
+	m.jobsSubmitted.Inc()
+	m.emit(telemetry.EventJobSubmit, j.id)
+}
+
+func (m *serveMetrics) rejected(j *Job) {
+	if m == nil {
+		return
+	}
+	m.jobsRejected.Inc()
+	m.emit(telemetry.EventJobReject, j.id+" queue full")
+}
+
+func (m *serveMetrics) started(j *Job) {
+	if m == nil {
+		return
+	}
+	m.emit(telemetry.EventJobStart, j.id)
+}
+
+func (m *serveMetrics) settled(j *Job, queueDepth, running int) {
+	if m == nil {
+		return
+	}
+	st := j.Status()
+	m.jobsSettled.With(string(st.State)).Inc()
+	m.jobsQueued.SetInt(queueDepth)
+	m.jobsRunning.SetInt(running)
+	m.jobDevs.With(j.id).SetInt(0)
+	m.emit(telemetry.EventJobSettle, j.id+" "+string(st.State))
+}
+
+func (m *serveMetrics) evicted(n int) {
+	if m == nil {
+		return
+	}
+	m.jobsEvicted.Add(uint64(n))
+}
+
+func (m *serveMetrics) jobDevices(j *Job, n int) {
+	if m == nil {
+		return
+	}
+	m.jobDevs.With(j.id).SetInt(n)
+}
+
+func (m *serveMetrics) fleet(queued, running, free, total int) {
+	if m == nil {
+		return
+	}
+	m.jobsQueued.SetInt(queued)
+	m.jobsRunning.SetInt(running)
+	m.devicesFree.SetInt(free)
+	m.devicesBusy.SetInt(total - free)
+}

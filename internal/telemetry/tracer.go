@@ -42,6 +42,14 @@ const (
 	// EventFaultInject: a scheduled fault fired in a block (testing
 	// runs only; Detail holds the fault kind).
 	EventFaultInject EventKind = "fault_inject"
+
+	// Solver-service job lifecycle (internal/serve). Device and Block
+	// are -1; Detail holds the job id, plus the terminal state for
+	// job_settle and the rejection reason for job_reject.
+	EventJobSubmit EventKind = "job_submit"
+	EventJobStart  EventKind = "job_start"
+	EventJobSettle EventKind = "job_settle"
+	EventJobReject EventKind = "job_reject"
 )
 
 // Event is one structured trace record. Device and Block are -1 when

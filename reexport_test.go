@@ -1,0 +1,115 @@
+package abs_test
+
+// This file lives outside package abs on purpose: it proves every type
+// the public surface hands out is nameable by an importer. Before the
+// re-exports, Options.Progress could only be fed an inferred closure —
+// writing the parameter type `abs.Progress` (or naming BlockStat,
+// Occupancy, Telemetry, …) did not compile because they resolved to
+// internal packages.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abs"
+)
+
+// TestReexportedTypesAreNameable exercises the re-exported field types
+// by name from an external package, on a real (tiny) run.
+func TestReexportedTypesAreNameable(t *testing.T) {
+	var snaps atomic.Int64
+	var lastProgress abs.Progress // the Options.Progress payload, by name
+
+	opt := abs.DefaultOptions()
+	opt.MaxDuration = 100 * time.Millisecond
+	opt.ProgressEvery = 10 * time.Millisecond
+	opt.Progress = func(p abs.Progress) {
+		lastProgress = p
+		snaps.Add(1)
+	}
+	opt.Telemetry = abs.NewTelemetry()
+	opt.Tracer = abs.NewTracer(1 << 10)
+	opt.Faults = abs.NewFaultPlan(1)
+
+	res, err := abs.SolveContext(context.Background(), abs.RandomProblem(32, 9), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Result field types, by name.
+	var stats []abs.BlockStat = res.BlockStats
+	var occ abs.Occupancy = res.Occupancy
+	if len(stats) == 0 || occ.ActiveBlocks == 0 {
+		t.Errorf("result lacks block stats (%d) or occupancy (%+v)", len(stats), occ)
+	}
+	if snaps.Load() == 0 || lastProgress.Flips == 0 {
+		t.Errorf("progress callback: %d snapshots, last flips %d", snaps.Load(), lastProgress.Flips)
+	}
+
+	// Telemetry plane types, by name.
+	var reg *abs.Telemetry = opt.Telemetry
+	if snap := reg.Snapshot(); len(snap.Series) == 0 {
+		t.Error("run registered no instruments")
+	}
+	var events []abs.TraceEvent = opt.Tracer.Events()
+	if len(events) == 0 {
+		t.Fatal("tracer recorded no events")
+	}
+	var kind abs.EventKind = events[0].Kind
+	if kind == "" {
+		t.Error("event kind is empty")
+	}
+
+	// Fault plumbing, by name.
+	var counts abs.FaultCounts = opt.Faults.Counts()
+	if n := counts.Crashes + counts.Stalls + counts.Corruptions; n != 0 {
+		t.Errorf("empty fault plan injected %d faults", n)
+	}
+}
+
+// TestReexportedServiceSurface checks the Solver-side names: job states
+// compare as constants and the sentinel errors work with errors.Is.
+func TestReexportedServiceSurface(t *testing.T) {
+	opt := abs.DefaultOptions()
+	solver, err := abs.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+
+	j, err := solver.Submit(context.Background(), abs.RandomProblem(32, 3),
+		abs.JobSpec{MaxDuration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Result(); !errors.Is(err, abs.ErrNotFinished) {
+		t.Errorf("live job Result error = %v, want ErrNotFinished", err)
+	}
+
+	var st abs.JobStatus = j.Status()
+	var state abs.JobState = st.State
+	if state != abs.JobQueued && state != abs.JobRunning {
+		t.Errorf("fresh job state = %s", state)
+	}
+	if state.Terminal() {
+		t.Errorf("state %s is terminal before the job ran", state)
+	}
+
+	j.Cancel()
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Status().State; got != abs.JobCancelled {
+		t.Errorf("state after cancel = %s, want %s", got, abs.JobCancelled)
+	}
+
+	if err := solver.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Submit(context.Background(), abs.RandomProblem(8, 1), abs.JobSpec{}); !errors.Is(err, abs.ErrClosed) {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# API surface gate: the exported surface of package abs is snapshotted
+# into api/abs.txt; any drift fails the check until the snapshot is
+# regenerated and committed alongside the change — so every API change
+# is a reviewed, deliberate diff.
+#
+#   scripts/apicheck.sh                  compare surface to snapshot
+#   APICHECK_UPDATE=1 scripts/apicheck.sh   regenerate the snapshot
+set -eu
+cd "$(dirname "$0")/.."
+
+snapshot=api/abs.txt
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
+
+go doc -all . >"$current"
+
+if [ "${APICHECK_UPDATE:-}" = "1" ]; then
+	mkdir -p api
+	cp "$current" "$snapshot"
+	echo "apicheck: snapshot updated ($snapshot)"
+	exit 0
+fi
+
+if [ ! -f "$snapshot" ]; then
+	echo "apicheck: missing $snapshot — run APICHECK_UPDATE=1 scripts/apicheck.sh" >&2
+	exit 1
+fi
+
+if ! diff -u "$snapshot" "$current"; then
+	echo "" >&2
+	echo "apicheck: public API surface drifted from $snapshot." >&2
+	echo "apicheck: if the change is intentional, regenerate with:" >&2
+	echo "apicheck:   APICHECK_UPDATE=1 scripts/apicheck.sh" >&2
+	echo "apicheck: and commit the snapshot with the code change." >&2
+	exit 1
+fi
+echo "apicheck: surface matches $snapshot"

@@ -18,6 +18,9 @@ go build ./...
 echo "== go build (telemetry off) =="
 go build -tags abstelemetryoff ./...
 
+echo "== api surface =="
+sh scripts/apicheck.sh
+
 echo "== go test -race =="
 # Generous timeout: the paper-shape bench tests launch thousands of
 # block goroutines, which race instrumentation slows considerably on
