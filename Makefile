@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench obs-demo serve apicheck
+.PHONY: build test vet race check bench obs-demo serve apicheck cluster-demo
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,23 @@ bench:
 # Observability demo: a short solve with the live telemetry endpoint
 # up, scraped once mid-run with curl. Needs nothing beyond the Go
 # toolchain and curl.
+# Multi-node demo on loopback: one coordinator, two workers, a status
+# scrape mid-run. The coordinator lingers briefly after the budget so
+# the workers can flush their final publications and exit on their own.
+cluster-demo:
+	$(GO) build -o /tmp/abs-serve ./cmd/abs-serve
+	$(GO) build -o /tmp/abs-worker ./cmd/abs-worker
+	/tmp/abs-serve -coordinator -random-n 256 -seed 42 -time 8s \
+		-addr 127.0.0.1:8081 & \
+	sleep 1 && \
+	/tmp/abs-worker -coordinator http://127.0.0.1:8081 -id node-a -sms 1 & \
+	/tmp/abs-worker -coordinator http://127.0.0.1:8081 -id node-b -sms 1 & \
+	sleep 5 && \
+	echo "--- /v1/cluster/status ---" && \
+	curl -sf http://127.0.0.1:8081/v1/cluster/status && echo && \
+	echo "--- waiting for the run to finish ---" && \
+	wait
+
 obs-demo:
 	$(GO) build -o /tmp/abs-solve ./cmd/abs-solve
 	$(GO) run ./cmd/qubogen -kind random -n 512 -seed 42 -out /tmp/obs-demo.qubo

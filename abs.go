@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"abs/internal/bitvec"
+	"abs/internal/cluster"
 	"abs/internal/core"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
@@ -334,6 +336,88 @@ func MustVector(s string) *Vector {
 	}
 	return v
 }
+
+// Multi-node cluster types, re-exported from the cluster package. A
+// Coordinator owns the authoritative GA pool and federates Workers —
+// each a full local solver — over the §3.1 buffer protocol lifted onto
+// a Transport (in-process for tests, HTTP/NDJSON between machines).
+// Commands abs-serve -coordinator and abs-worker are the packaged
+// deployment of the same types.
+type (
+	// Coordinator is the cluster host: authoritative pool, lease
+	// book-keeping, liveness janitor and run lifecycle.
+	Coordinator = cluster.Coordinator
+	// CoordinatorConfig sizes a Coordinator: stop conditions, lease
+	// and worker TTLs, batch size, dedup window, telemetry wiring.
+	CoordinatorConfig = cluster.CoordinatorConfig
+	// Worker wraps a local solve engine and exchanges targets and
+	// solutions with a Coordinator at a bounded cadence.
+	Worker = cluster.Worker
+	// WorkerConfig wires a Worker: its Transport, device shape,
+	// exchange cadence and reconnect backoff.
+	WorkerConfig = cluster.WorkerConfig
+	// WorkerReport summarizes one finished Worker.Run.
+	WorkerReport = cluster.WorkerReport
+	// ClusterTransport carries the four cluster RPCs (Register, Lease,
+	// Publish, Heartbeat); see NewLocalTransport and NewHTTPTransport.
+	ClusterTransport = cluster.Transport
+	// ClusterResult is the coordinator-side run outcome returned by
+	// Coordinator.Wait and snapshotted by Coordinator.Status.
+	ClusterResult = cluster.Result
+
+	// The cluster RPC message types, re-exported so a ClusterTransport
+	// is both callable and implementable by name from outside.
+	RegisterRequest   = cluster.RegisterRequest
+	RegisterResponse  = cluster.RegisterResponse
+	LeaseRequest      = cluster.LeaseRequest
+	LeaseResponse     = cluster.LeaseResponse
+	PublishRequest    = cluster.PublishRequest
+	PublishResponse   = cluster.PublishResponse
+	HeartbeatRequest  = cluster.HeartbeatRequest
+	HeartbeatResponse = cluster.HeartbeatResponse
+	// LeasedTarget is one leased target solution in a LeaseResponse.
+	LeasedTarget = cluster.Target
+	// PublishedSolution is one (solution, energy) pair in a
+	// PublishRequest.
+	PublishedSolution = cluster.PublishedSolution
+)
+
+// Cluster sentinel errors, re-exported for errors.Is.
+var (
+	// ErrUnknownWorker means the coordinator retired the caller; the
+	// recovery is idempotent re-registration (Workers do it
+	// automatically).
+	ErrUnknownWorker = cluster.ErrUnknownWorker
+	// ErrClusterDone is returned by coordinator RPCs once the run has
+	// finished.
+	ErrClusterDone = cluster.ErrDone
+)
+
+// NewCoordinator starts the cluster host for one instance; cfg must
+// carry at least one stop condition. Close (or a stop condition)
+// finishes the run; Wait blocks for the authoritative result.
+func NewCoordinator(p *Problem, cfg CoordinatorConfig) (*Coordinator, error) {
+	return cluster.NewCoordinator(p, cfg)
+}
+
+// NewWorker builds a cluster worker around cfg.Transport; Run drives
+// it until the coordinator finishes the run or ctx is cancelled.
+func NewWorker(cfg WorkerConfig) (*Worker, error) { return cluster.NewWorker(cfg) }
+
+// NewLocalTransport connects a Worker to an in-process Coordinator —
+// the deterministic single-binary deployment and the test harness.
+func NewLocalTransport(c *Coordinator) ClusterTransport { return cluster.NewLocalTransport(c) }
+
+// NewHTTPTransport connects a Worker to a remote Coordinator serving
+// NewClusterHandler at baseURL; a nil client gets sane timeouts.
+func NewHTTPTransport(baseURL string, client *http.Client) ClusterTransport {
+	return cluster.NewHTTPTransport(baseURL, client)
+}
+
+// NewClusterHandler exposes a Coordinator's RPCs over HTTP under
+// /v1/cluster/, ready to mount on any mux; abs-serve -coordinator is
+// the packaged version.
+func NewClusterHandler(c *Coordinator) http.Handler { return cluster.NewHTTPHandler(c) }
 
 // Version identifies the library release.
 const Version = "1.0.0"

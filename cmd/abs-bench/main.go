@@ -11,10 +11,14 @@
 //	abs-bench -ablation efficiency|straight|selection|pool|storage|
 //	                    adaptive|ladder|parameters
 //	abs-bench -report BENCH.json [-scale quick|medium|full]
+//	abs-bench -cluster-report BENCH.json [-scale quick|medium|full]
 //
 // -report solves a fixed seeded problem set with telemetry attached
 // and writes a machine-readable JSON report (per-device flips/sec,
-// best energy, wall time per run).
+// best energy, wall time per run). -cluster-report solves one
+// G-set-style instance twice under the same budget — single node vs a
+// two-worker loopback HTTP cluster — and writes the comparison with
+// best-energy trajectories.
 package main
 
 import (
@@ -83,6 +87,7 @@ func main() {
 		ablation = flag.String("ablation", "", "run one ablation: efficiency, straight, selection, pool, storage, adaptive, ladder, parameters")
 		scale    = flag.String("scale", "quick", "experiment scale: quick, medium or full")
 		report   = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		clusterR = flag.String("cluster-report", "", "write a single-node vs loopback-cluster comparison JSON to this file")
 	)
 	flag.Parse()
 
@@ -92,14 +97,22 @@ func main() {
 		os.Exit(2)
 	}
 	if *report != "" {
-		if err := writeReportFile(*report, s); err != nil {
+		if err := writeReportFile(*report, s, bench.WriteReport); err != nil {
 			fmt.Fprintln(os.Stderr, "abs-bench:", err)
 			os.Exit(1)
 		}
 		fmt.Println("report written to", *report)
-		if !*all && *table == "" && *figure == "" && *ablation == "" {
-			return
+	}
+	if *clusterR != "" {
+		if err := writeReportFile(*clusterR, s, bench.WriteClusterReport); err != nil {
+			fmt.Fprintln(os.Stderr, "abs-bench:", err)
+			os.Exit(1)
 		}
+		fmt.Println("cluster report written to", *clusterR)
+	}
+	if (*report != "" || *clusterR != "") &&
+		!*all && *table == "" && *figure == "" && *ablation == "" {
+		return
 	}
 	fn := dispatch(*all, *table, *figure, *ablation)
 	if fn == nil {
@@ -112,13 +125,13 @@ func main() {
 	}
 }
 
-// writeReportFile renders the JSON run report to path.
-func writeReportFile(path string, s bench.Scale) error {
+// writeReportFile renders one JSON report to path.
+func writeReportFile(path string, s bench.Scale, write func(io.Writer, bench.Scale) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := bench.WriteReport(f, s); err != nil {
+	if err := write(f, s); err != nil {
 		f.Close()
 		return err
 	}

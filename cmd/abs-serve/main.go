@@ -15,6 +15,7 @@
 //	GET    /v1/jobs/{id}        status, plus the result once settled
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events NDJSON status stream until settled
+//	GET    /healthz, /readyz    liveness and readiness probes
 //
 // A submission carries either an inline text-format QUBO ("problem")
 // or a server-side generator spec ("random": {"n": 512, "seed": 7}),
@@ -22,9 +23,18 @@
 // "target_energy". "max_devices" caps the job's fair share of the
 // fleet.
 //
-// The same listener exposes the telemetry plane: Prometheus text at
-// /metrics, a JSON snapshot at /metrics.json, the recent lifecycle
-// event ring at /trace and pprof under /debug/pprof/.
+// Coordinator mode turns the process into a multi-node cluster head
+// instead: it owns the authoritative GA pool for ONE instance and
+// serves the worker lease/publish protocol (see internal/cluster and
+// cmd/abs-worker) rather than the job API:
+//
+//	abs-serve -coordinator -random-n 512 -time 30s [-target -4000]
+//	          [-lease-ttl 10s] [-lease-batch 32] [-linger 3s]
+//	abs-serve -coordinator -file instance.qubo -target -4100 -time 5m
+//
+// The same listener exposes the telemetry plane in both modes:
+// Prometheus text at /metrics, a JSON snapshot at /metrics.json, the
+// recent lifecycle event ring at /trace and pprof under /debug/pprof/.
 package main
 
 import (
@@ -39,8 +49,12 @@ import (
 	"syscall"
 	"time"
 
+	"abs/internal/cluster"
 	"abs/internal/core"
 	"abs/internal/gpusim"
+	"abs/internal/health"
+	"abs/internal/qubo"
+	"abs/internal/randqubo"
 	"abs/internal/serve"
 	"abs/internal/telemetry"
 )
@@ -52,6 +66,19 @@ type config struct {
 	retain      int
 	defaultTime time.Duration
 	maxTime     time.Duration
+
+	// Coordinator mode.
+	coordinator bool
+	file        string
+	randomN     int
+	seed        uint64
+	target      int64
+	hasTarget   bool
+	runTime     time.Duration
+	maxFlips    uint64
+	leaseTTL    time.Duration
+	leaseBatch  int
+	linger      time.Duration
 }
 
 func main() {
@@ -63,7 +90,23 @@ func main() {
 	flag.IntVar(&cfg.retain, "retain", 64, "settled jobs kept queryable")
 	flag.DurationVar(&cfg.defaultTime, "default-time", 10*time.Second, "wall-clock budget for jobs that set no stop condition")
 	flag.DurationVar(&cfg.maxTime, "max-time", 5*time.Minute, "hard cap on any job's wall-clock budget")
+
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as a multi-node cluster coordinator instead of the job service")
+	flag.StringVar(&cfg.file, "file", "", "coordinator: instance in the qubo text format")
+	flag.IntVar(&cfg.randomN, "random-n", 0, "coordinator: generate a random dense instance of this size instead of -file")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "coordinator: seed for the pool, worker seeds and -random-n generation")
+	flag.Int64Var(&cfg.target, "target", 0, "coordinator: stop once the pool's best energy is <= this")
+	flag.DurationVar(&cfg.runTime, "time", 0, "coordinator: wall-clock budget for the run")
+	flag.Uint64Var(&cfg.maxFlips, "max-flips", 0, "coordinator: stop after this many cluster-wide flips")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "coordinator: lease TTL (default 10s)")
+	flag.IntVar(&cfg.leaseBatch, "lease-batch", 0, "coordinator: targets granted per lease call (default 32)")
+	flag.DurationVar(&cfg.linger, "linger", 3*time.Second, "coordinator: how long to keep serving after the run finishes so workers can flush")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "target" {
+			cfg.hasTarget = true
+		}
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,6 +119,9 @@ func main() {
 // run starts the service and serves until ctx is cancelled; split from
 // main so tests can drive a whole server lifecycle in-process.
 func run(ctx context.Context, cfg config, out *os.File) error {
+	if cfg.coordinator {
+		return runCoordinator(ctx, cfg, out)
+	}
 	svc, reg, tr, err := newService(cfg)
 	if err != nil {
 		return err
@@ -108,6 +154,107 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 			return nil
 		}
 		return err
+	}
+}
+
+// runCoordinator is the cluster-head lifecycle: build the coordinator,
+// serve the worker protocol until a stop condition fires (or ctx dies),
+// linger so workers can flush their final publications, report.
+func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
+	p, err := loadProblem(cfg)
+	if err != nil {
+		return err
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(1 << 14)
+	ccfg := cluster.CoordinatorConfig{
+		Seed:        cfg.seed,
+		MaxDuration: cfg.runTime,
+		MaxFlips:    cfg.maxFlips,
+		LeaseTTL:    cfg.leaseTTL,
+		LeaseBatch:  cfg.leaseBatch,
+		Registry:    reg,
+		Tracer:      tr,
+	}
+	if cfg.hasTarget {
+		t := cfg.target
+		ccfg.TargetEnergy = &t
+	}
+	coord, err := cluster.NewCoordinator(p, ccfg)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/cluster/", cluster.NewHTTPHandler(coord))
+	health.Register(mux, func() bool {
+		select {
+		case <-coord.Done():
+			return false
+		default:
+			return true
+		}
+	})
+	mux.Handle("/", telemetry.NewHandler(reg, tr))
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(out, "abs-serve: coordinator for %d-bit instance on http://%s/v1/cluster (metrics at /metrics)\n",
+		p.N(), ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-coord.Done():
+		// Keep serving while workers notice Done and flush.
+		fmt.Fprintf(out, "abs-serve: run finished, lingering %v for worker flushes\n", cfg.linger)
+		select {
+		case <-time.After(cfg.linger):
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	st := coord.Status()
+	if st.BestKnown {
+		fmt.Fprintf(out, "abs-serve: best energy %d after %d cluster flips (%d workers, target reached: %v)\n",
+			st.BestEnergy, st.Flips, st.Workers, st.ReachedTarget)
+	} else {
+		fmt.Fprintln(out, "abs-serve: no worker ever published")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	return nil
+}
+
+// loadProblem resolves the coordinator's instance source.
+func loadProblem(cfg config) (*qubo.Problem, error) {
+	switch {
+	case cfg.file != "" && cfg.randomN > 0:
+		return nil, fmt.Errorf("set exactly one of -file and -random-n")
+	case cfg.file != "":
+		f, err := os.Open(cfg.file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return qubo.ReadText(f)
+	case cfg.randomN > 0:
+		seed := cfg.seed
+		if seed == 0 {
+			seed = 1
+		}
+		return randqubo.Generate(cfg.randomN, seed), nil
+	default:
+		return nil, fmt.Errorf("coordinator mode needs a problem: -file or -random-n")
 	}
 }
 

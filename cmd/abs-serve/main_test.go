@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"abs/internal/cluster"
+	"abs/internal/gpusim"
 )
 
 // TestRunLifecycle boots the whole binary path — flags → service →
@@ -70,5 +73,92 @@ func TestRunLifecycle(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("run did not shut down after cancellation")
+	}
+}
+
+// TestCoordinatorModeLifecycle boots abs-serve -coordinator on an
+// ephemeral port, joins it with a real in-process cluster worker, and
+// lets the flip budget end the run: the server must return on its own
+// (after the linger window) without ctx cancellation.
+func TestCoordinatorModeLifecycle(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "abs-serve-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	cfg := config{
+		addr:        "127.0.0.1:0",
+		coordinator: true,
+		randomN:     48,
+		seed:        3,
+		maxFlips:    20_000,
+		linger:      500 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, out) }()
+
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)/v1/cluster`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && addr == "" {
+		b, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := addrRe.FindStringSubmatch(string(b)); m != nil {
+			addr = m[1]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatal("coordinator never printed its address")
+	}
+
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v %v, want 200", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Transport: cluster.NewHTTPTransport("http://"+addr, nil),
+		Device:    gpusim.ScaledCPU(1),
+		Exchange:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatalf("worker Run: %v", err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("coordinator run returned %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("coordinator did not exit on its own after the run finished")
+	}
+	b, _ := os.ReadFile(out.Name())
+	if !strings.Contains(string(b), "best energy") {
+		t.Errorf("coordinator exited without a run summary:\n%s", string(b))
+	}
+}
+
+// TestLoadProblemValidation covers the instance-source dispatch.
+func TestLoadProblemValidation(t *testing.T) {
+	if _, err := loadProblem(config{coordinator: true}); err == nil {
+		t.Error("loadProblem accepted a config with no source")
+	}
+	if _, err := loadProblem(config{file: "x.qubo", randomN: 8}); err == nil {
+		t.Error("loadProblem accepted both -file and -random-n")
+	}
+	if p, err := loadProblem(config{randomN: 24, seed: 9}); err != nil || p.N() != 24 {
+		t.Errorf("loadProblem(random 24) = %v, %v", p, err)
 	}
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"abs/internal/cluster"
+	"abs/internal/randqubo"
+)
+
+// TestRunLifecycle boots the whole binary path — flags → transport →
+// worker — against a real coordinator over loopback HTTP and lets the
+// coordinator's flip budget end the run.
+func TestRunLifecycle(t *testing.T) {
+	p := randqubo.Generate(48, 5)
+	coord, err := cluster.NewCoordinator(p, cluster.CoordinatorConfig{
+		Seed:     5,
+		MaxFlips: 20_000,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(cluster.NewHTTPHandler(coord))
+	defer srv.Close()
+
+	out, err := os.CreateTemp(t.TempDir(), "abs-worker-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	cfg := config{
+		coordinator: srv.URL,
+		id:          "cli-worker",
+		devices:     1,
+		sms:         1,
+		exchange:    25 * time.Millisecond,
+		publishK:    8,
+		maxTime:     2 * time.Minute,
+		addr:        "127.0.0.1:0",
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := run(ctx, cfg, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	b, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	output := string(b)
+	if !strings.Contains(output, "cli-worker done (coordinator done: true") {
+		t.Errorf("worker did not report a coordinator-driven completion:\n%s", output)
+	}
+	if !strings.Contains(output, "local best") {
+		t.Errorf("worker did not report a local result:\n%s", output)
+	}
+	if st := coord.Status(); !st.BestKnown {
+		t.Error("worker run left the coordinator pool empty")
+	}
+}
+
+func TestRunRequiresCoordinator(t *testing.T) {
+	out, err := os.CreateTemp(t.TempDir(), "abs-worker-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(context.Background(), config{}, out); err == nil {
+		t.Fatal("run accepted a config with no coordinator address")
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"abs/internal/cluster"
+	"abs/internal/core"
+	"abs/internal/gpusim"
+	"abs/internal/maxcut"
+	"abs/internal/qubo"
+)
+
+// ClusterReport is the machine-readable comparison written by
+// `abs-bench -cluster-report FILE`: the same G-set-style instance
+// solved twice under the same wall-clock budget — once by a plain
+// single-node run, once by a coordinator plus two workers exchanging
+// over real loopback HTTP — with the best-energy trajectory of each.
+//
+// The comparison is honest about its setting: every simulated device
+// shares one physical CPU, so the cluster pays the wire and
+// coordination overhead without gaining hardware. Parity of best
+// energy, not speed-up, is the expected reading; the per-run search
+// rates quantify the overhead.
+type ClusterReport struct {
+	Schema     string          `json:"schema"` // "abs-cluster-report/1"
+	Scale      string          `json:"scale"`
+	Generated  time.Time       `json:"generated"`
+	GoVersion  string          `json:"go_version"`
+	NumCPU     int             `json:"num_cpu"`
+	Instance   ClusterInstance `json:"instance"`
+	Budget     float64         `json:"budget_seconds"`
+	SingleNode ClusterRun      `json:"single_node"`
+	Cluster    ClusterRun      `json:"cluster"`
+}
+
+// ClusterInstance describes the shared benchmark instance.
+type ClusterInstance struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Bits     int    `json:"bits"`
+	Seed     uint64 `json:"seed"`
+}
+
+// ClusterRun is one arm of the comparison.
+type ClusterRun struct {
+	Mode        string             `json:"mode"` // "single-node" | "cluster"
+	Workers     int                `json:"workers"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Flips       uint64             `json:"flips"`
+	FlipsPerSec float64            `json:"flips_per_sec"`
+	BestEnergy  int64              `json:"best_energy"`
+	BestCut     int64              `json:"best_cut"`
+	Trajectory  []TrajectorySample `json:"trajectory"`
+}
+
+// TrajectorySample is one point of a best-energy-over-time curve.
+type TrajectorySample struct {
+	Seconds    float64 `json:"seconds"`
+	BestEnergy int64   `json:"best_energy"`
+}
+
+// clusterBudget sizes both arms from the scale: long enough for a few
+// exchange rounds at the cluster's cadence, short enough for CI at the
+// quick scale.
+func clusterBudget(s Scale) time.Duration { return 4 * s.RateBudget }
+
+// BuildClusterReport generates the G1-shaped instance of the G-set
+// (800 vertices, 19176 random +1 edges, deterministic in its seed),
+// runs both arms and assembles the report.
+func BuildClusterReport(s Scale) (*ClusterReport, error) {
+	const (
+		vertices = 800
+		edges    = 19176
+		seed     = 20200701
+	)
+	g, err := maxcut.GenerateRandom(vertices, edges, maxcut.WeightsPlusOne, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := maxcut.ToQUBO(g)
+	if err != nil {
+		return nil, err
+	}
+	budget := clusterBudget(s)
+	rep := &ClusterReport{
+		Schema:    "abs-cluster-report/1",
+		Scale:     s.Name,
+		Generated: time.Now().UTC().Round(time.Second),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Instance: ClusterInstance{
+			Name:     fmt.Sprintf("gset-style-rand-%d", vertices),
+			Vertices: vertices,
+			Edges:    edges,
+			Bits:     p.N(),
+			Seed:     seed,
+		},
+		Budget: budget.Seconds(),
+	}
+
+	if rep.SingleNode, err = runSingleNode(p, budget); err != nil {
+		return nil, err
+	}
+	if rep.Cluster, err = runLoopbackCluster(p, budget); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WriteClusterReport builds the comparison and writes it as indented
+// JSON.
+func WriteClusterReport(w io.Writer, s Scale) error {
+	rep, err := BuildClusterReport(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("encode cluster report: %w", err)
+	}
+	return nil
+}
+
+// runSingleNode is the baseline arm: one process, two simulated
+// devices, trajectory sampled by the host progress callback.
+func runSingleNode(p *qubo.Problem, budget time.Duration) (ClusterRun, error) {
+	run := ClusterRun{Mode: "single-node", Workers: 1}
+	opt := solveOptions()
+	opt.NumGPUs = 2
+	opt.MaxDuration = budget
+	opt.ProgressEvery = budget / 16
+	opt.Progress = func(pr core.Progress) {
+		// Host-goroutine callback: appends need no lock.
+		if pr.BestKnown {
+			run.Trajectory = append(run.Trajectory, TrajectorySample{
+				Seconds:    pr.Elapsed.Seconds(),
+				BestEnergy: pr.BestEnergy,
+			})
+		}
+	}
+	res, err := core.Solve(p, opt)
+	if err != nil {
+		return run, err
+	}
+	run.WallSeconds = res.Elapsed.Seconds()
+	run.Flips = res.Flips
+	if res.Elapsed > 0 {
+		run.FlipsPerSec = float64(res.Flips) / res.Elapsed.Seconds()
+	}
+	run.BestEnergy = res.BestEnergy
+	run.BestCut = maxcut.CutFromEnergy(res.BestEnergy)
+	run.Trajectory = append(run.Trajectory, TrajectorySample{
+		Seconds: res.Elapsed.Seconds(), BestEnergy: res.BestEnergy,
+	})
+	return run, nil
+}
+
+// runLoopbackCluster is the distributed arm: a coordinator served over
+// a real loopback HTTP listener and two workers talking to it through
+// the NDJSON wire — the full multi-node path, minus only the physical
+// network. The trajectory is sampled from the coordinator's
+// authoritative status, so it reflects what the cluster as a whole
+// knows, publication latency included.
+func runLoopbackCluster(p *qubo.Problem, budget time.Duration) (ClusterRun, error) {
+	run := ClusterRun{Mode: "cluster", Workers: 2}
+	coord, err := cluster.NewCoordinator(p, cluster.CoordinatorConfig{
+		Seed:        solveOptions().Seed,
+		MaxDuration: budget,
+		// Liveness TTLs sized for a host whose devices saturate the
+		// CPU: an RPC can wait out a scheduling quantum or two.
+		LeaseTTL:  2 * time.Second,
+		WorkerTTL: 6 * time.Second,
+	})
+	if err != nil {
+		return run, err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return run, err
+	}
+	srv := &http.Server{Handler: cluster.NewHTTPHandler(coord)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	exchange := budget / 8
+	if exchange < 25*time.Millisecond {
+		exchange = 25 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget+time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < run.Workers; i++ {
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Transport: cluster.NewHTTPTransport(base, nil),
+			WorkerID:  fmt.Sprintf("bench-w%d", i),
+			Device:    gpusim.ScaledCPU(1),
+			Exchange:  exchange,
+		})
+		if err != nil {
+			return run, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	// Sample the authoritative best while the run is live.
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { coord.Wait(ctx); close(done) }()
+	tick := time.NewTicker(budget / 16)
+	defer tick.Stop()
+sampling:
+	for {
+		select {
+		case <-done:
+			break sampling
+		case <-tick.C:
+			if st := coord.Status(); st.BestKnown {
+				run.Trajectory = append(run.Trajectory, TrajectorySample{
+					Seconds:    time.Since(start).Seconds(),
+					BestEnergy: st.BestEnergy,
+				})
+			}
+		}
+	}
+	wg.Wait() // workers flush their final publications on the way out
+
+	final := coord.Status()
+	run.WallSeconds = time.Since(start).Seconds()
+	run.Flips = final.Flips
+	if run.WallSeconds > 0 {
+		run.FlipsPerSec = float64(final.Flips) / run.WallSeconds
+	}
+	run.BestEnergy = final.BestEnergy
+	run.BestCut = maxcut.CutFromEnergy(final.BestEnergy)
+	run.Trajectory = append(run.Trajectory, TrajectorySample{
+		Seconds: run.WallSeconds, BestEnergy: final.BestEnergy,
+	})
+	return run, nil
+}

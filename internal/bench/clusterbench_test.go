@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestClusterReportRoundTrips runs the two-arm comparison at a tiny
+// budget and checks the report is well-formed JSON with sane numbers
+// on both arms.
+func TestClusterReportRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a live loopback cluster; skipped in -short")
+	}
+	// A private miniature scale: clusterBudget is 4×RateBudget, so
+	// each arm gets half a second of search.
+	s := Quick()
+	s.Name = "test"
+	s.RateBudget = 125 * time.Millisecond
+
+	var buf bytes.Buffer
+	if err := WriteClusterReport(&buf, s); err != nil {
+		t.Fatalf("WriteClusterReport: %v", err)
+	}
+	var rep ClusterReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "abs-cluster-report/1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Instance.Bits != 800 || rep.Instance.Edges != 19176 {
+		t.Errorf("unexpected instance %+v", rep.Instance)
+	}
+	for _, arm := range []ClusterRun{rep.SingleNode, rep.Cluster} {
+		if arm.Flips == 0 {
+			t.Errorf("%s arm did no work: %+v", arm.Mode, arm)
+		}
+		if arm.BestEnergy >= 0 {
+			t.Errorf("%s arm best energy %d not negative (all-zero cut is 0)", arm.Mode, arm.BestEnergy)
+		}
+		if len(arm.Trajectory) == 0 {
+			t.Errorf("%s arm recorded no trajectory", arm.Mode)
+		} else if last := arm.Trajectory[len(arm.Trajectory)-1]; last.BestEnergy != arm.BestEnergy {
+			t.Errorf("%s trajectory ends at %d, final best %d", arm.Mode, last.BestEnergy, arm.BestEnergy)
+		}
+	}
+}

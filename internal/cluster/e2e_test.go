@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abs/internal/core"
+	"abs/internal/gpusim"
+	"abs/internal/randqubo"
+	"abs/internal/retry"
+	"abs/internal/telemetry"
+)
+
+// TestWorkerSolvesWithLocalCoordinator runs one full worker — local
+// engine, exchanges, final flush — against an in-process coordinator
+// until the cluster-wide flip budget stops the run.
+func TestWorkerSolvesWithLocalCoordinator(t *testing.T) {
+	p := randqubo.Generate(48, 31)
+	coord := newCoord(t, p, CoordinatorConfig{
+		Seed:     5,
+		MaxFlips: 30_000,
+		LeaseTTL: time.Second,
+	})
+	w, err := NewWorker(WorkerConfig{
+		Transport: NewLocalTransport(coord),
+		WorkerID:  "local-1",
+		Device:    gpusim.ScaledCPU(1),
+		Exchange:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	report, err := w.Run(ctx)
+	if err != nil {
+		t.Fatalf("worker Run: %v", err)
+	}
+	if !report.CoordinatorDone {
+		t.Error("worker did not observe the coordinator's done state")
+	}
+	if report.Exchanges == 0 {
+		t.Error("worker never exchanged with the coordinator")
+	}
+	if report.Result == nil || report.Result.Flips == 0 {
+		t.Fatalf("worker produced no local result: %+v", report)
+	}
+	st := coord.Status()
+	if !st.BestKnown {
+		t.Error("no worker publication was ever admitted to the authoritative pool")
+	}
+	if st.Flips < 30_000 {
+		t.Errorf("cluster flips = %d, want >= the MaxFlips budget 30000", st.Flips)
+	}
+	// The coordinator's best must match the honest energy of its own
+	// solution — the gate recomputed it on admission.
+	if st.BestKnown && p.Energy(st.Best) != st.BestEnergy {
+		t.Errorf("authoritative best energy %d does not match its solution (%d)",
+			st.BestEnergy, p.Energy(st.Best))
+	}
+}
+
+// fuseTransport simulates a hard network partition: it forwards to the
+// inner transport until the fuse blows (after blowAt successful Lease
+// round trips), then fails every call. The worker behind it keeps
+// running — it just can no longer be heard, exactly like a killed node
+// from the coordinator's point of view.
+type fuseTransport struct {
+	inner  Transport
+	blowAt int64
+	leases atomic.Int64
+	blown  atomic.Bool
+}
+
+func (f *fuseTransport) dead() error {
+	if f.blown.Load() {
+		return fmt.Errorf("fuse blown: coordinator unreachable")
+	}
+	return nil
+}
+
+func (f *fuseTransport) Register(ctx context.Context, req RegisterRequest) (*RegisterResponse, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Register(ctx, req)
+}
+
+func (f *fuseTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	resp, err := f.inner.Lease(ctx, req)
+	if err == nil && f.leases.Add(1) >= f.blowAt {
+		f.blown.Store(true)
+	}
+	return resp, err
+}
+
+func (f *fuseTransport) Publish(ctx context.Context, req PublishRequest) (*PublishResponse, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Publish(ctx, req)
+}
+
+func (f *fuseTransport) Heartbeat(ctx context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Heartbeat(ctx, req)
+}
+
+// TestClusterLoopbackE2E is the acceptance run: a single-node baseline
+// fixes a reference energy, then a coordinator plus two HTTP workers
+// must reach an equal-or-better energy on the same instance — with one
+// worker partitioned away mid-run. The run must complete (the lost
+// worker detected and retired, no hang) and the best-so-far must
+// survive.
+func TestClusterLoopbackE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback e2e takes seconds; skipped in -short")
+	}
+	p := randqubo.Generate(64, 7)
+
+	// Single-node reference: same instance, bounded flip budget.
+	opt := core.DefaultOptions()
+	opt.Device = gpusim.ScaledCPU(1)
+	opt.NumGPUs = 2
+	opt.Seed = 1
+	opt.MaxFlips = 120_000
+	single, err := core.Solve(p, opt)
+	if err != nil {
+		t.Fatalf("single-node baseline: %v", err)
+	}
+	target := single.BestEnergy
+	t.Logf("single-node baseline: energy %d after %d flips", target, single.Flips)
+
+	// Cluster: stop as soon as the authoritative pool matches the
+	// baseline, so "equal or better" holds by construction; the
+	// wall-clock cap is a fail-safe against hangs, not the common path.
+	reg := telemetry.NewRegistry()
+	coord, err := NewCoordinator(p, CoordinatorConfig{
+		Seed:         99,
+		TargetEnergy: &target,
+		MaxDuration:  2 * time.Minute,
+		// TTLs sized for a saturated host: with every core busy running
+		// simulated devices, an RPC round trip can take upwards of a
+		// second, and liveness must not flap on that.
+		LeaseTTL:   time.Second,
+		WorkerTTL:  3 * time.Second,
+		LeaseBatch: 8,
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(NewHTTPHandler(coord))
+	defer srv.Close()
+
+	reconnect := retry.Backoff{Base: 50 * time.Millisecond, Factor: 2, Max: 500 * time.Millisecond, Jitter: 0.25}
+	newClusterWorker := func(id string, tr Transport) *Worker {
+		w, err := NewWorker(WorkerConfig{
+			Transport: tr,
+			WorkerID:  id,
+			Device:    gpusim.ScaledCPU(1),
+			Exchange:  100 * time.Millisecond,
+			Reconnect: reconnect,
+		})
+		if err != nil {
+			t.Fatalf("NewWorker(%s): %v", id, err)
+		}
+		return w
+	}
+	// Worker 1 sits behind a fuse that blows after its second lease —
+	// from then on it is a dead node as far as the coordinator can tell.
+	fuse := &fuseTransport{inner: NewHTTPTransport(srv.URL, nil), blowAt: 2}
+	doomed := newClusterWorker("w-doomed", fuse)
+	survivor := newClusterWorker("w-survivor", NewHTTPTransport(srv.URL, nil))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	doomedCtx, killDoomed := context.WithCancel(ctx)
+	defer killDoomed()
+
+	var wg sync.WaitGroup
+	var survivorReport *WorkerReport
+	var survivorErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		doomed.Run(doomedCtx) // partitioned: ends by local stop or our cancel
+	}()
+	go func() {
+		defer wg.Done()
+		survivorReport, survivorErr = survivor.Run(ctx)
+	}()
+
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coordinator never finished: %v (status %+v)", err, res)
+	}
+	if !res.ReachedTarget {
+		t.Fatalf("cluster hit the wall-clock fail-safe without matching the baseline: best (%d, %v) vs %d",
+			res.BestEnergy, res.BestKnown, target)
+	}
+	if !res.BestKnown || res.BestEnergy > target {
+		t.Errorf("cluster best (%d, %v) worse than single-node baseline %d", res.BestEnergy, res.BestKnown, target)
+	}
+	if p.Energy(res.Best) != res.BestEnergy {
+		t.Errorf("reported best energy %d disagrees with its solution (%d)", res.BestEnergy, p.Energy(res.Best))
+	}
+
+	// The partitioned worker must be detected and retired — the failure
+	// half of the protocol, observable through the janitor's counters.
+	if telemetry.Enabled {
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) &&
+			reg.Counter("abs_cluster_workers_retired_total", "").Value() == 0 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		if n := reg.Counter("abs_cluster_workers_retired_total", "").Value(); n == 0 {
+			t.Error("partitioned worker was never retired")
+		}
+	}
+
+	killDoomed()
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(time.Minute):
+		t.Fatal("workers did not shut down")
+	}
+	if survivorErr != nil {
+		t.Fatalf("surviving worker failed: %v", survivorErr)
+	}
+	// The survivor ends either by hearing Done from the coordinator or
+	// by its own engine hitting the granted target energy first —
+	// whichever exchange lands first. Both are clean completions.
+	locallyReached := survivorReport.Result != nil && survivorReport.Result.ReachedTarget
+	if !survivorReport.CoordinatorDone && !locallyReached {
+		t.Errorf("surviving worker stopped without a terminal condition: %+v", survivorReport)
+	}
+	if survivorReport.Exchanges == 0 {
+		t.Error("surviving worker never exchanged")
+	}
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP wire mapping. Register, Heartbeat and Status are plain JSON;
+// the two §3.1 buffer RPCs stream NDJSON so a large batch costs one
+// allocation per line, not one document:
+//
+//	POST /v1/cluster/register   JSON RegisterRequest → JSON RegisterResponse
+//	POST /v1/cluster/lease      JSON LeaseRequest → NDJSON: header line
+//	                            (LeaseResponse sans targets) then one
+//	                            Target per line
+//	POST /v1/cluster/publish    NDJSON: header line (PublishRequest sans
+//	                            results) then one PublishedSolution per
+//	                            line → JSON PublishResponse
+//	POST /v1/cluster/heartbeat  JSON HeartbeatRequest → JSON HeartbeatResponse
+//	GET  /v1/cluster/status     JSON run summary
+//
+// Error mapping: ErrUnknownWorker ↔ 410 Gone (the worker's cure is
+// re-registration, so the "this resource is gone for good" status
+// fits), ErrDone ↔ 409 Conflict.
+
+// leaseHeader is the first NDJSON line of a lease response.
+type leaseHeader struct {
+	Count      int   `json:"count"`
+	Done       bool  `json:"done"`
+	BestEnergy int64 `json:"best_energy"`
+	BestKnown  bool  `json:"best_known"`
+}
+
+// publishHeader is the first NDJSON line of a publish request.
+type publishHeader struct {
+	WorkerID string   `json:"worker_id"`
+	Flips    uint64   `json:"flips"`
+	Release  []uint64 `json:"release,omitempty"`
+	Count    int      `json:"count"`
+}
+
+// statusJSON is the GET /v1/cluster/status body.
+type statusJSON struct {
+	BestEnergy     int64   `json:"best_energy"`
+	BestKnown      bool    `json:"best_known"`
+	Solution       string  `json:"solution,omitempty"`
+	ReachedTarget  bool    `json:"reached_target"`
+	Done           bool    `json:"done"`
+	Flips          uint64  `json:"flips"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Workers        int     `json:"workers"`
+	Quarantined    uint64  `json:"quarantined"`
+}
+
+// NewHTTPHandler exposes a Coordinator over the HTTP wire mapping
+// above. Mount it alongside other handlers (abs-serve -coordinator
+// serves it next to the job API and telemetry planes).
+func NewHTTPHandler(c *Coordinator) http.Handler {
+	h := &httpServer{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/register", h.register)
+	mux.HandleFunc("POST /v1/cluster/lease", h.lease)
+	mux.HandleFunc("POST /v1/cluster/publish", h.publish)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", h.heartbeat)
+	mux.HandleFunc("GET /v1/cluster/status", h.status)
+	return mux
+}
+
+type httpServer struct {
+	c *Coordinator
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeRPCError maps the protocol sentinels onto statuses.
+func writeRPCError(w http.ResponseWriter, err error) {
+	switch {
+	case err == ErrUnknownWorker:
+		writeError(w, http.StatusGone, "%v", err)
+	case err == ErrDone:
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (h *httpServer) register(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := h.c.Register(r.Context(), req)
+	if err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *httpServer) heartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := h.c.Heartbeat(r.Context(), req)
+	if err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *httpServer) lease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := h.c.Lease(r.Context(), req)
+	if err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.Encode(leaseHeader{
+		Count:      len(resp.Targets),
+		Done:       resp.Done,
+		BestEnergy: resp.BestEnergy,
+		BestKnown:  resp.BestKnown,
+	})
+	for _, t := range resp.Targets {
+		enc.Encode(t)
+	}
+	bw.Flush()
+}
+
+func (h *httpServer) publish(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(bufio.NewReader(http.MaxBytesReader(w, r.Body, 64<<20)))
+	var hdr publishHeader
+	if err := dec.Decode(&hdr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad publish header: %v", err)
+		return
+	}
+	req := PublishRequest{
+		WorkerID: hdr.WorkerID,
+		Flips:    hdr.Flips,
+		Release:  hdr.Release,
+		Results:  make([]PublishedSolution, 0, hdr.Count),
+	}
+	for {
+		var s PublishedSolution
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			writeError(w, http.StatusBadRequest, "bad publish line %d: %v", len(req.Results)+1, err)
+			return
+		}
+		req.Results = append(req.Results, s)
+	}
+	resp, err := h.c.Publish(r.Context(), req)
+	if err != nil {
+		writeRPCError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *httpServer) status(w http.ResponseWriter, r *http.Request) {
+	st := h.c.Status()
+	out := statusJSON{
+		BestEnergy:     st.BestEnergy,
+		BestKnown:      st.BestKnown,
+		ReachedTarget:  st.ReachedTarget,
+		Done:           h.c.isDone(),
+		Flips:          st.Flips,
+		ElapsedSeconds: st.Elapsed.Seconds(),
+		Workers:        st.Workers,
+		Quarantined:    st.Quarantined,
+	}
+	if st.BestKnown {
+		out.Solution = st.Best.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// httpTransport is the worker-side client of the wire mapping.
+type httpTransport struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTransport returns a Transport speaking to a coordinator at
+// baseURL (e.g. "http://host:8080"). client may be nil for a default
+// with a 30 s overall timeout; per-call deadlines come from ctx.
+func NewHTTPTransport(baseURL string, client *http.Client) Transport {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &httpTransport{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// rpcError turns a non-200 response back into a protocol error.
+func rpcError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	switch resp.StatusCode {
+	case http.StatusGone:
+		return ErrUnknownWorker
+	case http.StatusConflict:
+		return ErrDone
+	}
+	if body.Error != "" {
+		return fmt.Errorf("cluster: coordinator returned %s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("cluster: coordinator returned %s", resp.Status)
+}
+
+func (t *httpTransport) post(ctx context.Context, path string, body []byte, contentType string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, rpcError(resp)
+	}
+	return resp, nil
+}
+
+// postJSON performs a JSON→JSON round trip.
+func (t *httpTransport) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := t.post(ctx, path, body, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (t *httpTransport) Register(ctx context.Context, req RegisterRequest) (*RegisterResponse, error) {
+	var out RegisterResponse
+	if err := t.postJSON(ctx, "/v1/cluster/register", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (t *httpTransport) Heartbeat(ctx context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+	var out HeartbeatResponse
+	if err := t.postJSON(ctx, "/v1/cluster/heartbeat", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (t *httpTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.post(ctx, "/v1/cluster/lease", body, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(bufio.NewReader(resp.Body))
+	var hdr leaseHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("cluster: bad lease header: %w", err)
+	}
+	out := &LeaseResponse{
+		Done:       hdr.Done,
+		BestEnergy: hdr.BestEnergy,
+		BestKnown:  hdr.BestKnown,
+		Targets:    make([]Target, 0, hdr.Count),
+	}
+	for i := 0; i < hdr.Count; i++ {
+		var tg Target
+		if err := dec.Decode(&tg); err != nil {
+			return nil, fmt.Errorf("cluster: bad lease line %d: %w", i+1, err)
+		}
+		out.Targets = append(out.Targets, tg)
+	}
+	return out, nil
+}
+
+func (t *httpTransport) Publish(ctx context.Context, req PublishRequest) (*PublishResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(publishHeader{
+		WorkerID: req.WorkerID,
+		Flips:    req.Flips,
+		Release:  req.Release,
+		Count:    len(req.Results),
+	}); err != nil {
+		return nil, err
+	}
+	for _, s := range req.Results {
+		if err := enc.Encode(s); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := t.post(ctx, "/v1/cluster/publish", buf.Bytes(), "application/x-ndjson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out PublishResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

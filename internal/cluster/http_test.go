@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+// TestHTTPTransportRoundTrip drives every RPC through the real wire
+// mapping: JSON for register/heartbeat, NDJSON for the two §3.1 buffer
+// calls, and the status document.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	p := testProblem(48, 21)
+	c := newCoord(t, p, CoordinatorConfig{LeaseBatch: 4})
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	defer srv.Close()
+	tr := NewHTTPTransport(srv.URL, nil)
+	ctx := context.Background()
+
+	reg, err := tr.Register(ctx, RegisterRequest{WorkerID: "h1", Devices: 2})
+	if err != nil {
+		t.Fatalf("Register over HTTP: %v", err)
+	}
+	if reg.WorkerID != "h1" {
+		t.Errorf("WorkerID = %q, want h1", reg.WorkerID)
+	}
+	if got, err := qubo.ReadText(strings.NewReader(reg.Problem)); err != nil || got.N() != p.N() {
+		t.Fatalf("problem did not survive the wire: n=%v err=%v", got, err)
+	}
+
+	lease, err := tr.Lease(ctx, LeaseRequest{WorkerID: "h1"})
+	if err != nil {
+		t.Fatalf("Lease over HTTP: %v", err)
+	}
+	if len(lease.Targets) != 4 {
+		t.Fatalf("leased %d targets over HTTP, want 4", len(lease.Targets))
+	}
+	for i, tg := range lease.Targets {
+		if x, err := bitvec.FromString(tg.X); err != nil || x.Len() != p.N() {
+			t.Errorf("target %d corrupt on the wire: %v", i, err)
+		}
+		if tg.Lease == 0 {
+			t.Errorf("target %d carries no lease id", i)
+		}
+	}
+
+	x := bitvec.Random(p.N(), rng.New(22))
+	e := p.Energy(x)
+	pub, err := tr.Publish(ctx, PublishRequest{
+		WorkerID: "h1",
+		Flips:    1234,
+		Release:  []uint64{lease.Targets[0].Lease},
+		Results:  []PublishedSolution{{X: x.String(), Energy: e}},
+	})
+	if err != nil {
+		t.Fatalf("Publish over HTTP: %v", err)
+	}
+	if pub.Accepted != 1 || !pub.BestKnown || pub.BestEnergy != e {
+		t.Errorf("publish = accepted %d best (%d, %v), want 1 with best %d",
+			pub.Accepted, pub.BestEnergy, pub.BestKnown, e)
+	}
+
+	if _, err := tr.Heartbeat(ctx, HeartbeatRequest{WorkerID: "h1"}); err != nil {
+		t.Fatalf("Heartbeat over HTTP: %v", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		BestEnergy int64  `json:"best_energy"`
+		BestKnown  bool   `json:"best_known"`
+		Solution   string `json:"solution"`
+		Workers    int    `json:"workers"`
+		Flips      uint64 `json:"flips"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if !st.BestKnown || st.BestEnergy != e || st.Workers != 1 || st.Flips != 1234 {
+		t.Errorf("status = %+v, want best %d, 1 worker, 1234 flips", st, e)
+	}
+	if got, err := bitvec.FromString(st.Solution); err != nil || !got.Equal(x) {
+		t.Errorf("status solution does not round-trip: %v", err)
+	}
+}
+
+// TestHTTPTransportErrorMapping checks the sentinel statuses both ways:
+// 410 Gone ↔ ErrUnknownWorker, 409 Conflict ↔ ErrDone.
+func TestHTTPTransportErrorMapping(t *testing.T) {
+	c := newCoord(t, testProblem(32, 23), CoordinatorConfig{})
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	defer srv.Close()
+	tr := NewHTTPTransport(srv.URL, nil)
+	ctx := context.Background()
+
+	if _, err := tr.Heartbeat(ctx, HeartbeatRequest{WorkerID: "ghost"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown worker over HTTP = %v, want ErrUnknownWorker", err)
+	}
+	if _, err := tr.Lease(ctx, LeaseRequest{WorkerID: "ghost"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("unknown lease over HTTP = %v, want ErrUnknownWorker", err)
+	}
+	c.Close()
+	if _, err := tr.Register(ctx, RegisterRequest{}); !errors.Is(err, ErrDone) {
+		t.Errorf("register after close over HTTP = %v, want ErrDone", err)
+	}
+}
+
+// TestHTTPHandlerRejectsBadBodies makes sure malformed requests die at
+// the door with 400s rather than panicking or hanging the decoder.
+func TestHTTPHandlerRejectsBadBodies(t *testing.T) {
+	c := newCoord(t, testProblem(32, 24), CoordinatorConfig{})
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	defer srv.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for _, path := range []string{"/v1/cluster/register", "/v1/cluster/lease", "/v1/cluster/publish", "/v1/cluster/heartbeat"} {
+		resp, err := client.Post(srv.URL+path, "application/json", strings.NewReader("{nope"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with garbage = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

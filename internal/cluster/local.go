@@ -1,0 +1,9 @@
+package cluster
+
+// NewLocalTransport connects a worker to a coordinator in the same
+// process, with no serialization or network between them. The
+// Coordinator already speaks the Transport interface directly; the
+// constructor exists so tests and the loopback demo read symmetrically
+// with NewHTTPTransport, and so the coordinator's method set can drift
+// from the wire protocol without breaking callers.
+func NewLocalTransport(c *Coordinator) Transport { return c }

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"strconv"
+
+	"abs/internal/telemetry"
+)
+
+// clusterMetrics binds a Coordinator to the telemetry layer: the
+// abs_cluster_* instrument catalogue plus the register/lease/publish/
+// expire/retire trace events. All methods are nil-receiver safe, so an
+// uninstrumented coordinator pays only nil checks. Callers hold the
+// coordinator mutex; instruments are atomics so that is merely
+// convention, not a requirement.
+type clusterMetrics struct {
+	tracer *telemetry.Tracer
+
+	workers           *telemetry.Gauge
+	workersRegistered *telemetry.Counter
+	workersRetired    *telemetry.Counter
+
+	leasesActive   *telemetry.Gauge
+	leasesGranted  *telemetry.Counter
+	leasesReleased *telemetry.Counter
+	leasesExpired  *telemetry.Counter
+
+	publishBatches *telemetry.Counter
+	publishResults *telemetry.Counter
+	accepted       *telemetry.Counter
+	duplicate      *telemetry.Counter
+	rejectedPool   *telemetry.Counter
+	quarantined    *telemetry.Counter
+
+	redistributeDepth *telemetry.Gauge
+	flips             *telemetry.Counter
+	bestEnergy        *telemetry.Gauge
+}
+
+// newClusterMetrics registers the coordinator's instrument catalogue.
+// Either of reg and tracer may be nil; when both are (or telemetry is
+// compiled out) it returns nil.
+func newClusterMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer) *clusterMetrics {
+	if !telemetry.Enabled || (reg == nil && tracer == nil) {
+		return nil
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &clusterMetrics{
+		tracer: tracer,
+
+		workers: reg.Gauge("abs_cluster_workers",
+			"workers currently registered with the coordinator"),
+		workersRegistered: reg.Counter("abs_cluster_workers_registered_total",
+			"worker registrations accepted (including idempotent re-registrations)"),
+		workersRetired: reg.Counter("abs_cluster_workers_retired_total",
+			"workers retired after missing their heartbeat window"),
+
+		leasesActive: reg.Gauge("abs_cluster_leases_active",
+			"target leases currently outstanding"),
+		leasesGranted: reg.Counter("abs_cluster_leases_granted_total",
+			"target leases granted to workers"),
+		leasesReleased: reg.Counter("abs_cluster_leases_released_total",
+			"leases released by worker publications"),
+		leasesExpired: reg.Counter("abs_cluster_leases_expired_total",
+			"leases that outlived their TTL and were redistributed"),
+
+		publishBatches: reg.Counter("abs_cluster_publish_batches_total",
+			"publication batches received from workers"),
+		publishResults: reg.Counter("abs_cluster_publish_results_total",
+			"individual (solution, energy) publications received"),
+		accepted: reg.Counter("abs_cluster_publish_accepted_total",
+			"publications admitted to the authoritative pool"),
+		duplicate: reg.Counter("abs_cluster_publish_duplicate_total",
+			"publications dropped by the recent-publication dedup set"),
+		rejectedPool: reg.Counter("abs_cluster_publish_rejected_pool_total",
+			"publications the pool turned away (duplicate or no better than the resident worst)"),
+		quarantined: reg.Counter("abs_cluster_publish_quarantined_total",
+			"publications quarantined by the ingest gate (structural or energy mismatch)"),
+
+		redistributeDepth: reg.Gauge("abs_cluster_redistribute_depth",
+			"expired-lease targets waiting to be re-leased"),
+		flips: reg.Counter("abs_cluster_flips_total",
+			"cluster-wide flips accumulated from worker reports"),
+		bestEnergy: reg.Gauge("abs_cluster_best_energy",
+			"best evaluated energy in the authoritative pool"),
+	}
+}
+
+func (m *clusterMetrics) trace(e telemetry.Event) {
+	if m == nil {
+		return
+	}
+	m.tracer.Emit(e)
+}
+
+func (m *clusterMetrics) registered(worker string, workers int) {
+	if m == nil {
+		return
+	}
+	m.workersRegistered.Inc()
+	m.workers.SetInt(workers)
+	m.trace(telemetry.Event{
+		Kind: telemetry.EventWorkerRegister, Device: -1, Block: -1, Detail: worker,
+	})
+}
+
+func (m *clusterMetrics) retired(worker string, workers int) {
+	if m == nil {
+		return
+	}
+	m.workersRetired.Inc()
+	m.workers.SetInt(workers)
+	m.trace(telemetry.Event{
+		Kind: telemetry.EventWorkerRetire, Device: -1, Block: -1, Detail: worker,
+	})
+}
+
+func (m *clusterMetrics) leased(worker string, n, active int) {
+	if m == nil {
+		return
+	}
+	m.leasesGranted.Add(uint64(n))
+	m.leasesActive.SetInt(active)
+	m.trace(telemetry.Event{
+		Kind: telemetry.EventLeaseGrant, Device: -1, Block: -1,
+		Detail: worker + " n=" + strconv.Itoa(n),
+	})
+}
+
+func (m *clusterMetrics) released(n, active int) {
+	if m == nil {
+		return
+	}
+	m.leasesReleased.Add(uint64(n))
+	m.leasesActive.SetInt(active)
+}
+
+func (m *clusterMetrics) expired(worker string, n, active, redistribute int) {
+	if m == nil {
+		return
+	}
+	m.leasesExpired.Add(uint64(n))
+	m.leasesActive.SetInt(active)
+	m.redistributeDepth.SetInt(redistribute)
+	m.trace(telemetry.Event{
+		Kind: telemetry.EventLeaseExpire, Device: -1, Block: -1,
+		Detail: worker + " n=" + strconv.Itoa(n),
+	})
+}
+
+func (m *clusterMetrics) published(worker string, resp PublishResponse, results int, bestE int64, bestKnown bool) {
+	if m == nil {
+		return
+	}
+	m.publishBatches.Inc()
+	m.publishResults.Add(uint64(results))
+	m.accepted.Add(uint64(resp.Accepted))
+	m.duplicate.Add(uint64(resp.Duplicate))
+	m.rejectedPool.Add(uint64(resp.Rejected))
+	m.quarantined.Add(uint64(resp.Quarantined))
+	if bestKnown {
+		m.bestEnergy.Set(float64(bestE))
+	}
+	ev := telemetry.Event{
+		Kind: telemetry.EventClusterPublish, Device: -1, Block: -1, Detail: worker,
+	}
+	if bestKnown {
+		ev.Energy = bestE
+	}
+	m.trace(ev)
+}
+
+func (m *clusterMetrics) flipsDelta(d uint64) {
+	if m == nil {
+		return
+	}
+	m.flips.Add(d)
+}
+
+func (m *clusterMetrics) redistribute(depth int) {
+	if m == nil {
+		return
+	}
+	m.redistributeDepth.SetInt(depth)
+}
+
+// workerMetrics is the worker-side instrument set (abs_worker_*).
+// Nil-receiver safe like its coordinator sibling.
+type workerMetrics struct {
+	exchanges  *telemetry.Counter
+	heartbeats *telemetry.Counter
+	reconnects *telemetry.Counter
+	published  *telemetry.Counter
+	leased     *telemetry.Counter
+}
+
+func newWorkerMetrics(reg *telemetry.Registry) *workerMetrics {
+	if !telemetry.Enabled || reg == nil {
+		return nil
+	}
+	return &workerMetrics{
+		exchanges: reg.Counter("abs_worker_exchanges_total",
+			"publish+lease exchanges completed with the coordinator"),
+		heartbeats: reg.Counter("abs_worker_heartbeats_total",
+			"bare heartbeats sent (exchanges with nothing to publish)"),
+		reconnects: reg.Counter("abs_worker_reconnects_total",
+			"re-registrations after losing the coordinator"),
+		published: reg.Counter("abs_worker_published_total",
+			"pool entries shipped to the coordinator"),
+		leased: reg.Counter("abs_worker_leased_total",
+			"targets leased from the coordinator"),
+	}
+}
+
+func (m *workerMetrics) exchange(published, leased int) {
+	if m == nil {
+		return
+	}
+	m.exchanges.Inc()
+	m.published.Add(uint64(published))
+	m.leased.Add(uint64(leased))
+}
+
+func (m *workerMetrics) heartbeat() {
+	if m == nil {
+		return
+	}
+	m.heartbeats.Inc()
+}
+
+func (m *workerMetrics) reconnect() {
+	if m == nil {
+		return
+	}
+	m.reconnects.Inc()
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"abs/internal/gpusim"
+	"abs/internal/rng"
+)
+
+// TestEngineAttachDetachChurnDuringSolve hammers Attach/Detach from
+// one goroutine per device while the pump loop runs a live solve —
+// the cluster-membership pattern (serve scheduler reshuffles, worker
+// restarts) compressed into a second. Run under -race this is a data
+// race detector for the engine's device bookkeeping; functionally it
+// must neither deadlock nor lose the run.
+func TestEngineAttachDetachChurnDuringSolve(t *testing.T) {
+	p := randomProblem(48, 3)
+	o := tinyOptions()
+	o.NumGPUs = 4
+	o.MaxDuration = 900 * time.Millisecond
+
+	eng, err := NewEngine(p, o)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	fleet, err := gpusim.NewFleet(eng.Options().Device, o.NumGPUs)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	for i := 0; i < fleet.Size(); i++ {
+		if err := eng.Attach(fleet.Device(i)); err != nil {
+			t.Fatalf("initial attach %d: %v", i, err)
+		}
+	}
+
+	// Churners: each repeatedly detaches and re-attaches its own device
+	// with small random dwell times, so at any instant the attached set
+	// is some shifting subset of the fleet.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < fleet.Size(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rng.New(uint64(i)*1299721 + 17)
+			dev := fleet.Device(i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(time.Duration(1+r.Intn(15)) * time.Millisecond)
+				if !eng.Detach(dev) {
+					t.Errorf("device %d was not attached at detach time", i)
+					return
+				}
+				time.Sleep(time.Duration(1+r.Intn(15)) * time.Millisecond)
+				if err := eng.Attach(dev); err != nil {
+					t.Errorf("re-attach device %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	for {
+		now := time.Now()
+		eng.Pump(now)
+		if eng.ShouldStop(now) {
+			break
+		}
+		time.Sleep(eng.Options().PollInterval)
+	}
+	close(stop)
+	wg.Wait()
+
+	res := eng.Finish(false)
+	if res == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if res.Flips == 0 {
+		t.Error("no flips performed under membership churn")
+	}
+	if res.BestEnergy != p.Energy(res.Best) {
+		t.Errorf("best energy %d disagrees with its solution (%d)", res.BestEnergy, p.Energy(res.Best))
+	}
+}

@@ -63,6 +63,7 @@ type Engine struct {
 	nextProgress time.Time
 	emitProgress bool
 	reachedTrgt  bool
+	injectCursor int // round-robin slot cursor for InjectTargets
 
 	// Live snapshot for readers outside the pump goroutine.
 	bestE     atomic.Int64
@@ -181,11 +182,9 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		deviceBlock(bc, newState(), opt, targets, solutions, stats, metrics)
 	}
 	e.gate = &ingestGate{
-		p:            p,
-		n:            n,
+		adm:          NewGate(p, opt.TrustPublications),
 		activeBlocks: blocksPerDevice,
 		totalBlocks:  totalSlots,
-		trust:        opt.TrustPublications,
 		metrics:      metrics,
 	}
 
@@ -367,7 +366,7 @@ func (e *Engine) progressLocked(now time.Time) Progress {
 		Elapsed:     now.Sub(e.start),
 		Flips:       e.stats.flips.Load(),
 		Dropped:     e.solutions.Dropped(),
-		Quarantined: e.gate.quarantined.Load(),
+		Quarantined: e.gate.quarantined(),
 	}
 	pr.Evaluated = uint64(float64(pr.Flips) * e.evaluatedPerFlip)
 	if best, ok := e.host.Pool().Best(); ok {
@@ -384,7 +383,7 @@ func (e *Engine) Snapshot(now time.Time) Progress {
 		Elapsed:     now.Sub(e.start),
 		Flips:       e.stats.flips.Load(),
 		Dropped:     e.solutions.Dropped(),
-		Quarantined: e.gate.quarantined.Load(),
+		Quarantined: e.gate.quarantined(),
 	}
 	pr.Evaluated = uint64(float64(pr.Flips) * e.evaluatedPerFlip)
 	if e.bestKnown.Load() {
@@ -462,7 +461,7 @@ func (e *Engine) Finish(cancelled bool) *Result {
 			Flips:       res.Flips,
 			Evaluated:   res.Evaluated,
 			Dropped:     e.solutions.Dropped(),
-			Quarantined: e.gate.quarantined.Load(),
+			Quarantined: e.gate.quarantined(),
 		}
 		if best, ok := e.host.Pool().Best(); ok {
 			final.BestEnergy, final.BestKnown = best.E, true
@@ -483,7 +482,7 @@ func (e *Engine) Finish(cancelled bool) *Result {
 		res.BestEnergy = 0
 	}
 	res.Inserted, res.Rejected = hostInsertCounts(e.host)
-	res.Quarantined = e.gate.quarantined.Load()
+	res.Quarantined = e.gate.quarantined()
 	res.Dropped = e.solutions.Dropped()
 	if e.sup != nil {
 		res.Recovered = e.sup.recovered
@@ -506,4 +505,41 @@ func (e *Engine) Finish(cancelled bool) *Result {
 	e.res = res
 	e.mu.Unlock()
 	return res
+}
+
+// InjectTargets feeds externally supplied target solutions into the
+// run: each vector joins the GA pool with unknown energy (the host
+// never evaluates the energy function, §3.1 — blocks will visit and
+// evaluate its neighbourhood) and is stored into a block slot
+// round-robin, superseding whatever target sat there. This is the
+// worker-side half of the cluster lease protocol: targets leased from
+// a coordinator's authoritative pool enter the local search exactly
+// like §3.1 Step 4 targets. Pump goroutine only (it writes the pool).
+// The engine takes ownership of the vectors.
+func (e *Engine) InjectTargets(xs []*bitvec.Vector) {
+	for _, x := range xs {
+		if x == nil || x.Len() != e.n {
+			continue
+		}
+		e.host.Pool().Insert(x.Clone(), ga.UnknownEnergy)
+		e.targets.Store(e.injectCursor, x)
+		e.injectCursor = (e.injectCursor + 1) % e.totalSlots
+	}
+}
+
+// PoolTopK returns clones of the best k evaluated pool entries, best
+// first. The cluster worker publishes these to the coordinator
+// (bounded batching: k entries per exchange, not the whole pool).
+// Pump goroutine only (it reads the pool).
+func (e *Engine) PoolTopK(k int) []ga.Entry {
+	pool := e.host.Pool()
+	out := make([]ga.Entry, 0, k)
+	for i := 0; i < pool.Len() && len(out) < k; i++ {
+		ent := pool.At(i)
+		if !ent.Known() {
+			break // unknown-energy entries sort last; nothing evaluated beyond here
+		}
+		out = append(out, ga.Entry{X: ent.X.Clone(), E: ent.E})
+	}
+	return out
 }

@@ -36,11 +36,9 @@ func FuzzIngestGate(f *testing.F) {
 			t.Fatal(err)
 		}
 		gate := &ingestGate{
-			p:            problem,
-			n:            n,
+			adm:          NewGate(problem, trust),
 			activeBlocks: activeBlocks,
 			totalBlocks:  totalBlocks,
-			trust:        trust,
 		}
 
 		// Width 0 is unconstructible (bitvec.New panics by design), so

@@ -5,6 +5,8 @@ import (
 
 	"abs/internal/ga"
 	"abs/internal/gpusim"
+	"abs/internal/retry"
+	"abs/internal/rng"
 )
 
 // supervisor is the host-side watchdog over the block fleet. Every
@@ -21,6 +23,7 @@ import (
 //     stream is redistributed round-robin over surviving blocks —
 //     the cluster degrades to its remaining capacity instead of
 //     repeatedly burying work in a dead card.
+//
 // slotRunner is the supervisor's view of whatever owns the block
 // goroutines: a whole-cluster gpusim.Run (the classic single-job
 // launch) or an Engine whose devices attach and detach while the run is
@@ -49,6 +52,19 @@ type supervisor struct {
 	recovered  uint64
 	numRetired int
 
+	// Respawn pacing (shared schedule with the cluster worker's
+	// reconnect loop, internal/retry): a slot that keeps dying right
+	// after each respawn is backed off exponentially instead of being
+	// respawned every grace period forever — the same reasoning as not
+	// hammering a coordinator that keeps refusing connections. The
+	// first respawn of a silent slot is never delayed; the backoff
+	// resets as soon as an incarnation heartbeats on its own.
+	backoff      retry.Backoff
+	backoffRNG   *rng.Rand
+	attempts     []int       // consecutive respawns without progress, per slot
+	respawnStamp []int64     // heartbeat value stamped at the slot's last respawn
+	retryAt      []time.Time // earliest next respawn, per slot
+
 	metrics *runMetrics
 }
 
@@ -66,6 +82,11 @@ func newSupervisor(run slotRunner, stats *blockStats, targets *gpusim.TargetBuff
 		grace:        grace,
 		activeBlocks: activeBlocks,
 		retired:      make([]bool, len(stats.slots)),
+		backoff:      retry.Backoff{Base: grace, Factor: 2, Max: 8 * grace, Jitter: 0.25},
+		backoffRNG:   rng.New(0x5c4e),
+		attempts:     make([]int, len(stats.slots)),
+		respawnStamp: make([]int64, len(stats.slots)),
+		retryAt:      make([]time.Time, len(stats.slots)),
 		metrics:      metrics,
 	}
 }
@@ -97,16 +118,35 @@ func (s *supervisor) scan(now time.Time) {
 	s.lastScan = now
 	cutoff := now.Add(-s.grace).UnixNano()
 	for g := range s.stats.slots {
-		if s.retired[g] || s.stats.slots[g].heartbeat.Load() > cutoff {
+		if s.retired[g] {
+			continue
+		}
+		hb := s.stats.slots[g].heartbeat.Load()
+		// A heartbeat newer than the one stamped at the slot's last
+		// respawn proves the incarnation made progress on its own:
+		// reset the slot's backoff whether or not it is stale now.
+		if s.attempts[g] != 0 && hb != s.respawnStamp[g] {
+			s.attempts[g] = 0
+		}
+		if hb > cutoff {
 			continue
 		}
 		if dev := g / s.activeBlocks; s.plan != nil && s.plan.DeviceFailed(dev) {
 			s.retireDevice(dev)
 			continue
 		}
+		// Consecutive respawns without intervening progress wait out the
+		// slot's backoff delay on top of the ordinary grace staleness.
+		if s.attempts[g] != 0 && now.Before(s.retryAt[g]) {
+			continue
+		}
 		if s.run.Respawn(g, s.blockFn) {
+			stamp := now.UnixNano()
 			s.stats.slots[g].restarts.Add(1)
-			s.stats.slots[g].heartbeat.Store(now.UnixNano())
+			s.stats.slots[g].heartbeat.Store(stamp)
+			s.respawnStamp[g] = stamp
+			s.attempts[g]++
+			s.retryAt[g] = now.Add(s.backoff.Delay(s.attempts[g]-1, s.backoffRNG))
 			s.recovered++
 			s.metrics.respawn(g)
 			s.targets.Store(g, s.host.NewTarget())

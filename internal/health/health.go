@@ -1,0 +1,44 @@
+// Package health provides the two standard probe endpoints shared by
+// the repo's long-running commands (abs-serve, abs-worker):
+//
+//	GET /healthz  liveness — 200 whenever the process can serve HTTP
+//	GET /readyz   readiness — 200 once the probe reports true, 503
+//	              otherwise (worker not yet registered, service closed)
+//
+// Liveness and readiness are deliberately different questions: an
+// abs-worker that lost its coordinator is alive (it keeps searching
+// locally and will re-register) but not ready to contribute to the
+// cluster, and an orchestrator should not restart it for that.
+package health
+
+import "net/http"
+
+// Live returns the /healthz handler: 200 "ok" unconditionally.
+func Live() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// Ready returns the /readyz handler: 200 "ready" while probe reports
+// true, 503 "not ready" otherwise. A nil probe is always ready.
+func Ready(probe func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if probe == nil || probe() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("not ready\n"))
+	})
+}
+
+// Register mounts both probes on mux.
+func Register(mux *http.ServeMux, probe func() bool) {
+	mux.Handle("GET /healthz", Live())
+	mux.Handle("GET /readyz", Ready(probe))
+}

@@ -1,0 +1,99 @@
+// Package retry is the shared retry-timing vocabulary of the repo:
+// jittered exponential backoff with context-aware sleeping. Two very
+// different layers share it — the cluster worker's reconnect loop
+// (network retries against a coordinator that may be down for seconds)
+// and the core block supervisor (pacing consecutive respawns of a slot
+// that keeps dying) — so the schedule lives in one place instead of
+// being re-derived ad hoc at each site.
+package retry
+
+import (
+	"context"
+	"time"
+
+	"abs/internal/rng"
+)
+
+// Backoff describes a jittered exponential schedule. The zero value is
+// not useful; set at least Base.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the grown delay; zero means no cap.
+	Max time.Duration
+	// Factor is the per-attempt growth; values below 1 (including the
+	// zero value) mean 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over ±Jitter·delay, so a
+	// fleet of workers that lost the same coordinator at the same
+	// instant does not retry in lockstep. Zero means no jitter; values
+	// are clamped to [0, 1].
+	Jitter float64
+}
+
+// Delay returns the schedule's delay for the given 0-based attempt,
+// jittered with r. A nil r skips jitter (deterministic callers: tests,
+// the supervisor's well-spaced scan cadence).
+func (b Backoff) Delay(attempt int, r *rng.Rand) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if j := b.Jitter; j > 0 && r != nil {
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in [1-j, 1+j].
+		d *= 1 - j + 2*j*r.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for d or until ctx is cancelled, whichever comes first,
+// returning ctx.Err() in the cancelled case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do calls fn until it succeeds, sleeping the backoff schedule between
+// failures. It returns nil on the first success, or ctx.Err() once the
+// context is cancelled (the last fn error is wrapped alongside by the
+// caller if it cares; Do itself keeps retrying on every error). r may
+// be nil for an unjittered schedule.
+func Do(ctx context.Context, b Backoff, r *rng.Rand, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(); err == nil {
+			return nil
+		}
+		if err := Sleep(ctx, b.Delay(attempt, r)); err != nil {
+			return err
+		}
+	}
+}

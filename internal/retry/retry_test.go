@@ -1,0 +1,93 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"abs/internal/rng"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayHugeAttemptStaysCapped(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: time.Second}
+	if got := b.Delay(200, nil); got != time.Second {
+		t.Errorf("Delay(200) = %v, want cap %v", got, time.Second)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	b := Backoff{Base: time.Second, Jitter: 0.5}
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		d := b.Delay(0, r)
+		if d < 500*time.Millisecond || d > 1500*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [0.5s, 1.5s]", d)
+		}
+	}
+}
+
+func TestDelayZeroBase(t *testing.T) {
+	var b Backoff
+	if got := b.Delay(5, nil); got != 0 {
+		t.Errorf("zero-base Delay = %v, want 0", got)
+	}
+}
+
+func TestSleepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep on cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Backoff{Base: time.Microsecond}, nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond}, rng.New(1), func() error {
+		calls++
+		return errors.New("always failing")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Do = %v, want Canceled", err)
+	}
+	if calls == 0 {
+		t.Error("fn never called before cancellation")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"abs/internal/health"
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
 	"abs/internal/telemetry"
@@ -21,6 +22,8 @@ import (
 //	GET    /v1/jobs/{id}        one job's status (+ result when settled)
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/jobs/{id}/events NDJSON stream of status snapshots
+//	GET    /healthz             liveness probe (always 200)
+//	GET    /readyz              readiness probe (503 once closed)
 //
 // Any other path falls through to the telemetry exposition handler
 // (/metrics, /trace, /debug/pprof/, …) when a registry is attached, so
@@ -33,6 +36,7 @@ func NewHTTPHandler(s *Service, reg *telemetry.Registry, tr *telemetry.Tracer) h
 	mux.HandleFunc("GET /v1/jobs/{id}", h.get)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	health.Register(mux, func() bool { return !s.Closed() })
 	if reg != nil {
 		mux.Handle("/", telemetry.NewHandler(reg, tr))
 	}

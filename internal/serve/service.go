@@ -180,6 +180,10 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// Closed reports whether Close has been called — the readiness probe
+// for the health endpoints. Safe from any goroutine.
+func (s *Service) Closed() bool { return s.closed.Load() }
+
 // Fleet reports the service's fleet shape.
 func (s *Service) Fleet() (spec gpusim.DeviceSpec, size int) {
 	return s.fleet.Spec(), s.fleet.Size()

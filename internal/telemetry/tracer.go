@@ -50,6 +50,28 @@ const (
 	EventJobStart  EventKind = "job_start"
 	EventJobSettle EventKind = "job_settle"
 	EventJobReject EventKind = "job_reject"
+
+	// Multi-node cluster lifecycle (internal/cluster): the §3.1 buffer
+	// protocol lifted over the network. Device and Block are -1; Detail
+	// holds the worker id (plus lease counts where noted).
+	//
+	// EventWorkerRegister: a worker registered (or idempotently
+	// re-registered) with the coordinator.
+	EventWorkerRegister EventKind = "worker_register"
+	// EventLeaseGrant: the coordinator leased a batch of targets to a
+	// worker (the networked form of §3.1 Step 4); Detail is
+	// "worker-id n=count".
+	EventLeaseGrant EventKind = "lease_grant"
+	// EventClusterPublish: a worker publication batch arrived at the
+	// coordinator (the networked form of §3.1 Steps 2–3); Energy is
+	// the batch's best claimed energy.
+	EventClusterPublish EventKind = "cluster_publish"
+	// EventLeaseExpire: a lease outlived its TTL without a publication
+	// and its target went back into the redistribution queue.
+	EventLeaseExpire EventKind = "lease_expire"
+	// EventWorkerRetire: a worker missed its heartbeat window and was
+	// retired; its leases are redistributed to the survivors.
+	EventWorkerRetire EventKind = "worker_retire"
 )
 
 // Event is one structured trace record. Device and Block are -1 when

@@ -113,3 +113,48 @@ func TestReexportedServiceSurface(t *testing.T) {
 		t.Errorf("submit after close = %v, want ErrClosed", err)
 	}
 }
+
+// TestReexportedClusterSurface runs a miniature one-process cluster
+// entirely through the public names: coordinator, local transport,
+// worker, report and sentinel errors.
+func TestReexportedClusterSurface(t *testing.T) {
+	p := abs.RandomProblem(32, 11)
+	coord, err := abs.NewCoordinator(p, abs.CoordinatorConfig{
+		Seed:     7,
+		MaxFlips: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var tr abs.ClusterTransport = abs.NewLocalTransport(coord)
+	w, err := abs.NewWorker(abs.WorkerConfig{
+		Transport: tr,
+		WorkerID:  "pub-1",
+		Device:    abs.ScaledDevice(1),
+		Exchange:  25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var report *abs.WorkerReport
+	if report, err = w.Run(ctx); err != nil {
+		t.Fatalf("worker Run: %v", err)
+	}
+	if !report.CoordinatorDone {
+		t.Error("worker never saw the coordinator finish")
+	}
+
+	var res abs.ClusterResult = coord.Status()
+	if !res.BestKnown || p.Energy(res.Best) != res.BestEnergy {
+		t.Errorf("cluster best (%d, %v) is not an honest pool entry", res.BestEnergy, res.BestKnown)
+	}
+
+	coord.Close()
+	if _, err := tr.Heartbeat(ctx, abs.HeartbeatRequest{WorkerID: "pub-1"}); !errors.Is(err, abs.ErrClusterDone) {
+		t.Errorf("heartbeat after close = %v, want ErrClusterDone", err)
+	}
+}

@@ -27,4 +27,11 @@ echo "== go test -race =="
 # small machines.
 go test -race -timeout 30m ./...
 
+echo "== cluster loopback e2e (-race) =="
+# The multi-node acceptance run: coordinator + two HTTP workers over
+# loopback, one partitioned mid-run. Part of ./... above; repeated
+# here by name so a regression in the distributed path fails loudly
+# under its own heading.
+go test -race -timeout 10m -count=1 -run 'TestClusterLoopbackE2E' ./internal/cluster/
+
 echo "check.sh: all green"
