@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench obs-demo serve apicheck cluster-demo
+.PHONY: build test vet race check ci bench obs-demo serve apicheck cluster-demo
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,17 @@ race:
 # The standard gate: everything a change must pass before it lands.
 check:
 	./scripts/check.sh
+
+# The CI short lane, exactly as .github/workflows/ci.yml runs it:
+# both vet flavours, both builds, the API-surface gate and the -short
+# test suite. `make check` remains the full gate (-race, cluster e2e).
+ci:
+	$(GO) vet ./...
+	$(GO) vet -tags abstelemetryoff ./...
+	$(GO) build ./...
+	$(GO) build -tags abstelemetryoff ./...
+	sh scripts/apicheck.sh
+	$(GO) test -short ./...
 
 # API-surface gate alone; APICHECK_UPDATE=1 make apicheck regenerates
 # the snapshot after an intentional change.

@@ -93,6 +93,10 @@ const (
 	StorageSparse = core.StorageSparse
 )
 
+// ParseStorage parses "auto", "dense" or "sparse" into a Storage value
+// (the decoder behind every -storage CLI flag).
+func ParseStorage(s string) (Storage, error) { return core.ParseStorage(s) }
+
 // NewProblem returns an all-zero n-variable QUBO instance; fill it with
 // SetWeight/AddWeight.
 func NewProblem(n int) *Problem { return qubo.New(n) }

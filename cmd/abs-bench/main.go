@@ -12,16 +12,23 @@
 //	                    adaptive|ladder|parameters
 //	abs-bench -report BENCH.json [-scale quick|medium|full]
 //	abs-bench -cluster-report BENCH.json [-scale quick|medium|full]
+//	abs-bench -sparse-report BENCH.json [-assert-ratio 2.0]
 //
 // -report solves a fixed seeded problem set with telemetry attached
 // and writes a machine-readable JSON report (per-device flips/sec,
 // best energy, wall time per run). -cluster-report solves one
 // G-set-style instance twice under the same budget — single node vs a
 // two-worker loopback HTTP cluster — and writes the comparison with
-// best-energy trajectories.
+// best-energy trajectories. -sparse-report solves a G-set-style, a
+// Chimera and a dense random instance on both the dense and the sparse
+// engine and writes flips/sec and time-to-target side by side;
+// -assert-ratio additionally fails the process unless the sparse
+// engine delivers at least that multiple of the dense flips/sec on
+// every below-threshold instance (the CI regression gate).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +95,8 @@ func main() {
 		scale    = flag.String("scale", "quick", "experiment scale: quick, medium or full")
 		report   = flag.String("report", "", "write a machine-readable JSON run report to this file")
 		clusterR = flag.String("cluster-report", "", "write a single-node vs loopback-cluster comparison JSON to this file")
+		sparseR  = flag.String("sparse-report", "", "write a dense-vs-sparse engine comparison JSON to this file")
+		ratio    = flag.Float64("assert-ratio", 0, "with -sparse-report: fail unless sparse/dense flips ratio is at least this on below-threshold instances (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,7 +119,14 @@ func main() {
 		}
 		fmt.Println("cluster report written to", *clusterR)
 	}
-	if (*report != "" || *clusterR != "") &&
+	if *sparseR != "" {
+		if err := writeSparseReport(*sparseR, s, *ratio); err != nil {
+			fmt.Fprintln(os.Stderr, "abs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("sparse report written to", *sparseR)
+	}
+	if (*report != "" || *clusterR != "" || *sparseR != "") &&
 		!*all && *table == "" && *figure == "" && *ablation == "" {
 		return
 	}
@@ -136,4 +152,32 @@ func writeReportFile(path string, s bench.Scale, write func(io.Writer, bench.Sca
 		return err
 	}
 	return f.Close()
+}
+
+// writeSparseReport builds the dense-vs-sparse comparison once, writes
+// it to path and, when minRatio > 0, enforces the sparse-speedup gate
+// on the same measurement (written first so a failing run still leaves
+// the evidence on disk).
+func writeSparseReport(path string, s bench.Scale, minRatio float64) error {
+	rep, err := bench.BuildSparseReport(s)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if minRatio > 0 {
+		return bench.CheckSparseRatios(rep, minRatio)
+	}
+	return nil
 }

@@ -79,6 +79,7 @@ type config struct {
 	leaseTTL    time.Duration
 	leaseBatch  int
 	linger      time.Duration
+	storage     string
 }
 
 func main() {
@@ -101,6 +102,7 @@ func main() {
 	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "coordinator: lease TTL (default 10s)")
 	flag.IntVar(&cfg.leaseBatch, "lease-batch", 0, "coordinator: targets granted per lease call (default 32)")
 	flag.DurationVar(&cfg.linger, "linger", 3*time.Second, "coordinator: how long to keep serving after the run finishes so workers can flush")
+	flag.StringVar(&cfg.storage, "storage", "auto", "coordinator: engine representation granted to workers (auto|dense|sparse)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "target" {
@@ -167,12 +169,17 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(1 << 14)
+	storage, err := core.ParseStorage(cfg.storage)
+	if err != nil {
+		return err
+	}
 	ccfg := cluster.CoordinatorConfig{
 		Seed:        cfg.seed,
 		MaxDuration: cfg.runTime,
 		MaxFlips:    cfg.maxFlips,
 		LeaseTTL:    cfg.leaseTTL,
 		LeaseBatch:  cfg.leaseBatch,
+		Storage:     storage,
 		Registry:    reg,
 		Tracer:      tr,
 	}

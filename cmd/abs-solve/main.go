@@ -5,7 +5,8 @@
 //
 //	abs-solve -file problem.qubo [-format qubo|qubobin|gset|tsplib|ising]
 //	          [-time 5s] [-target -12345 -use-target] [-gpus 1] [-sms 2]
-//	          [-bits-per-thread 0] [-seed 1] [-solution] [-v] [-presolve]
+//	          [-bits-per-thread 0] [-seed 1] [-storage auto|dense|sparse]
+//	          [-solution] [-v] [-presolve]
 //	          [-metrics-addr :9090] [-trace-out run.jsonl]
 //
 // The format defaults from the file extension: .qubo/.txt → qubo text
@@ -55,6 +56,7 @@ type config struct {
 	gpus, sms     int
 	bitsPerThread int
 	seed          uint64
+	storage       string
 	showSolution  bool
 	verbose       bool
 	presolve      bool
@@ -75,6 +77,7 @@ func main() {
 	flag.IntVar(&cfg.sms, "sms", 2, "SMs per simulated GPU (0 = full RTX 2080 Ti)")
 	flag.IntVar(&cfg.bitsPerThread, "bits-per-thread", 0, "bits per thread (0 = auto)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse")
 	flag.BoolVar(&cfg.showSolution, "solution", false, "print the solution bit vector")
 	flag.BoolVar(&cfg.verbose, "v", false, "print progress once per second")
 	flag.BoolVar(&cfg.presolve, "presolve", false, "apply persistency-based variable fixing before solving")
@@ -190,6 +193,10 @@ func run(ctx context.Context, cfg config) error {
 	if cfg.hasTarget {
 		opt.TargetEnergy = &cfg.target
 	}
+	opt.Storage, err = core.ParseStorage(cfg.storage)
+	if err != nil {
+		return err
+	}
 	opt.TrustPublications = cfg.trustDevices
 	opt.SupervisorGrace = cfg.grace
 	if cfg.verbose {
@@ -274,8 +281,8 @@ func run(ctx context.Context, cfg config) error {
 		res.Best = full
 		res.BestEnergy += pre.Offset
 	}
-	fmt.Printf("blocks: %d (%d threads/block, %d blocks/GPU, occupancy %.0f%%)\n",
-		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100)
+	fmt.Printf("blocks: %d (%d threads/block, %d blocks/GPU, occupancy %.0f%%, %s engine)\n",
+		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100, res.Storage)
 	fmt.Printf("elapsed: %v   flips: %d   evaluated: %d   search rate: %.3g sol/s\n",
 		res.Elapsed.Round(time.Millisecond), res.Flips, res.Evaluated, res.SearchRate)
 	fmt.Printf("fault tolerance: %d quarantined, %d respawned, %d retired, %d dropped\n",

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"abs/internal/cluster"
+	"abs/internal/core"
 	"abs/internal/gpusim"
 	"abs/internal/health"
 	"abs/internal/telemetry"
@@ -46,6 +47,7 @@ type config struct {
 	exchange    time.Duration
 	publishK    int
 	maxTime     time.Duration
+	storage     string
 	addr        string
 }
 
@@ -58,6 +60,7 @@ func main() {
 	flag.DurationVar(&cfg.exchange, "exchange", 200*time.Millisecond, "publish/lease exchange cadence")
 	flag.IntVar(&cfg.publishK, "publish-k", 8, "best local solutions shipped per exchange")
 	flag.DurationVar(&cfg.maxTime, "max-time", 24*time.Hour, "local backstop budget for an orphaned worker")
+	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse (auto defers to the coordinator's grant, then density)")
 	flag.StringVar(&cfg.addr, "addr", "", "health/metrics listen address (empty = no listener)")
 	flag.Parse()
 
@@ -81,6 +84,10 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 	} else {
 		device = gpusim.ScaledCPU(cfg.sms)
 	}
+	storage, err := core.ParseStorage(cfg.storage)
+	if err != nil {
+		return err
+	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(1 << 12)
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
@@ -91,6 +98,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		Exchange:    cfg.exchange,
 		PublishK:    cfg.publishK,
 		MaxDuration: cfg.maxTime,
+		Storage:     storage,
 		Registry:    reg,
 		Tracer:      tr,
 	})

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"abs/internal/qubo"
+)
+
+func TestSparseInstancesCoverTheDensitySpectrum(t *testing.T) {
+	problems, families, err := sparseInstances(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 || len(families) != 3 {
+		t.Fatalf("got %d problems / %d families, want 3 each", len(problems), len(families))
+	}
+	// The set must straddle the auto threshold: the G-set-style and
+	// Chimera instances below it (sparse regime), the random control
+	// above it (dense regime) — otherwise the report compares nothing.
+	for i, want := range []qubo.Rep{qubo.RepSparse, qubo.RepSparse, qubo.RepDense} {
+		if got := qubo.AutoRep(problems[i]); got != want {
+			t.Errorf("%s (density %.4f): auto picks %v, want %v",
+				families[i], problems[i].Density(), got, want)
+		}
+	}
+	if d := problems[0].Density(); d > 0.01 {
+		t.Errorf("gset-random density %.4f exceeds the 1%% acceptance regime", d)
+	}
+}
+
+func TestCheckSparseRatios(t *testing.T) {
+	rep := &SparseReport{
+		ThresholdDensity: qubo.DefaultSparseDensityThreshold,
+		Instances: []SparseInstance{
+			{Name: "sparse-one", Density: 0.005, AutoPicks: "sparse", FlipRatio: 5.0},
+			{Name: "dense-one", Density: 0.99, AutoPicks: "dense", FlipRatio: 0.4},
+		},
+	}
+	if err := CheckSparseRatios(rep, 2.0); err != nil {
+		t.Errorf("healthy report rejected: %v", err)
+	}
+	rep.Instances[0].FlipRatio = 1.2
+	if err := CheckSparseRatios(rep, 2.0); err == nil {
+		t.Error("under-threshold flip ratio accepted")
+	}
+	rep.Instances[0].FlipRatio = 5.0
+	rep.Instances[0].AutoPicks = "dense"
+	if err := CheckSparseRatios(rep, 2.0); err == nil {
+		t.Error("auto misselection on a sparse instance accepted")
+	}
+	rep.Instances[0].AutoPicks = "sparse"
+	rep.Instances[1].AutoPicks = "sparse"
+	if err := CheckSparseRatios(rep, 2.0); err == nil {
+		t.Error("auto misselection on a dense instance accepted")
+	}
+}
+
+func TestWriteSparseReportQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-driven report in -short mode")
+	}
+	// A micro scale keeps the six solves (+ three calibrations) fast
+	// while still exercising the full measurement path.
+	s := Quick()
+	s.Calibration /= 8
+	s.RateBudget /= 5
+	s.RunCap /= 4
+	s.Repeats = 1
+
+	var buf bytes.Buffer
+	if err := WriteSparseReport(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var rep SparseReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "abs-sparse-report/1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.ThresholdDensity != qubo.DefaultSparseDensityThreshold {
+		t.Errorf("threshold %v not echoed", rep.ThresholdDensity)
+	}
+	if len(rep.Instances) != 3 {
+		t.Fatalf("%d instances, want 3", len(rep.Instances))
+	}
+	for _, inst := range rep.Instances {
+		if inst.Dense.Flips == 0 || inst.Sparse.Flips == 0 {
+			t.Errorf("%s: an engine did zero flips (dense %d, sparse %d)",
+				inst.Name, inst.Dense.Flips, inst.Sparse.Flips)
+		}
+		if inst.Dense.Storage != "dense" || inst.Sparse.Storage != "sparse" {
+			t.Errorf("%s: storage labels %q/%q", inst.Name, inst.Dense.Storage, inst.Sparse.Storage)
+		}
+		if inst.FlipRatio <= 0 {
+			t.Errorf("%s: flip ratio %v not computed", inst.Name, inst.FlipRatio)
+		}
+		if !strings.Contains("dense sparse", inst.AutoPicks) {
+			t.Errorf("%s: auto_picks = %q", inst.Name, inst.AutoPicks)
+		}
+	}
+	// The sparse engine must beat dense on the ≤1%-density G-set
+	// instance even at micro budgets — the acceptance-criterion shape,
+	// with a softer factor here to keep a loaded CI host from flaking.
+	if g := rep.Instances[0]; g.FlipRatio < 1.5 {
+		t.Errorf("%s: sparse/dense ratio %.2f, want ≥ 1.5", g.Name, g.FlipRatio)
+	}
+}

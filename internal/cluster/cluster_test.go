@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"abs/internal/bitvec"
+	"abs/internal/core"
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
 	"abs/internal/rng"
@@ -430,5 +431,59 @@ func TestDedupSetWindowEvicts(t *testing.T) {
 	}
 	if newDedupSet(0) != nil || newDedupSet(-1) != nil {
 		t.Error("non-positive capacity must disable the window")
+	}
+}
+
+func TestStorageGrantPropagatesToWorkerEngine(t *testing.T) {
+	p := testProblem(48, 4) // dense random instance: auto would pick dense
+	c := newCoord(t, p, CoordinatorConfig{Storage: core.StorageSparse})
+	reg := mustRegister(t, c, "w-grant")
+	if reg.Storage != "sparse" {
+		t.Fatalf("registration grant storage = %q, want \"sparse\"", reg.Storage)
+	}
+
+	// A worker left on auto inherits the coordinator's choice.
+	w, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-grant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w.engine.Finish(true)
+	if got := w.engine.Storage(); got != core.StorageSparse {
+		t.Errorf("auto worker resolved %v, want sparse from the grant", got)
+	}
+
+	// An explicit local setting wins over the grant.
+	w2, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-local", Storage: core.StorageDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w2.engine.Finish(true)
+	if got := w2.engine.Storage(); got != core.StorageDense {
+		t.Errorf("locally pinned worker resolved %v, want dense", got)
+	}
+
+	// A corrupt grant is a hard registration error, not a silent auto.
+	w3, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *reg
+	bad.Storage = "columnar"
+	if err := w3.buildEngine(p, &bad); err == nil {
+		w3.engine.Finish(true)
+		t.Error("buildEngine accepted an unknown storage grant")
+	}
+}
+
+func TestStorageGrantOmittedOnAuto(t *testing.T) {
+	c := newCoord(t, testProblem(32, 5), CoordinatorConfig{})
+	if reg := mustRegister(t, c, "w"); reg.Storage != "" {
+		t.Errorf("auto coordinator granted storage %q, want empty (decide locally)", reg.Storage)
 	}
 }

@@ -40,6 +40,12 @@ type CoordinatorConfig struct {
 	// host-side energy recheck) — see core.Gate.
 	TrustPublications bool
 
+	// Storage is the engine representation granted to workers at
+	// registration (RegisterResponse.Storage). StorageAuto, the
+	// default, leaves the choice to each worker's density heuristic;
+	// StorageDense/StorageSparse pin the whole cluster.
+	Storage core.Storage
+
 	// LeaseTTL is how long a granted lease survives without a heartbeat
 	// or publish from its worker before its target is redistributed.
 	// Zero means 10 s.
@@ -347,6 +353,10 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 		c.workers[id] = w
 	}
 	c.metrics.registered(w.id, len(c.workers))
+	storage := ""
+	if c.cfg.Storage != core.StorageAuto {
+		storage = c.cfg.Storage.String()
+	}
 	return &RegisterResponse{
 		WorkerID:        w.id,
 		Problem:         c.problemText,
@@ -355,6 +365,7 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 		HeartbeatMillis: (c.cfg.LeaseTTL / 3).Milliseconds(),
 		LeaseBatch:      c.cfg.LeaseBatch,
 		TargetEnergy:    c.cfg.TargetEnergy,
+		Storage:         storage,
 		Done:            c.isDone(),
 	}, nil
 }

@@ -73,7 +73,12 @@ type RegisterResponse struct {
 	// LeaseBatch is the suggested number of targets per Lease call.
 	LeaseBatch   int    `json:"lease_batch"`
 	TargetEnergy *int64 `json:"target_energy,omitempty"`
-	Done         bool   `json:"done"`
+	// Storage is the coordinator's engine-representation choice
+	// ("dense" or "sparse"; empty means decide locally by density), so
+	// one cluster-wide flag reaches every worker with the problem.
+	// A worker's own explicit -storage setting wins over this.
+	Storage string `json:"storage,omitempty"`
+	Done    bool   `json:"done"`
 }
 
 // Target is one leased target solution.

@@ -41,6 +41,13 @@ type WorkerConfig struct {
 	// means 24 h.
 	MaxDuration time.Duration
 
+	// Storage pins the local engine representation. The default,
+	// core.StorageAuto, defers to the coordinator's registration grant
+	// when it names one and otherwise to the density heuristic; an
+	// explicit dense/sparse setting here always wins (a heterogeneous
+	// node may know better than the cluster-wide default).
+	Storage core.Storage
+
 	// Reconnect paces re-registration after losing the coordinator.
 	// The zero value means {Base: 100ms, Factor: 2, Max: 5s,
 	// Jitter: 0.25} — the same retry vocabulary the block supervisor
@@ -287,6 +294,14 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 	opt.NumGPUs = w.cfg.Devices
 	opt.Seed = reg.Seed
 	opt.TargetEnergy = reg.TargetEnergy
+	opt.Storage = w.cfg.Storage
+	if opt.Storage == core.StorageAuto && reg.Storage != "" {
+		s, err := core.ParseStorage(reg.Storage)
+		if err != nil {
+			return fmt.Errorf("cluster: coordinator sent a bad storage grant: %w", err)
+		}
+		opt.Storage = s
+	}
 	opt.MaxDuration = w.cfg.MaxDuration
 	opt.Telemetry = w.cfg.Registry
 	opt.Tracer = w.cfg.Tracer

@@ -103,9 +103,11 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 
 	// Engine selection: the dense kernel is the paper's; the sparse
 	// adjacency engine wins on low-density instances (G-set graphs).
+	// The auto threshold lives in qubo (ChooseRep) so every layer —
+	// serial engines, kernel blocks, cluster workers — agrees on it.
 	storage := opt.Storage
 	if storage == StorageAuto {
-		if p.Density() < 0.25 {
+		if qubo.ChooseRep(p.Density()) == qubo.RepSparse {
 			storage = StorageSparse
 		} else {
 			storage = StorageDense
@@ -212,6 +214,11 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 
 // Options returns the engine's normalized options.
 func (e *Engine) Options() Options { return e.opt }
+
+// Storage returns the representation the engine resolved for this
+// instance (never StorageAuto): what every block — including
+// supervisor respawns, which reuse the same state factory — runs on.
+func (e *Engine) Storage() Storage { return e.storage }
 
 // Occupancy returns the per-device occupancy of the chosen shape.
 func (e *Engine) Occupancy() gpusim.Occupancy { return e.occ }

@@ -108,8 +108,9 @@ type Options struct {
 
 	// Storage selects the search-engine representation; see the
 	// constants. StorageAuto picks sparse when the instance's
-	// off-diagonal density is below 25 %, where the O(deg) flip beats
-	// the dense O(n) kernel.
+	// off-diagonal density is below qubo.DefaultSparseDensityThreshold
+	// (30 %, chosen from BenchmarkFlipCrossover measurements), where
+	// the O(deg) flip decisively beats the dense O(n) kernel.
 	Storage Storage
 
 	// Warm starts: vectors inserted into the solution pool before the
@@ -219,6 +220,22 @@ func (s Storage) String() string {
 		return "sparse"
 	default:
 		return fmt.Sprintf("Storage(%d)", int(s))
+	}
+}
+
+// ParseStorage parses "auto", "dense" or "sparse" (the String forms) —
+// the shared decoder for CLI -storage flags and the cluster protocol's
+// storage field.
+func ParseStorage(s string) (Storage, error) {
+	switch s {
+	case "", "auto":
+		return StorageAuto, nil
+	case "dense":
+		return StorageDense, nil
+	case "sparse":
+		return StorageSparse, nil
+	default:
+		return StorageAuto, fmt.Errorf("core: unknown storage %q (want auto, dense or sparse)", s)
 	}
 }
 

@@ -26,8 +26,24 @@ import (
 // evidence that the paper's parallel decomposition is faithful. It is
 // an instrument for validation, not speed: the host CPU executes the
 // "threads" sequentially.
+//
+// A block runs in one of two flip modes sharing the same register
+// layout, selection and best-tracking semantics:
+//
+//   - dense (NewKernelBlock): step 3 walks the full weight row, the
+//     paper's kernel verbatim;
+//   - sparse (NewSparseKernelBlock): step 3 walks only the flipped
+//     bit's CSR neighbour list — each owning thread applies Eq. (6) to
+//     the touched register and refreshes its cached register-file
+//     minimum, and the cross-thread reduction runs over the cached
+//     per-thread minima instead of rescanning every register. The
+//     candidate ordering (smaller Δ first, lower bit index on ties) is
+//     identical to the dense loop's, so both modes make the same
+//     decision on every flip.
 type KernelBlock struct {
-	prob    *qubo.Problem
+	prob    *qubo.Problem // dense mode; nil in sparse mode
+	sp      *qubo.Sparse  // sparse mode; nil in dense mode
+	n       int
 	threads int
 	p       int // bits per thread
 
@@ -44,19 +60,63 @@ type KernelBlock struct {
 	sharedBestE int64
 	bestVec     *bitvec.Vector
 
+	// Sparse-mode state: tmin[t] caches thread t's register-file
+	// minimum (valid at all times between flips); dirty/touched are
+	// per-flip scratch marking threads whose registers a flip changed.
+	tmin    []candidate
+	dirty   []bool
+	touched []int
+
 	flips uint64
 }
 
-// NewKernelBlock builds a block for the given shape, initialized at the
-// zero vector (E = 0, Δ_i = W_ii), like §3.2 Step 1.
+// NewKernelBlock builds a dense-mode block for the given shape,
+// initialized at the zero vector (E = 0, Δ_i = W_ii), like §3.2 Step 1.
 func NewKernelBlock(prob *qubo.Problem, bitsPerThread int) (*KernelBlock, error) {
+	kb, err := newKernelBlock(prob.N(), bitsPerThread)
+	if err != nil {
+		return nil, err
+	}
+	kb.prob = prob
+	for t := 0; t < kb.threads; t++ {
+		lo, hi := kb.span(t)
+		for i := lo; i < hi; i++ {
+			kb.regs[t][i-lo] = int64(prob.Weight(i, i))
+		}
+	}
+	return kb, nil
+}
+
+// NewSparseKernelBlock builds a sparse-mode block over the CSR view,
+// initialized at the zero vector. The *Sparse is immutable and may be
+// shared by any number of blocks.
+func NewSparseKernelBlock(sp *qubo.Sparse, bitsPerThread int) (*KernelBlock, error) {
+	kb, err := newKernelBlock(sp.N(), bitsPerThread)
+	if err != nil {
+		return nil, err
+	}
+	kb.sp = sp
+	kb.tmin = make([]candidate, kb.threads)
+	kb.dirty = make([]bool, kb.threads)
+	kb.touched = make([]int, 0, kb.threads)
+	for t := 0; t < kb.threads; t++ {
+		lo, hi := kb.span(t)
+		for i := lo; i < hi; i++ {
+			kb.regs[t][i-lo] = int64(sp.Diag(i))
+		}
+		kb.tmin[t] = kb.scanThread(t, -1)
+	}
+	return kb, nil
+}
+
+// newKernelBlock allocates the mode-independent skeleton.
+func newKernelBlock(n, bitsPerThread int) (*KernelBlock, error) {
 	if bitsPerThread <= 0 {
 		return nil, fmt.Errorf("gpusim: bits per thread %d must be positive", bitsPerThread)
 	}
-	n := prob.N()
 	threads := (n + bitsPerThread - 1) / bitsPerThread
 	kb := &KernelBlock{
-		prob:        prob,
+		n:           n,
 		threads:     threads,
 		p:           bitsPerThread,
 		regs:        make([][]int64, threads),
@@ -66,9 +126,6 @@ func NewKernelBlock(prob *qubo.Problem, bitsPerThread int) (*KernelBlock, error)
 	for t := 0; t < threads; t++ {
 		lo, hi := kb.span(t)
 		kb.regs[t] = make([]int64, hi-lo)
-		for i := lo; i < hi; i++ {
-			kb.regs[t][i-lo] = int64(prob.Weight(i, i))
-		}
 	}
 	return kb, nil
 }
@@ -77,11 +134,14 @@ func NewKernelBlock(prob *qubo.Problem, bitsPerThread int) (*KernelBlock, error)
 func (kb *KernelBlock) span(t int) (lo, hi int) {
 	lo = t * kb.p
 	hi = lo + kb.p
-	if n := kb.prob.N(); hi > n {
-		hi = n
+	if hi > kb.n {
+		hi = kb.n
 	}
 	return lo, hi
 }
+
+// Sparse reports whether the block runs the sparse flip mode.
+func (kb *KernelBlock) Sparse() bool { return kb.sp != nil }
 
 // Threads returns the logical thread count.
 func (kb *KernelBlock) Threads() int { return kb.threads }
@@ -124,7 +184,7 @@ func better(a, b candidate) bool {
 // finds the global window minimum. offset and l define the window
 // [offset, offset+l) mod n.
 func (kb *KernelBlock) SelectWindowMin(offset, l int) int {
-	n := kb.prob.N()
+	n := kb.n
 	if l < 1 {
 		l = 1
 	}
@@ -178,8 +238,14 @@ func (kb *KernelBlock) SelectWindowMin(offset, l int) int {
 
 // Flip performs step 3 of the kernel for bit k: every thread applies
 // Eq. (6) to its own registers, the owner negates Δ_k, and the shared
-// energy and best cells update. Mirrors Algorithm 4's loop body.
+// energy and best cells update. Mirrors Algorithm 4's loop body. In
+// sparse mode only the threads owning a neighbour of k do Eq. (6)
+// work; both modes find the identical post-flip minimum candidate.
 func (kb *KernelBlock) Flip(k int) {
+	if kb.sp != nil {
+		kb.flipSparse(k)
+		return
+	}
 	row := kb.prob.Row(k)
 	sk := int64(1 - 2*kb.x.Bit(k))
 	oldDk := kb.Delta(k)
@@ -208,6 +274,96 @@ func (kb *KernelBlock) Flip(k int) {
 		kb.recordBest(kb.x, kb.sharedE)
 	}
 	// |Δ| is bounded by 2·n·2¹⁵ ≪ MaxInt64, so the sentinel is safe.
+	if minC.delta != math.MaxInt64 {
+		if cand := kb.sharedE + minC.delta; cand < kb.sharedBestE {
+			kb.recordBestNeighbour(minC.bit, cand)
+		}
+	}
+}
+
+// scanThread returns thread t's register-file minimum candidate,
+// excluding bit `excl` (pass −1 to include every bit). The candidate
+// ordering matches the dense Flip loop: pos == bit index.
+func (kb *KernelBlock) scanThread(t, excl int) candidate {
+	best := candidate{delta: math.MaxInt64, pos: math.MaxInt32}
+	lo, hi := kb.span(t)
+	regs := kb.regs[t]
+	for i := lo; i < hi; i++ {
+		if i == excl {
+			continue
+		}
+		if c := (candidate{delta: regs[i-lo], pos: i, bit: i}); better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// flipSparse is step 3 in sparse mode. Register updates touch only the
+// neighbours of k (per-thread Eq. (6) on the CSR segment). The global
+// post-flip minimum over i ≠ k — which the dense loop finds by visiting
+// every register — comes from the cached per-thread minima: a thread
+// whose registers a flip did not touch cannot have changed its local
+// minimum, so only touched threads rescan (O(p) each) before the
+// cross-thread reduction (O(threads)). Total: O(deg + p·touched +
+// threads) instead of O(n), with decisions identical bit for bit.
+func (kb *KernelBlock) flipSparse(k int) {
+	sp := kb.sp
+	sk := int64(1 - 2*kb.x.Bit(k))
+	owner := k / kb.p
+	oldDk := kb.regs[owner][k-owner*kb.p]
+
+	// Per-thread register updates along k's neighbour list; mark the
+	// owning threads dirty. φ values use pre-flip bits, as in the dense
+	// loop (x flips below).
+	idx, w := sp.Neighbours(k)
+	for pos, ji := range idx {
+		i := int(ji)
+		t := i / kb.p
+		xi := int64(kb.x.Bit(i))
+		kb.regs[t][i-t*kb.p] += 2 * sk * (1 - 2*xi) * int64(w[pos])
+		if !kb.dirty[t] {
+			kb.dirty[t] = true
+			kb.touched = append(kb.touched, t)
+		}
+	}
+	// Touched threads refresh their cached minima from the updated
+	// registers; the owner's cache is rebuilt after Δ_k is negated.
+	for _, t := range kb.touched {
+		kb.dirty[t] = false
+		if t != owner {
+			kb.tmin[t] = kb.scanThread(t, -1)
+		}
+	}
+	kb.touched = kb.touched[:0]
+
+	// Cross-thread reduction over cached minima, with the owner thread
+	// contributing its minimum over bits ≠ k (the dense loop's i == k
+	// exclusion).
+	ownerExcl := kb.scanThread(owner, k)
+	minC := ownerExcl
+	for t := 0; t < kb.threads; t++ {
+		if t == owner {
+			continue
+		}
+		if better(kb.tmin[t], minC) {
+			minC = kb.tmin[t]
+		}
+	}
+
+	kb.regs[owner][k-owner*kb.p] = -oldDk
+	if c := (candidate{delta: -oldDk, pos: k, bit: k}); better(c, ownerExcl) {
+		kb.tmin[owner] = c
+	} else {
+		kb.tmin[owner] = ownerExcl
+	}
+	kb.sharedE += oldDk
+	kb.x.Flip(k)
+	kb.flips++
+
+	if kb.sharedE < kb.sharedBestE {
+		kb.recordBest(kb.x, kb.sharedE)
+	}
 	if minC.delta != math.MaxInt64 {
 		if cand := kb.sharedE + minC.delta; cand < kb.sharedBestE {
 			kb.recordBestNeighbour(minC.bit, cand)
@@ -254,14 +410,29 @@ func (kb *KernelBlock) Step(offset, l int) int {
 }
 
 // CheckConsistency recomputes E and all Δ directly and compares against
-// the distributed register files.
+// the distributed register files; in sparse mode it additionally
+// verifies the cached per-thread minima against a full register scan.
 func (kb *KernelBlock) CheckConsistency() error {
-	if e := kb.prob.Energy(kb.x); e != kb.sharedE {
+	direct := func(k int) int64 { return kb.prob.Delta(kb.x, k) }
+	var e int64
+	if kb.sp != nil {
+		e = kb.sp.Energy(kb.x)
+		direct = func(k int) int64 { return kb.sp.DeltaDirect(kb.x, k) }
+	} else {
+		e = kb.prob.Energy(kb.x)
+	}
+	if e != kb.sharedE {
 		return fmt.Errorf("gpusim: kernel energy drift: shared %d, direct %d", kb.sharedE, e)
 	}
-	for k := 0; k < kb.prob.N(); k++ {
-		if d := kb.prob.Delta(kb.x, k); d != kb.Delta(k) {
+	for k := 0; k < kb.n; k++ {
+		if d := direct(k); d != kb.Delta(k) {
 			return fmt.Errorf("gpusim: kernel register drift at %d: reg %d, direct %d", k, kb.Delta(k), d)
+		}
+	}
+	for t := range kb.tmin {
+		if want := kb.scanThread(t, -1); kb.tmin[t] != want {
+			return fmt.Errorf("gpusim: stale cached minimum for thread %d: %+v, want %+v",
+				t, kb.tmin[t], want)
 		}
 	}
 	return nil

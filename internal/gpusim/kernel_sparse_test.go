@@ -1,0 +1,244 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+// sparseKernelProblem builds a random low-density instance.
+func sparseKernelProblem(n int, density float64, seed uint64) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if r.Float64() < density {
+				w := int16(r.Intn(201) - 100)
+				if w == 0 {
+					w = 1
+				}
+				p.SetWeight(i, j, w)
+			}
+		}
+	}
+	return p
+}
+
+func TestSparseKernelInitialState(t *testing.T) {
+	p := sparseKernelProblem(40, 0.1, 1)
+	kb, err := NewSparseKernelBlock(qubo.Sparsify(p), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kb.Sparse() {
+		t.Error("sparse block reports dense mode")
+	}
+	if kb.Threads() != 5 {
+		t.Errorf("threads = %d, want 5", kb.Threads())
+	}
+	if kb.Energy() != 0 {
+		t.Errorf("E(0) = %d", kb.Energy())
+	}
+	for k := 0; k < 40; k++ {
+		if kb.Delta(k) != int64(p.Weight(k, k)) {
+			t.Errorf("Δ_%d(0) = %d, want W_kk", k, kb.Delta(k))
+		}
+	}
+	if err := kb.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewSparseKernelBlock(qubo.Sparsify(p), 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+// TestSparseKernelEquivalentToDenseKernel is the sparse-mode
+// faithfulness proof: both flip modes, driven by the same offset-window
+// schedule, must select the same bits and maintain identical energies,
+// registers and best solutions — the dense mode is itself pinned to
+// qubo.State by TestKernelEquivalentToSerialEngine, so equality here
+// chains the sparse path to the paper's serial semantics.
+func TestSparseKernelEquivalentToDenseKernel(t *testing.T) {
+	for _, shape := range []struct {
+		n, p, l int
+		density float64
+	}{
+		{64, 8, 8, 0.05},
+		{64, 64, 16, 0.10},
+		{63, 8, 5, 0.15}, // ragged last thread
+		{100, 7, 33, 0.02},
+		{48, 4, 12, 0.9}, // sparse mode on a dense instance must still agree
+	} {
+		p := sparseKernelProblem(shape.n, shape.density, uint64(shape.n))
+		dense, err := NewKernelBlock(p, shape.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := NewSparseKernelBlock(qubo.Sparsify(p), shape.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset := 0
+		for step := 0; step < 300; step++ {
+			want := dense.SelectWindowMin(offset, shape.l)
+			got := sparse.SelectWindowMin(offset, shape.l)
+			if got != want {
+				t.Fatalf("shape %+v step %d: sparse selected %d, dense %d", shape, step, got, want)
+			}
+			dense.Flip(want)
+			sparse.Flip(got)
+			offset = (offset + shape.l) % shape.n
+
+			if sparse.Energy() != dense.Energy() {
+				t.Fatalf("shape %+v step %d: energies diverged: %d vs %d",
+					shape, step, sparse.Energy(), dense.Energy())
+			}
+			if sparse.BestEnergy() != dense.BestEnergy() {
+				t.Fatalf("shape %+v step %d: best energies diverged: %d vs %d",
+					shape, step, sparse.BestEnergy(), dense.BestEnergy())
+			}
+		}
+		for k := 0; k < shape.n; k++ {
+			if sparse.Delta(k) != dense.Delta(k) {
+				t.Fatalf("shape %+v: register %d diverged", shape, k)
+			}
+		}
+		if err := sparse.CheckConsistency(); err != nil {
+			t.Errorf("shape %+v: %v", shape, err)
+		}
+		sx, se, sok := sparse.Best()
+		dx, de, dok := dense.Best()
+		if sok != dok || se != de || (sok && !sx.Equal(dx)) {
+			t.Errorf("shape %+v: best solutions diverged", shape)
+		}
+	}
+}
+
+// TestSparseKernelEquivalentToSerialEngine pins the sparse mode
+// directly to the serial qubo.State under the real search.OffsetWindow
+// policy, mirroring the dense-mode pin.
+func TestSparseKernelEquivalentToSerialEngine(t *testing.T) {
+	p := sparseKernelProblem(96, 0.08, 9)
+	kb, err := NewSparseKernelBlock(qubo.Sparsify(p), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := qubo.NewZeroState(p)
+	policy := search.NewOffsetWindow(11)
+	offset := 0
+	for step := 0; step < 400; step++ {
+		want := policy.Select(state)
+		got := kb.SelectWindowMin(offset, 11)
+		if got != want {
+			t.Fatalf("step %d: kernel selected %d, serial %d", step, got, want)
+		}
+		state.Flip(want)
+		kb.Flip(got)
+		offset = (offset + 11) % 96
+		if kb.Energy() != state.Energy() {
+			t.Fatalf("step %d: energies diverged", step)
+		}
+	}
+	if err := kb.CheckConsistency(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSparseKernelConsistencySweep mirrors the dense CheckConsistency
+// coverage: across densities, shapes and long random flip sequences the
+// incremental registers, shared energy and cached thread minima must
+// all match a direct recomputation.
+func TestSparseKernelConsistencySweep(t *testing.T) {
+	for _, tc := range []struct {
+		n, p    int
+		density float64
+	}{
+		{32, 4, 0.02},
+		{64, 8, 0.05},
+		{63, 16, 0.10},
+		{100, 7, 0.20},
+		{40, 40, 0.50},
+		{17, 5, 1.0},
+	} {
+		kb, err := NewSparseKernelBlock(qubo.Sparsify(sparseKernelProblem(tc.n, tc.density, uint64(tc.n)+7)), tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(tc.n))
+		for step := 0; step < 200; step++ {
+			kb.Flip(r.Intn(tc.n))
+			if step%40 == 17 {
+				if err := kb.CheckConsistency(); err != nil {
+					t.Fatalf("%+v step %d: %v", tc, step, err)
+				}
+			}
+		}
+		if err := kb.CheckConsistency(); err != nil {
+			t.Errorf("%+v: %v", tc, err)
+		}
+	}
+}
+
+func TestQuickSparseKernelMatchesDenseRandomShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 8 + int(seed%48)
+		bits := 1 + int(seed%9)
+		l := 1 + int((seed>>8)%uint64(n))
+		density := 0.02 + float64(seed%13)/16
+		p := sparseKernelProblem(n, density, seed)
+		dense, err := NewKernelBlock(p, bits)
+		if err != nil {
+			return false
+		}
+		sparse, err := NewSparseKernelBlock(qubo.Sparsify(p), bits)
+		if err != nil {
+			return false
+		}
+		offset := 0
+		for step := 0; step < 60; step++ {
+			want := dense.SelectWindowMin(offset, l)
+			got := sparse.SelectWindowMin(offset, l)
+			if got != want {
+				return false
+			}
+			dense.Flip(want)
+			sparse.Flip(got)
+			cl := l
+			if cl > n {
+				cl = n
+			}
+			offset = (offset + cl) % n
+			if sparse.Energy() != dense.Energy() || sparse.BestEnergy() != dense.BestEnergy() {
+				return false
+			}
+		}
+		return sparse.CheckConsistency() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseKernelStepAndReset(t *testing.T) {
+	kb, err := NewSparseKernelBlock(qubo.Sparsify(sparseKernelProblem(32, 0.2, 3)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kb.Step(0, 8)
+	if k < 0 || k >= 32 {
+		t.Fatalf("step flipped out-of-range bit %d", k)
+	}
+	if kb.Flips() != 1 {
+		t.Errorf("flips = %d", kb.Flips())
+	}
+	if _, _, ok := kb.Best(); !ok {
+		t.Error("no best after step")
+	}
+	kb.ResetBest()
+	if _, _, ok := kb.Best(); ok {
+		t.Error("best survived reset")
+	}
+}

@@ -1,0 +1,129 @@
+package qubo
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+func TestChooseRep(t *testing.T) {
+	for _, tc := range []struct {
+		density float64
+		want    Rep
+	}{
+		{0, RepSparse},
+		{0.01, RepSparse},
+		{DefaultSparseDensityThreshold - 1e-9, RepSparse},
+		{DefaultSparseDensityThreshold, RepDense},
+		{0.9, RepDense},
+		{1, RepDense},
+	} {
+		if got := ChooseRep(tc.density); got != tc.want {
+			t.Errorf("ChooseRep(%v) = %v, want %v", tc.density, got, tc.want)
+		}
+	}
+	if RepDense.String() != "dense" || RepSparse.String() != "sparse" {
+		t.Error("Rep strings wrong")
+	}
+}
+
+func TestNewAutoZeroStatePicksByDensity(t *testing.T) {
+	sparseP := sparseRandom(64, 0.05, 1)
+	if _, ok := NewAutoZeroState(sparseP).(*SparseState); !ok {
+		t.Errorf("density %.3f selected dense engine", sparseP.Density())
+	}
+	denseP := sparseRandom(64, 0.9, 2)
+	if _, ok := NewAutoZeroState(denseP).(*State); !ok {
+		t.Errorf("density %.3f selected sparse engine", denseP.Density())
+	}
+}
+
+func TestNewAutoStateMatchesDirectEnergy(t *testing.T) {
+	for _, density := range []float64{0.05, 0.9} {
+		p := sparseRandom(48, density, 3)
+		x := bitvec.Random(48, rng.New(4))
+		s := NewAutoState(p, x)
+		if s.Energy() != p.Energy(x) {
+			t.Errorf("density %v: auto engine E = %d, direct %d", density, s.Energy(), p.Energy(x))
+		}
+	}
+}
+
+// TestCrossRepresentationTrajectory is the PR's flip-for-flip
+// equivalence gate: the same seeded offset-window trajectory executed
+// on the dense and sparse engines must select the same bits and
+// produce identical energies after every single flip, on instances
+// from well below to well above the auto threshold.
+func TestCrossRepresentationTrajectory(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		density float64
+		l       int
+	}{
+		{96, 0.02, 7},
+		{96, 0.10, 16},
+		{128, 0.30, 32},
+		{64, 0.95, 64}, // fully dense: sparse path must still agree
+	} {
+		p := sparseRandom(tc.n, tc.density, uint64(tc.n)+uint64(tc.l))
+		dense := NewZeroState(p)
+		sparse := NewSparseZeroState(Sparsify(p))
+		// Two independent policies with identical state: selection reads
+		// only the Δ vector, which must stay identical step by step.
+		dPol := &offsetWindowForTest{l: tc.l}
+		sPol := &offsetWindowForTest{l: tc.l}
+		for step := 0; step < 400; step++ {
+			dk := dPol.selectBit(dense)
+			sk := sPol.selectBit(sparse)
+			if dk != sk {
+				t.Fatalf("%+v step %d: dense selected %d, sparse %d", tc, step, dk, sk)
+			}
+			dense.Flip(dk)
+			sparse.Flip(sk)
+			if dense.Energy() != sparse.Energy() {
+				t.Fatalf("%+v step %d: energies diverged: dense %d, sparse %d",
+					tc, step, dense.Energy(), sparse.Energy())
+			}
+		}
+		for k := 0; k < tc.n; k++ {
+			if dense.Delta(k) != sparse.Delta(k) {
+				t.Fatalf("%+v: Δ_%d diverged: dense %d, sparse %d",
+					tc, k, dense.Delta(k), sparse.Delta(k))
+			}
+		}
+		if err := sparse.CheckConsistency(); err != nil {
+			t.Errorf("%+v: %v", tc, err)
+		}
+	}
+}
+
+// offsetWindowForTest reimplements the search.OffsetWindow scan locally
+// (qubo cannot import search): window minimum with earliest-position
+// tie-break, offset advancing by l.
+type offsetWindowForTest struct {
+	l      int
+	offset int
+}
+
+func (p *offsetWindowForTest) selectBit(s Engine) int {
+	n := s.N()
+	l := p.l
+	if l > n {
+		l = n
+	}
+	d := s.Deltas()
+	best := p.offset % n
+	bestD := d[best]
+	for t := 1; t < l; t++ {
+		i := p.offset + t
+		if i >= n {
+			i -= n
+		}
+		if d[i] < bestD {
+			best, bestD = i, d[i]
+		}
+	}
+	p.offset = (p.offset + l) % n
+	return best
+}

@@ -1,0 +1,37 @@
+package qubo
+
+import (
+	"fmt"
+	"testing"
+
+	"abs/internal/rng"
+)
+
+// BenchmarkFlipCrossover measures the per-flip cost of the dense and
+// sparse engines across densities at fixed n. The density at which the
+// sparse O(deg) flip stops beating the dense O(n) row scan is the
+// measurement behind DefaultSparseDensityThreshold; see DESIGN.md §9.
+func BenchmarkFlipCrossover(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("dense-n%d", n), func(b *testing.B) {
+			p := sparseRandom(n, 1.0, 1)
+			s := NewZeroState(p)
+			r := rng.New(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Flip(r.Intn(n))
+			}
+		})
+		for _, density := range []float64{0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.35, 0.50} {
+			b.Run(fmt.Sprintf("sparse-n%d-d%g", n, density), func(b *testing.B) {
+				p := sparseRandom(n, density, 1)
+				s := NewSparseZeroState(Sparsify(p))
+				r := rng.New(2)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Flip(r.Intn(n))
+				}
+			})
+		}
+	}
+}

@@ -77,6 +77,52 @@ func (s *Sparse) Density() float64 {
 	return s.avgDegree / float64(s.n-1)
 }
 
+// Energy computes E(x) directly from the adjacency lists in O(nnz):
+// set diagonals once, each off-diagonal pair (i, j) with both bits set
+// twice (W_ij + W_ji). The sparse counterpart of Problem.Energy and the
+// oracle for the CSR round-trip fuzz test.
+func (s *Sparse) Energy(x *bitvec.Vector) int64 {
+	if x.Len() != s.n {
+		panic("qubo: vector length does not match problem size")
+	}
+	var e int64
+	for i := 0; i < s.n; i++ {
+		if x.Bit(i) == 0 {
+			continue
+		}
+		e += int64(s.diag[i])
+		for p := s.start[i]; p < s.start[i+1]; p++ {
+			j := int(s.nbrIdx[p])
+			if j > i && x.Bit(j) == 1 {
+				e += 2 * int64(s.nbrW[p])
+			}
+		}
+	}
+	return e
+}
+
+// DeltaDirect computes Δ_k(x) (Eq. 4) directly from k's neighbour
+// list in O(deg k), the sparse counterpart of Problem.Delta.
+func (s *Sparse) DeltaDirect(x *bitvec.Vector, k int) int64 {
+	var sum int64
+	for p := s.start[k]; p < s.start[k+1]; p++ {
+		if x.Bit(int(s.nbrIdx[p])) == 1 {
+			sum += int64(s.nbrW[p])
+		}
+	}
+	return Phi(x.Bit(k)) * (2*sum + int64(s.diag[k]))
+}
+
+// Diag returns the diagonal weight W_kk.
+func (s *Sparse) Diag(k int) int16 { return s.diag[k] }
+
+// Neighbours returns bit k's neighbour indices and weights as shared
+// read-only CSR segments; callers must not modify them.
+func (s *Sparse) Neighbours(k int) ([]int32, []int16) {
+	lo, hi := s.start[k], s.start[k+1]
+	return s.nbrIdx[lo:hi], s.nbrW[lo:hi]
+}
+
 // SparseState is the adjacency-based incremental engine: identical
 // update formulas to State (Eqs. 5–6), but a flip of bit k walks only
 // k's neighbour list. Best-solution tracking is neighbour-local: the
@@ -221,32 +267,11 @@ func (s *SparseState) NoteCurrentAsBest() { s.recordBest(s.x, s.energy) }
 // CheckConsistency recomputes energy and deltas from the adjacency
 // lists and compares; the sparse analogue of State.CheckConsistency.
 func (s *SparseState) CheckConsistency() error {
-	sp := s.sp
-	var e int64
-	for i := 0; i < sp.n; i++ {
-		if s.x.Bit(i) == 0 {
-			continue
-		}
-		e += int64(sp.diag[i])
-		for p := sp.start[i]; p < sp.start[i+1]; p++ {
-			j := int(sp.nbrIdx[p])
-			if j > i && s.x.Bit(j) == 1 {
-				e += 2 * int64(sp.nbrW[p])
-			}
-		}
-	}
-	if e != s.energy {
+	if e := s.sp.Energy(s.x); e != s.energy {
 		return fmt.Errorf("qubo: sparse energy drift: incremental %d, direct %d", s.energy, e)
 	}
-	for k := 0; k < sp.n; k++ {
-		var sum int64
-		for p := sp.start[k]; p < sp.start[k+1]; p++ {
-			if s.x.Bit(int(sp.nbrIdx[p])) == 1 {
-				sum += int64(sp.nbrW[p])
-			}
-		}
-		want := Phi(s.x.Bit(k)) * (2*sum + int64(sp.diag[k]))
-		if want != s.delta[k] {
+	for k := 0; k < s.sp.n; k++ {
+		if want := s.sp.DeltaDirect(s.x, k); want != s.delta[k] {
 			return fmt.Errorf("qubo: sparse delta drift at %d: incremental %d, direct %d",
 				k, s.delta[k], want)
 		}

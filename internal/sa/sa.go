@@ -108,7 +108,7 @@ func Solve(p *qubo.Problem, opt Options) (*Result, error) {
 			haveBest := false
 			var flips, evals uint64
 			for time.Now().Before(deadline) {
-				s := qubo.NewState(p, bitvec.Random(p.N(), r))
+				s := qubo.NewAutoState(p, bitvec.Random(p.N(), r))
 				s.NoteCurrentAsBest()
 				// Run the chain in slices so the deadline and target are
 				// honoured mid-anneal.
