@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"abs/internal/bitvec"
+	"abs/internal/chaos"
 	"abs/internal/cluster"
 	"abs/internal/core"
 	"abs/internal/ga"
@@ -21,6 +22,7 @@ import (
 	"abs/internal/randqubo"
 	"abs/internal/sa"
 	"abs/internal/serve"
+	"abs/internal/store"
 	"abs/internal/telemetry"
 )
 
@@ -422,6 +424,67 @@ func NewHTTPTransport(baseURL string, client *http.Client) ClusterTransport {
 // /v1/cluster/, ready to mount on any mux; abs-serve -coordinator is
 // the packaged version.
 func NewClusterHandler(c *Coordinator) http.Handler { return cluster.NewHTTPHandler(c) }
+
+// Durability and chaos plumbing, re-exported from the store and chaos
+// packages. A Store is the snapshot+append-log backend behind crash
+// recovery (CoordinatorConfig.Store on the cluster side, abs-serve's
+// -store flag on the service side); a ChaosSpec is the seeded
+// network-fault schedule the transport hardening is tested under.
+type (
+	// Store is the pluggable durable-state backend: named snapshots
+	// plus an append log, with atomic snapshot replacement. See
+	// StoreDir for the file-backed implementation.
+	Store = store.Store
+	// ChaosSpec schedules seeded network faults — drop, reply loss,
+	// duplicate delivery, jittered delay, body truncation and a timed
+	// partition. The zero value injects nothing; identical specs
+	// replay identical fault sequences. See NewChaosTransport and
+	// NewChaosRoundTripper.
+	ChaosSpec = chaos.Spec
+	// ChaosCounts tallies what a chaos wrapper actually injected.
+	ChaosCounts = chaos.Counts
+	// ChaosTransport is the fault-injecting ClusterTransport wrapper
+	// returned by NewChaosTransport; Counts reports its injections.
+	ChaosTransport = chaos.Transport
+	// ChaosRoundTripper is the fault-injecting http.RoundTripper
+	// wrapper returned by NewChaosRoundTripper.
+	ChaosRoundTripper = chaos.RoundTripper
+)
+
+// ErrChaosInjected is the error a chaos wrapper returns for injected
+// failures — including reply loss, where the request may have executed
+// before the reply was discarded (the at-least-once hazard the
+// idempotent cluster RPCs exist for).
+var ErrChaosInjected = chaos.ErrInjected
+
+// StoreDir opens (creating it if needed) the file-backed Store rooted
+// at dir — the durable state directory behind crash-recoverable runs.
+// The caller owns the handle and must Close it after the consumer
+// (Coordinator or Solver service) is done.
+func StoreDir(dir string) (Store, error) { return store.Open(dir) }
+
+// RestoreCoordinator rebuilds a Coordinator from the checkpoint in
+// cfg.Store. The boolean reports whether a checkpoint was found; when
+// it is false the returned Coordinator is a cold start, exactly as if
+// NewCoordinator had been called. Workers from the previous incarnation
+// re-register transparently and keep their flip accounting.
+func RestoreCoordinator(p *Problem, cfg CoordinatorConfig) (*Coordinator, bool, error) {
+	return cluster.RestoreCoordinator(p, cfg)
+}
+
+// NewChaosTransport wraps a ClusterTransport with seeded fault
+// injection per spec; only the state-changing RPCs (Lease, Publish)
+// are eligible for duplicate delivery and reply loss.
+func NewChaosTransport(inner ClusterTransport, spec ChaosSpec) *ChaosTransport {
+	return chaos.WrapTransport(inner, spec)
+}
+
+// NewChaosRoundTripper wraps an http.RoundTripper (nil means
+// http.DefaultTransport) with seeded fault injection per spec,
+// including response-body truncation with an intact Content-Length.
+func NewChaosRoundTripper(inner http.RoundTripper, spec ChaosSpec) *ChaosRoundTripper {
+	return chaos.WrapRoundTripper(inner, spec)
+}
 
 // Version identifies the library release.
 const Version = "1.0.0"

@@ -6,6 +6,15 @@
 //
 //	abs-serve [-addr :8080] [-gpus 2] [-sms 2] [-queue-cap 16]
 //	          [-retain 64] [-default-time 10s] [-max-time 5m]
+//	          [-store /var/lib/abs]
+//
+// With -store the service is crash-recoverable: every accepted job's
+// spec and terminal result are journaled to the directory, and a
+// restarted process answers the same job queries the old one would
+// have — finished jobs keep their results, unfinished jobs re-queue
+// under their original IDs. In coordinator mode -store (plus the
+// -checkpoint cadence) periodically snapshots the pool and run status;
+// a restart resumes the run and workers re-register on their own.
 //
 // API (JSON):
 //
@@ -56,6 +65,7 @@ import (
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
 	"abs/internal/serve"
+	"abs/internal/store"
 	"abs/internal/telemetry"
 )
 
@@ -66,6 +76,10 @@ type config struct {
 	retain      int
 	defaultTime time.Duration
 	maxTime     time.Duration
+
+	// Durability (both modes).
+	storeDir   string
+	checkpoint time.Duration
 
 	// Coordinator mode.
 	coordinator bool
@@ -91,6 +105,8 @@ func main() {
 	flag.IntVar(&cfg.retain, "retain", 64, "settled jobs kept queryable")
 	flag.DurationVar(&cfg.defaultTime, "default-time", 10*time.Second, "wall-clock budget for jobs that set no stop condition")
 	flag.DurationVar(&cfg.maxTime, "max-time", 5*time.Minute, "hard cap on any job's wall-clock budget")
+	flag.StringVar(&cfg.storeDir, "store", "", "directory for durable state; a restart recovers jobs (job mode) or the run checkpoint (coordinator mode)")
+	flag.DurationVar(&cfg.checkpoint, "checkpoint", 0, "coordinator: checkpoint cadence when -store is set (default 2s)")
 
 	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as a multi-node cluster coordinator instead of the job service")
 	flag.StringVar(&cfg.file, "file", "", "coordinator: instance in the qubo text format")
@@ -182,14 +198,35 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 		Storage:     storage,
 		Registry:    reg,
 		Tracer:      tr,
+		Checkpoint:  cfg.checkpoint,
 	}
 	if cfg.hasTarget {
 		t := cfg.target
 		ccfg.TargetEnergy = &t
 	}
-	coord, err := cluster.NewCoordinator(p, ccfg)
-	if err != nil {
-		return err
+	var coord *cluster.Coordinator
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		ccfg.Store = st
+		var resumed bool
+		coord, resumed, err = cluster.RestoreCoordinator(p, ccfg)
+		if err != nil {
+			return err
+		}
+		if resumed {
+			rst := coord.Status()
+			fmt.Fprintf(out, "abs-serve: resumed from checkpoint (best known: %v, %d flips, %v elapsed)\n",
+				rst.BestKnown, rst.Flips, rst.Elapsed.Round(time.Millisecond))
+		}
+	} else {
+		coord, err = cluster.NewCoordinator(p, ccfg)
+		if err != nil {
+			return err
+		}
 	}
 	defer coord.Close()
 
@@ -278,7 +315,7 @@ func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tra
 	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(1 << 14)
-	svc, err := serve.New(serve.Config{
+	scfg := serve.Config{
 		Device:         device,
 		NumDevices:     cfg.gpus,
 		Defaults:       defaults,
@@ -287,7 +324,15 @@ func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tra
 		MaxJobDuration: cfg.maxTime,
 		Registry:       reg,
 		Tracer:         tr,
-	})
+	}
+	if cfg.storeDir != "" {
+		st, err := store.Open(cfg.storeDir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		scfg.Store = st
+	}
+	svc, err := serve.New(scfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}

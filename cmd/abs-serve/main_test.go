@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"os"
 	"regexp"
@@ -148,6 +149,117 @@ func TestCoordinatorModeLifecycle(t *testing.T) {
 	if !strings.Contains(string(b), "best energy") {
 		t.Errorf("coordinator exited without a run summary:\n%s", string(b))
 	}
+}
+
+// TestRunRestartServesOldResults is the binary-level kill/restart
+// walkthrough from the README: run abs-serve with -store, finish a job,
+// kill the process, start a new one over the same directory, and the
+// old job's result is still there — same ID, same answer, no 404.
+func TestRunRestartServesOldResults(t *testing.T) {
+	storeDir := t.TempDir()
+	baseCfg := config{
+		addr:        "127.0.0.1:0",
+		gpus:        1,
+		sms:         1,
+		queueCap:    4,
+		retain:      8,
+		defaultTime: time.Second,
+		maxTime:     time.Minute,
+		storeDir:    storeDir,
+	}
+	addrRe := regexp.MustCompile(`http://(127\.0\.0\.1:\d+)/v1/jobs`)
+
+	boot := func() (addr string, cancel context.CancelFunc, done chan error) {
+		out, err := os.CreateTemp(t.TempDir(), "abs-serve-out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { out.Close() })
+		ctx, cancel := context.WithCancel(context.Background())
+		done = make(chan error, 1)
+		go func() { done <- run(ctx, baseCfg, out) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) && addr == "" {
+			b, _ := os.ReadFile(out.Name())
+			if m := addrRe.FindStringSubmatch(string(b)); m != nil {
+				addr = m[1]
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if addr == "" {
+			cancel()
+			t.Fatal("server never printed its address")
+		}
+		return addr, cancel, done
+	}
+
+	getJob := func(addr, id string) (int, jobDoc) {
+		resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc jobDoc
+		json.NewDecoder(resp.Body).Decode(&doc)
+		return resp.StatusCode, doc
+	}
+
+	// Incarnation 1: run one job to completion.
+	addr1, cancel1, done1 := boot()
+	resp, err := http.Post("http://"+addr1+"/v1/jobs", "application/json",
+		strings.NewReader(`{"random": {"n": 32, "seed": 5}, "max_flips": 2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted jobDoc
+	json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit = %d %+v", resp.StatusCode, submitted)
+	}
+	var before jobDoc
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, doc := getJob(addr1, submitted.ID); doc.State == "done" {
+			before = doc
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if before.State != "done" || before.Result == nil {
+		t.Fatalf("job never finished in incarnation 1: %+v", before)
+	}
+	cancel1()
+	if err := <-done1; err != nil {
+		t.Fatalf("incarnation 1 exited with %v", err)
+	}
+
+	// Incarnation 2 over the same -store directory.
+	addr2, cancel2, done2 := boot()
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	code, after := getJob(addr2, submitted.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s after restart = %d, want 200", submitted.ID, code)
+	}
+	if after.State != "done" || after.Result == nil {
+		t.Fatalf("restored job = %+v, want done with a result", after)
+	}
+	if after.Result.BestEnergy != before.Result.BestEnergy {
+		t.Errorf("restored best = %d, want %d", after.Result.BestEnergy, before.Result.BestEnergy)
+	}
+}
+
+// jobDoc is the slice of the job API document the restart test reads.
+type jobDoc struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Result *struct {
+		BestEnergy int64  `json:"best_energy"`
+		Solution   string `json:"solution"`
+	} `json:"result"`
 }
 
 // TestLoadProblemValidation covers the instance-source dispatch.

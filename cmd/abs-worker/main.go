@@ -68,6 +68,13 @@ func main() {
 	defer stop()
 	if err := run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "abs-worker:", err)
+		// Exit 2 distinguishes a permanent failure (rejected
+		// registration, corrupt grant — restarting won't help, an
+		// operator must look) from transient ones; process supervisors
+		// can key restart policy off it.
+		if cluster.Permanent(err) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,203 @@
+// Package chaos injects seeded network faults into the cluster layer,
+// mirroring internal/gpusim's FaultPlan for the device side: where a
+// FaultPlan crashes blocks and corrupts publications, a chaos.Spec
+// drops requests, loses replies after execution (the at-least-once
+// hazard that motivates request-ID idempotency), duplicates deliveries,
+// adds jittered delay, truncates HTTP response bodies mid-stream and
+// opens a full partition for a scheduled window.
+//
+// Two wrappers apply one Spec at the two seams the cluster has:
+// WrapTransport around the in-process cluster.Transport (deterministic
+// tests) and WrapRoundTripper around an http.RoundTripper (the real
+// wire). All fault draws come from one seeded rng, so a given seed
+// produces the same fault sequence in call order.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"abs/internal/rng"
+)
+
+// ErrInjected is the transport-level error a dropped request or lost
+// reply surfaces. Callers see it exactly as they would a refused
+// connection: a transient failure worth retrying.
+var ErrInjected = errors.New("chaos: injected network failure")
+
+// Spec is a seeded fault schedule. The zero value injects nothing;
+// probabilities are clamped to [0, 1].
+type Spec struct {
+	// Seed drives every fault draw. Two wrappers built from the same
+	// Spec make the same draws in call order.
+	Seed uint64
+
+	// Drop is the probability a request is lost before execution: the
+	// callee never sees it.
+	Drop float64
+	// DropReply is the probability a request executes but its reply is
+	// lost — the caller sees a failure, the callee's state has already
+	// changed. This is the case that makes naive retry unsafe and
+	// request IDs necessary.
+	DropReply float64
+	// Duplicate is the probability a request is delivered twice
+	// (at-least-once delivery); the caller gets the first reply.
+	Duplicate float64
+
+	// DelayMin/DelayMax bound a uniformly jittered latency added to
+	// every surviving call. Zero both for no delay.
+	DelayMin, DelayMax time.Duration
+
+	// Truncate is the probability an HTTP response body is cut short
+	// while its Content-Length header still promises the full payload,
+	// so the client's decoder fails mid-object. RoundTripper only.
+	Truncate float64
+
+	// PartitionAfter/PartitionFor schedule one full partition window:
+	// starting PartitionAfter after the wrapper is built, every call
+	// fails for PartitionFor. Zero PartitionFor disables.
+	PartitionAfter, PartitionFor time.Duration
+}
+
+// Counts reports the faults injected so far.
+type Counts struct {
+	Dropped     uint64
+	RepliesLost uint64
+	Duplicated  uint64
+	Delayed     uint64
+	Truncated   uint64
+	Partitioned uint64
+	Passed      uint64 // calls that went through unharmed
+}
+
+// injector is the shared seeded core of both wrappers.
+type injector struct {
+	spec  Spec
+	birth time.Time
+
+	mu     sync.Mutex
+	r      *rng.Rand
+	counts Counts
+}
+
+func newInjector(spec Spec) *injector {
+	return &injector{spec: spec, birth: time.Now(), r: rng.New(spec.Seed)}
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// draw returns true with probability p, under the injector's lock.
+func (in *injector) draw(p float64) bool {
+	p = clamp01(p)
+	if p == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.r.Float64() < p
+}
+
+// delay picks this call's added latency (0 if none configured).
+func (in *injector) delay() time.Duration {
+	min, max := in.spec.DelayMin, in.spec.DelayMax
+	if max < min {
+		max = min
+	}
+	if max <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if span := max - min; span > 0 {
+		return min + time.Duration(in.r.Int63()%int64(span+1))
+	}
+	return min
+}
+
+// partitioned reports whether now falls inside the scheduled window.
+func (in *injector) partitioned(now time.Time) bool {
+	if in.spec.PartitionFor <= 0 {
+		return false
+	}
+	start := in.birth.Add(in.spec.PartitionAfter)
+	return !now.Before(start) && now.Before(start.Add(in.spec.PartitionFor))
+}
+
+func (in *injector) count(f func(*Counts)) {
+	in.mu.Lock()
+	f(&in.counts)
+	in.mu.Unlock()
+}
+
+// Counts returns a snapshot of the injected-fault counters.
+func (in *injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// sleep waits d respecting ctx.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// fate decides one call's faults up front (single lock round):
+// dropped before execution, duplicated, or reply lost after execution.
+type fate struct {
+	delay     time.Duration
+	drop      bool
+	duplicate bool
+	dropReply bool
+	truncate  bool
+}
+
+func (in *injector) decide(now time.Time) fate {
+	var f fate
+	if in.partitioned(now) {
+		in.count(func(c *Counts) { c.Partitioned++ })
+		f.drop = true
+		return f
+	}
+	f.delay = in.delay()
+	switch {
+	case in.draw(in.spec.Drop):
+		f.drop = true
+		in.count(func(c *Counts) { c.Dropped++ })
+	case in.draw(in.spec.DropReply):
+		f.dropReply = true
+		in.count(func(c *Counts) { c.RepliesLost++ })
+	case in.draw(in.spec.Duplicate):
+		f.duplicate = true
+		in.count(func(c *Counts) { c.Duplicated++ })
+	}
+	if !f.drop && in.draw(in.spec.Truncate) {
+		f.truncate = true
+	}
+	if f.delay > 0 {
+		in.count(func(c *Counts) { c.Delayed++ })
+	}
+	if !f.drop && !f.dropReply && !f.duplicate && !f.truncate {
+		in.count(func(c *Counts) { c.Passed++ })
+	}
+	return f
+}

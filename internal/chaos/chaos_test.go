@@ -1,0 +1,285 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abs/internal/cluster"
+)
+
+// stubTransport records call counts and returns canned responses.
+type stubTransport struct {
+	mu         sync.Mutex
+	registers  int
+	leases     int
+	publishes  int
+	heartbeats int
+}
+
+func (s *stubTransport) Register(ctx context.Context, req cluster.RegisterRequest) (*cluster.RegisterResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registers++
+	return &cluster.RegisterResponse{WorkerID: "w"}, nil
+}
+
+func (s *stubTransport) Lease(ctx context.Context, req cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.leases++
+	return &cluster.LeaseResponse{}, nil
+}
+
+func (s *stubTransport) Publish(ctx context.Context, req cluster.PublishRequest) (*cluster.PublishResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.publishes++
+	return &cluster.PublishResponse{Accepted: 1}, nil
+}
+
+func (s *stubTransport) Heartbeat(ctx context.Context, req cluster.HeartbeatRequest) (*cluster.HeartbeatResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.heartbeats++
+	return &cluster.HeartbeatResponse{}, nil
+}
+
+func (s *stubTransport) calls() (int, int, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registers, s.leases, s.publishes, s.heartbeats
+}
+
+func TestZeroSpecPassesEverything(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{})
+	ctx := context.Background()
+	if _, err := tr.Register(ctx, cluster.RegisterRequest{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := tr.Lease(ctx, cluster.LeaseRequest{}); err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if _, err := tr.Publish(ctx, cluster.PublishRequest{}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if _, err := tr.Heartbeat(ctx, cluster.HeartbeatRequest{}); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	r, l, p, h := stub.calls()
+	if r != 1 || l != 1 || p != 1 || h != 1 {
+		t.Fatalf("inner calls = %d/%d/%d/%d, want 1 each", r, l, p, h)
+	}
+	c := tr.Counts()
+	if c.Passed != 4 || c.Dropped+c.RepliesLost+c.Duplicated+c.Partitioned != 0 {
+		t.Fatalf("counts = %+v, want 4 passed and no faults", c)
+	}
+}
+
+func TestDropNeverReachesInner(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, Drop: 1})
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Publish(context.Background(), cluster.PublishRequest{}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Publish err = %v, want ErrInjected", err)
+		}
+	}
+	if _, _, p, _ := stub.calls(); p != 0 {
+		t.Fatalf("inner saw %d publishes, want 0", p)
+	}
+	if c := tr.Counts(); c.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5", c.Dropped)
+	}
+}
+
+func TestDropReplyExecutesButFails(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, DropReply: 1})
+	if _, err := tr.Publish(context.Background(), cluster.PublishRequest{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Publish err = %v, want ErrInjected", err)
+	}
+	if _, _, p, _ := stub.calls(); p != 1 {
+		t.Fatalf("inner saw %d publishes, want 1 (state changed, reply lost)", p)
+	}
+	if c := tr.Counts(); c.RepliesLost != 1 {
+		t.Fatalf("RepliesLost = %d, want 1", c.RepliesLost)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, Duplicate: 1})
+	resp, err := tr.Lease(context.Background(), cluster.LeaseRequest{})
+	if err != nil || resp == nil {
+		t.Fatalf("Lease = %v, %v, want response", resp, err)
+	}
+	if _, l, _, _ := stub.calls(); l != 2 {
+		t.Fatalf("inner saw %d leases, want 2", l)
+	}
+}
+
+func TestNonMutatingRPCsAreNeverDuplicatedOrReplyDropped(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, DropReply: 1, Duplicate: 1})
+	if _, err := tr.Register(context.Background(), cluster.RegisterRequest{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := tr.Heartbeat(context.Background(), cluster.HeartbeatRequest{}); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	r, _, _, h := stub.calls()
+	if r != 1 || h != 1 {
+		t.Fatalf("inner calls register=%d heartbeat=%d, want 1 each", r, h)
+	}
+}
+
+func TestPartitionWindowFailsAllCalls(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, PartitionAfter: 0, PartitionFor: time.Hour})
+	if _, err := tr.Heartbeat(context.Background(), cluster.HeartbeatRequest{}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Heartbeat err = %v, want ErrInjected inside partition", err)
+	}
+	if c := tr.Counts(); c.Partitioned != 1 {
+		t.Fatalf("Partitioned = %d, want 1", c.Partitioned)
+	}
+	if r, l, p, h := stub.calls(); r+l+p+h != 0 {
+		t.Fatalf("inner saw calls during partition: %d/%d/%d/%d", r, l, p, h)
+	}
+}
+
+func TestDelayIsBoundedAndCounted(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond})
+	start := time.Now()
+	if _, err := tr.Lease(context.Background(), cluster.LeaseRequest{}); err != nil {
+		t.Fatalf("Lease: %v", err)
+	}
+	if took := time.Since(start); took < time.Millisecond {
+		t.Fatalf("call took %v, want >= DelayMin", took)
+	}
+	if c := tr.Counts(); c.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", c.Delayed)
+	}
+}
+
+func TestDelayRespectsContextCancel(t *testing.T) {
+	stub := &stubTransport{}
+	tr := WrapTransport(stub, Spec{Seed: 1, DelayMin: time.Hour, DelayMax: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Lease(ctx, cluster.LeaseRequest{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Lease err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	run := func() Counts {
+		tr := WrapTransport(&stubTransport{}, Spec{Seed: 42, Drop: 0.3, DropReply: 0.2, Duplicate: 0.2})
+		for i := 0; i < 200; i++ {
+			tr.Publish(context.Background(), cluster.PublishRequest{})
+		}
+		return tr.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed gave different fault sequences: %+v vs %+v", a, b)
+	}
+	if a.Dropped == 0 || a.RepliesLost == 0 || a.Duplicated == 0 {
+		t.Fatalf("expected every fault kind to fire over 200 calls: %+v", a)
+	}
+}
+
+func TestRoundTripperTruncatePreservesContentLength(t *testing.T) {
+	const payload = `{"field": "a value long enough that half of it is not valid JSON"}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, payload)
+	}))
+	defer srv.Close()
+
+	rt := WrapRoundTripper(nil, Spec{Seed: 1, Truncate: 1})
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != int64(len(payload)) {
+		t.Fatalf("ContentLength = %d, want %d (header must keep lying)", resp.ContentLength, len(payload))
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("body not truncated: got %d bytes of %d", len(got), len(payload))
+	}
+	if c := rt.Counts(); c.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", c.Truncated)
+	}
+}
+
+func TestRoundTripperDuplicateSendsBodyTwice(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(b))
+		mu.Unlock()
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := WrapRoundTripper(nil, Spec{Seed: 1, Duplicate: 1})
+	client := &http.Client{Transport: rt}
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if string(out) != "ok" {
+		t.Fatalf("response body = %q, want ok", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", len(bodies))
+	}
+	for i, b := range bodies {
+		if b != "hello" {
+			t.Fatalf("delivery %d body = %q, want full replayed body", i, b)
+		}
+	}
+	if c := rt.Counts(); c.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", c.Duplicated)
+	}
+}
+
+func TestRoundTripperDropReplyHitsServer(t *testing.T) {
+	var hits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	rt := WrapRoundTripper(nil, Spec{Seed: 1, DropReply: 1})
+	client := &http.Client{Transport: rt}
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get err = %v, want ErrInjected", err)
+	}
+	if n := atomic.LoadInt32(&hits); n != 1 {
+		t.Fatalf("server hits = %d, want 1 (request landed, reply lost)", n)
+	}
+}

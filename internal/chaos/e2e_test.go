@@ -1,0 +1,315 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"abs/internal/cluster"
+	"abs/internal/gpusim"
+	"abs/internal/randqubo"
+	"abs/internal/retry"
+	"abs/internal/store"
+)
+
+// fastReconnect keeps the degraded-mode pacer tight so e2e runs stay
+// inside the -short budget.
+var fastReconnect = retry.Backoff{Base: 20 * time.Millisecond, Factor: 2, Max: 200 * time.Millisecond, Jitter: 0.25}
+
+func newChaosWorker(t *testing.T, id string, tr cluster.Transport) *cluster.Worker {
+	t.Helper()
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Transport: tr,
+		WorkerID:  id,
+		Device:    gpusim.ScaledCPU(1),
+		Exchange:  10 * time.Millisecond,
+		Reconnect: fastReconnect,
+	})
+	if err != nil {
+		t.Fatalf("NewWorker(%s): %v", id, err)
+	}
+	return w
+}
+
+// TestClusterConvergesUnderChaos is the chaos acceptance run: two
+// workers on a loopback transport with 5% request drop, reply loss,
+// duplicate delivery and jittered delay between them and the
+// coordinator. The run must still complete its flip budget, admit an
+// honest best, and count no flips twice — the request-ID idempotency
+// and retry layers doing their job under fire. Deliberately NOT skipped
+// in -short: this is the cheap always-on chaos lane.
+func TestClusterConvergesUnderChaos(t *testing.T) {
+	// A simulated worker burns ~1M flips/s, and flips only reach the
+	// coordinator on the 20ms exchange cadence: the budget is sized so
+	// each worker makes ~100+ RPC rounds, enough draws for every fault
+	// kind to fire.
+	const flipBudget = 4_000_000
+	p := randqubo.Generate(48, 31)
+	coord, err := cluster.NewCoordinator(p, cluster.CoordinatorConfig{
+		Seed:        5,
+		MaxFlips:    flipBudget,
+		MaxDuration: 2 * time.Minute, // fail-safe against hangs, not the common path
+		LeaseTTL:    time.Second,
+		WorkerTTL:   3 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer coord.Close()
+
+	// One seeded fault schedule per worker: each worker's RPC sequence
+	// is serial, so its fault draws are reproducible per seed.
+	spec := func(seed uint64) Spec {
+		return Spec{
+			Seed:      seed,
+			Drop:      0.05,
+			DropReply: 0.05,
+			Duplicate: 0.05,
+			DelayMin:  time.Millisecond,
+			DelayMax:  8 * time.Millisecond,
+		}
+	}
+	chaosA := WrapTransport(cluster.NewLocalTransport(coord), spec(101))
+	chaosB := WrapTransport(cluster.NewLocalTransport(coord), spec(202))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	reports := make([]*cluster.WorkerReport, 2)
+	errs := make([]error, 2)
+	for i, tr := range []*Transport{chaosA, chaosB} {
+		wg.Add(1)
+		go func(i int, tr *Transport) {
+			defer wg.Done()
+			w := newChaosWorker(t, []string{"chaos-a", "chaos-b"}[i], tr)
+			reports[i], errs[i] = w.Run(ctx)
+		}(i, tr)
+	}
+
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coordinator never finished under chaos: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d failed under chaos: %v", i, err)
+		}
+	}
+
+	if !res.BestKnown {
+		t.Fatal("no publication survived the chaos into the authoritative pool")
+	}
+	if got := p.Energy(res.Best); got != res.BestEnergy {
+		t.Errorf("authoritative best %d disagrees with its solution (%d)", res.BestEnergy, got)
+	}
+	if res.Flips < flipBudget {
+		t.Errorf("cluster flips = %d, want >= the %d budget", res.Flips, flipBudget)
+	}
+	// Reply loss makes workers resend Publishes with the same flip
+	// counters; the idempotent replay cache plus the cumulative-counter
+	// protocol must keep the total sane. Each worker's local count is
+	// cumulative, so the cluster total can never exceed the sum of
+	// worker-local flips.
+	var local uint64
+	for _, r := range reports {
+		if r != nil && r.Result != nil {
+			local += r.Result.Flips
+		}
+	}
+	if res.Flips > local {
+		t.Errorf("cluster counted %d flips but workers only performed %d — duplicate accounting", res.Flips, local)
+	}
+
+	// The schedule must actually have hurt. The per-kind split depends
+	// on how many RPC rounds the timing allowed, so the assertion is
+	// statistical: several faults landed in total, and the jitter hit
+	// essentially every call.
+	var total Counts
+	for i, tr := range []*Transport{chaosA, chaosB} {
+		c := tr.Counts()
+		t.Logf("worker %d faults: %+v", i, c)
+		total.Dropped += c.Dropped
+		total.RepliesLost += c.RepliesLost
+		total.Duplicated += c.Duplicated
+		total.Delayed += c.Delayed
+	}
+	if faults := total.Dropped + total.RepliesLost + total.Duplicated; faults < 3 {
+		t.Errorf("chaos schedule barely fired (%d faults): %+v", faults, total)
+	}
+	if total.Delayed == 0 {
+		t.Errorf("no call was ever delayed: %+v", total)
+	}
+}
+
+// swapTransport atomically redirects a worker between coordinator
+// incarnations — the test's stand-in for "same address, new process".
+type swapTransport struct {
+	mu    sync.Mutex
+	inner cluster.Transport
+}
+
+func (s *swapTransport) set(t cluster.Transport) {
+	s.mu.Lock()
+	s.inner = t
+	s.mu.Unlock()
+}
+
+func (s *swapTransport) cur() cluster.Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
+func (s *swapTransport) Register(ctx context.Context, req cluster.RegisterRequest) (*cluster.RegisterResponse, error) {
+	return s.cur().Register(ctx, req)
+}
+func (s *swapTransport) Lease(ctx context.Context, req cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	return s.cur().Lease(ctx, req)
+}
+func (s *swapTransport) Publish(ctx context.Context, req cluster.PublishRequest) (*cluster.PublishResponse, error) {
+	return s.cur().Publish(ctx, req)
+}
+func (s *swapTransport) Heartbeat(ctx context.Context, req cluster.HeartbeatRequest) (*cluster.HeartbeatResponse, error) {
+	return s.cur().Heartbeat(ctx, req)
+}
+
+// downTransport is a coordinator that is simply gone: every call fails
+// with a transient error, so workers go degraded and keep retrying.
+type downTransport struct{}
+
+var errDown = errors.New("coordinator process is down")
+
+func (downTransport) Register(context.Context, cluster.RegisterRequest) (*cluster.RegisterResponse, error) {
+	return nil, errDown
+}
+func (downTransport) Lease(context.Context, cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	return nil, errDown
+}
+func (downTransport) Publish(context.Context, cluster.PublishRequest) (*cluster.PublishResponse, error) {
+	return nil, errDown
+}
+func (downTransport) Heartbeat(context.Context, cluster.HeartbeatRequest) (*cluster.HeartbeatResponse, error) {
+	return nil, errDown
+}
+
+// TestCoordinatorKillRestoreNeverRegresses is the kill/restore
+// acceptance run: a checkpointing coordinator is killed mid-run, a new
+// incarnation restores from the store, the workers — who only ever see
+// transport errors — re-register on their own, and the run finishes
+// with a best no worse than the moment of death.
+func TestCoordinatorKillRestoreNeverRegresses(t *testing.T) {
+	p := randqubo.Generate(48, 17)
+	mem := store.NewMem()
+	cfg := cluster.CoordinatorConfig{
+		Seed:        9,
+		MaxFlips:    6_000_000,
+		MaxDuration: 2 * time.Minute,
+		LeaseTTL:    time.Second,
+		WorkerTTL:   3 * time.Second,
+		Store:       mem,
+		Checkpoint:  25 * time.Millisecond,
+	}
+	c1, err := cluster.NewCoordinator(p, cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+
+	sw := &swapTransport{inner: cluster.NewLocalTransport(c1)}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	reports := make([]*cluster.WorkerReport, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := newChaosWorker(t, []string{"kr-a", "kr-b"}[i], sw)
+			reports[i], errs[i] = w.Run(ctx)
+		}(i)
+	}
+
+	// Let the run make real progress before the kill.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := c1.Status()
+		if st.BestKnown && st.Flips >= 1_000_000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never made pre-kill progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill: cut the workers off FIRST (so nothing lands between the
+	// final checkpoint and the death), snapshot, then close.
+	sw.set(downTransport{})
+	pre := c1.Status()
+	if err := c1.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	c1.Close()
+
+	// Leave the coordinator dead long enough that every worker fails a
+	// call, goes degraded, and has to re-register — the path under test.
+	time.Sleep(300 * time.Millisecond)
+
+	// Restore a second incarnation from the same store and "restart the
+	// process" by swapping it in at the same address.
+	c2, restored, err := cluster.RestoreCoordinator(p, cfg)
+	if err != nil {
+		t.Fatalf("RestoreCoordinator: %v", err)
+	}
+	if !restored {
+		t.Fatal("restore found no checkpoint")
+	}
+	defer c2.Close()
+	rst := c2.Status()
+	if !rst.BestKnown || rst.BestEnergy > pre.BestEnergy {
+		t.Fatalf("restored best (%d, known %v) regressed from pre-kill %d", rst.BestEnergy, rst.BestKnown, pre.BestEnergy)
+	}
+	// An in-flight publish may land between the status read and the
+	// checkpoint, so restored counters may be slightly AHEAD of the pre
+	// snapshot — never behind.
+	if rst.Flips < pre.Flips {
+		t.Errorf("restored flips %d went backwards from pre-kill %d", rst.Flips, pre.Flips)
+	}
+	sw.set(cluster.NewLocalTransport(c2))
+
+	// The run must now finish on the new incarnation, workers included.
+	res, err := c2.Wait(ctx)
+	if err != nil {
+		t.Fatalf("restored coordinator never finished: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d failed across the restart: %v", i, err)
+		}
+	}
+
+	if !res.BestKnown || res.BestEnergy > pre.BestEnergy {
+		t.Errorf("final best (%d, known %v) regressed from pre-kill %d", res.BestEnergy, res.BestKnown, pre.BestEnergy)
+	}
+	if got := p.Energy(res.Best); got != res.BestEnergy {
+		t.Errorf("final best %d disagrees with its solution (%d)", res.BestEnergy, got)
+	}
+	if res.Flips < 6_000_000 {
+		t.Errorf("run finished with %d flips, want >= the 6000000 budget (restored counters must carry over)", res.Flips)
+	}
+	// Every worker must have lived through the death: the reconnect
+	// counter proves the re-registration path ran rather than two fresh
+	// workers having joined.
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("worker %d produced no report", i)
+		}
+		if r.Reconnects == 0 {
+			t.Errorf("worker %d never reconnected — the kill window was invisible?", i)
+		}
+	}
+}

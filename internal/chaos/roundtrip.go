@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RoundTripper wraps an http.RoundTripper with injected faults at the
+// wire level: dropped requests, lost replies, duplicate sends, jittered
+// delay, a scheduled partition window, and — unique to this layer —
+// truncated response bodies whose Content-Length still promises the
+// full payload, so decoders fail mid-object instead of at a clean
+// boundary.
+type RoundTripper struct {
+	inner http.RoundTripper
+	in    *injector
+}
+
+// WrapRoundTripper wraps inner (nil means http.DefaultTransport) with
+// the faults described by spec. Plug the result into an http.Client's
+// Transport — e.g. the client handed to cluster.NewHTTPTransport.
+func WrapRoundTripper(inner http.RoundTripper, spec Spec) *RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &RoundTripper{inner: inner, in: newInjector(spec)}
+}
+
+// Counts reports the faults injected so far.
+func (rt *RoundTripper) Counts() Counts { return rt.in.Counts() }
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := rt.in.decide(time.Now())
+	if err := sleep(req.Context(), f.delay); err != nil {
+		return nil, err
+	}
+	if f.drop {
+		return nil, ErrInjected
+	}
+
+	// Duplicate or reply-loss both need a replayable body: buffer it
+	// once so the request can be sent again byte-for-byte.
+	var body []byte
+	if (f.duplicate || f.dropReply) && req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+		req.Body = io.NopCloser(bytes.NewReader(body))
+	}
+
+	if f.duplicate {
+		first, err := rt.inner.RoundTrip(cloneWithBody(req, body))
+		if err == nil {
+			// Drain so the connection can be reused, then discard: the
+			// caller only ever sees the second delivery's response.
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+	}
+
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if f.dropReply {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrInjected
+	}
+	if f.truncate {
+		if terr := truncateBody(resp); terr != nil {
+			resp.Body.Close()
+			return nil, terr
+		}
+		rt.in.count(func(c *Counts) { c.Truncated++ })
+	}
+	return resp, nil
+}
+
+// cloneWithBody copies req for a duplicate send, giving the copy its
+// own reader over the buffered body.
+func cloneWithBody(req *http.Request, body []byte) *http.Request {
+	c := req.Clone(req.Context())
+	if body != nil {
+		c.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return c
+}
+
+// truncateBody reads the full response body and replaces it with its
+// first half, leaving Content-Length (and the header) untouched so the
+// client sees an unexpected EOF mid-payload rather than a short but
+// well-formed message. Empty bodies pass through unchanged.
+func truncateBody(resp *http.Response) error {
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	cut := full[:len(full)/2]
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	return nil
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"abs/internal/cluster"
+)
+
+// Transport wraps a cluster.Transport with injected faults. Register
+// and Heartbeat are subject to drop/delay/partition only; Lease and
+// Publish additionally suffer reply loss and duplicate delivery — the
+// two state-changing RPCs are exactly where at-least-once hazards
+// matter.
+type Transport struct {
+	inner cluster.Transport
+	in    *injector
+}
+
+// WrapTransport wraps inner with the faults described by spec.
+func WrapTransport(inner cluster.Transport, spec Spec) *Transport {
+	return &Transport{inner: inner, in: newInjector(spec)}
+}
+
+// Counts reports the faults injected so far.
+func (t *Transport) Counts() Counts { return t.in.Counts() }
+
+// apply runs one call through the fault schedule. exec must be safe to
+// invoke twice (duplicate delivery) and may be invoked zero times
+// (drop). mutating marks RPCs eligible for reply loss and duplication.
+func (t *Transport) apply(ctx context.Context, mutating bool, exec func() error) error {
+	f := t.in.decide(time.Now())
+	if err := sleep(ctx, f.delay); err != nil {
+		return err
+	}
+	if f.drop {
+		return ErrInjected
+	}
+	if !mutating {
+		return exec()
+	}
+	if f.duplicate {
+		// First delivery lands, its reply is lost in favor of the
+		// second — the callee sees the request twice.
+		_ = exec()
+	}
+	err := exec()
+	if f.dropReply && err == nil {
+		// The call executed; only the reply vanished.
+		return ErrInjected
+	}
+	return err
+}
+
+func (t *Transport) Register(ctx context.Context, req cluster.RegisterRequest) (*cluster.RegisterResponse, error) {
+	var resp *cluster.RegisterResponse
+	err := t.apply(ctx, false, func() (err error) {
+		resp, err = t.inner.Register(ctx, req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (t *Transport) Lease(ctx context.Context, req cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	var resp *cluster.LeaseResponse
+	err := t.apply(ctx, true, func() (err error) {
+		resp, err = t.inner.Lease(ctx, req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (t *Transport) Publish(ctx context.Context, req cluster.PublishRequest) (*cluster.PublishResponse, error) {
+	var resp *cluster.PublishResponse
+	err := t.apply(ctx, true, func() (err error) {
+		resp, err = t.inner.Publish(ctx, req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (t *Transport) Heartbeat(ctx context.Context, req cluster.HeartbeatRequest) (*cluster.HeartbeatResponse, error) {
+	var resp *cluster.HeartbeatResponse
+	err := t.apply(ctx, false, func() (err error) {
+		resp, err = t.inner.Heartbeat(ctx, req)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+var _ cluster.Transport = (*Transport)(nil)

@@ -12,6 +12,7 @@ import (
 	"abs/internal/ga"
 	"abs/internal/qubo"
 	"abs/internal/rng"
+	"abs/internal/store"
 	"abs/internal/telemetry"
 )
 
@@ -60,6 +61,22 @@ type CoordinatorConfig struct {
 	// identical (solution, energy) pairs republished across exchanges
 	// before they reach the gate. Zero means 8192; negative disables.
 	DedupWindow int
+	// ReplayWindow bounds the request-ID replay cache that makes Lease
+	// and Publish idempotent under at-least-once delivery: a retried
+	// request whose ID is still in the window gets its original
+	// response back instead of a second grant or a double-counted
+	// publish. Zero means 4096; negative disables.
+	ReplayWindow int
+
+	// Store, when non-nil, makes the coordinator durable: its pool,
+	// cluster flip accounting and run status are checkpointed every
+	// Checkpoint interval (plus once at Close), and RestoreCoordinator
+	// rebuilds a coordinator from the latest checkpoint after a crash.
+	// The coordinator does not Close the store; the caller owns it.
+	Store store.Store
+	// Checkpoint is the snapshot cadence when Store is set. Zero means
+	// 2 s.
+	Checkpoint time.Duration
 
 	// Telemetry and tracing, both optional.
 	Registry *telemetry.Registry
@@ -96,6 +113,15 @@ func (c CoordinatorConfig) normalize() (CoordinatorConfig, error) {
 	}
 	if c.DedupWindow == 0 {
 		c.DedupWindow = 8192
+	}
+	if c.ReplayWindow == 0 {
+		c.ReplayWindow = 4096
+	}
+	if c.Checkpoint == 0 {
+		c.Checkpoint = 2 * time.Second
+	}
+	if c.Checkpoint < 0 {
+		return c, fmt.Errorf("cluster: Checkpoint %v must be positive", c.Checkpoint)
 	}
 	return c, nil
 }
@@ -143,6 +169,12 @@ type Coordinator struct {
 	start       time.Time
 	deadline    time.Time
 
+	// elapsedPrior is run time accumulated by previous incarnations of
+	// this coordinator (restored from a checkpoint); Status and the
+	// MaxDuration deadline both include it, so a kill+restore cannot
+	// extend the wall-clock budget.
+	elapsedPrior time.Duration
+
 	mu           sync.Mutex
 	host         *ga.Host
 	workers      map[string]*workerState
@@ -151,9 +183,15 @@ type Coordinator struct {
 	nextLease    uint64
 	nextWorker   int
 	flips        uint64
-	dedup        *dedupSet
-	reached      bool
-	closed       bool
+	// flipBase remembers the last cumulative flip counter reported by
+	// workers no longer in the workers map (retired, or known only from
+	// a checkpoint), so a re-registering worker that never restarted is
+	// not double-counted when its counter picks up where it left off.
+	flipBase map[string]uint64
+	dedup    *dedupSet
+	replay   *replayCache
+	reached  bool
+	closed   bool
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -165,6 +203,17 @@ type Coordinator struct {
 // NewCoordinator builds the authoritative host for p and starts the
 // lease janitor. Callers must Close it (directly or via Wait+Close).
 func NewCoordinator(p *qubo.Problem, cfg CoordinatorConfig) (*Coordinator, error) {
+	c, err := newCoordinator(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.startJanitor()
+	return c, nil
+}
+
+// newCoordinator builds a coordinator without starting its janitor, so
+// RestoreCoordinator can replay a checkpoint into it first.
+func newCoordinator(p *qubo.Problem, cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
@@ -189,16 +238,21 @@ func NewCoordinator(p *qubo.Problem, cfg CoordinatorConfig) (*Coordinator, error
 		host:        host,
 		workers:     make(map[string]*workerState),
 		leases:      make(map[uint64]*lease),
+		flipBase:    make(map[string]uint64),
 		dedup:       newDedupSet(cfg.DedupWindow),
+		replay:      newReplayCache(cfg.ReplayWindow),
 		done:        make(chan struct{}),
 		janitorStop: make(chan struct{}),
 	}
 	if cfg.MaxDuration > 0 {
 		c.deadline = c.start.Add(cfg.MaxDuration)
 	}
+	return c, nil
+}
+
+func (c *Coordinator) startJanitor() {
 	c.janitorWG.Add(1)
 	go c.janitor()
-	return c, nil
 }
 
 // Problem returns the instance being solved.
@@ -209,7 +263,8 @@ func (c *Coordinator) Problem() *qubo.Problem { return c.p }
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
 // janitor owns the clock-driven half of the failure model: lease
-// expiry, worker retirement and the wall-clock deadline. Scanning at
+// expiry, worker retirement, the wall-clock deadline, and (when a
+// Store is configured) the periodic durability checkpoint. Scanning at
 // TTL/4 bounds detection latency at a quarter TTL beyond the grace.
 func (c *Coordinator) janitor() {
 	defer c.janitorWG.Done()
@@ -219,6 +274,10 @@ func (c *Coordinator) janitor() {
 	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
+	var nextCheckpoint time.Time
+	if c.cfg.Store != nil {
+		nextCheckpoint = time.Now().Add(c.cfg.Checkpoint)
+	}
 	for {
 		select {
 		case <-c.janitorStop:
@@ -230,6 +289,12 @@ func (c *Coordinator) janitor() {
 			}
 			c.sweepLocked(now)
 			c.mu.Unlock()
+			if c.cfg.Store != nil && !now.Before(nextCheckpoint) {
+				nextCheckpoint = now.Add(c.cfg.Checkpoint)
+				// Best effort: a failed checkpoint must not stop the
+				// run — the previous snapshot stays valid on disk.
+				_ = c.Checkpoint()
+			}
 		}
 	}
 }
@@ -263,6 +328,10 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 			continue
 		}
 		c.expireWorkerLeasesLocked(w)
+		// Remember the retiree's flip baseline: if the same process
+		// re-registers later (a long partition, not a restart), its
+		// cumulative counter must not be re-counted from zero.
+		c.flipBase[id] = w.lastFlips
 		delete(c.workers, id)
 		c.metrics.retired(id, len(c.workers))
 	}
@@ -319,7 +388,10 @@ func (c *Coordinator) touchLocked(w *workerState, now time.Time) {
 // Register implements Transport. Re-registering an existing WorkerID
 // is idempotent: the worker keeps its identity and seed, its stale
 // leases go back into the redistribution queue, and its flip baseline
-// resets (the worker process restarted; its counter did too).
+// is retained — Publish's backwards-counter guard re-baselines if the
+// worker process genuinely restarted (counter back at zero), while a
+// worker that merely lost connectivity keeps counting from where it
+// left off instead of being double-counted.
 func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*RegisterResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -335,7 +407,6 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 	if ok {
 		c.expireWorkerLeasesLocked(w)
 		w.devices = devices
-		w.lastFlips = 0
 		w.lastSeen = now
 	} else {
 		c.nextWorker++
@@ -348,8 +419,13 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 		seed := (c.cfg.Seed + uint64(c.nextWorker)*0x9e3779b97f4a7c15) ^ 0x6a09e667f3bcc909
 		w = &workerState{
 			id: id, devices: devices, seed: seed,
-			lastSeen: now, leases: make(map[uint64]*lease),
+			// A worker the coordinator has seen before (retired, or
+			// known from a restored checkpoint) resumes its flip
+			// baseline instead of re-counting from zero.
+			lastFlips: c.flipBase[id],
+			lastSeen:  now, leases: make(map[uint64]*lease),
 		}
+		delete(c.flipBase, id)
 		c.workers[id] = w
 	}
 	c.metrics.registered(w.id, len(c.workers))
@@ -378,6 +454,13 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrDone
+	}
+	// A duplicate delivery (at-least-once transport retry) gets the
+	// original grant back: the leases it named already exist, no new
+	// targets are generated.
+	if cached, ok := c.replay.get(req.RequestID); ok {
+		c.metrics.replayHit()
+		return cached.(*LeaseResponse), nil
 	}
 	w, ok := c.workers[req.WorkerID]
 	if !ok {
@@ -411,6 +494,7 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	}
 	c.metrics.leased(w.id, len(resp.Targets), len(c.leases))
 	c.metrics.redistribute(len(c.redistribute))
+	c.replay.put(req.RequestID, resp)
 	return resp, nil
 }
 
@@ -425,6 +509,13 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrDone
+	}
+	// Duplicate delivery: the first delivery already accounted the
+	// flips, released the leases and admitted the solutions; replay the
+	// response without touching any of that state again.
+	if cached, ok := c.replay.get(req.RequestID); ok {
+		c.metrics.replayHit()
+		return cached.(*PublishResponse), nil
 	}
 	w, ok := c.workers[req.WorkerID]
 	if !ok {
@@ -491,6 +582,7 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 	resp.Done = c.isDone()
 	resp.BestEnergy, resp.BestKnown = c.bestLocked()
 	c.metrics.published(w.id, resp, len(req.Results), batchBest, batchBestKnown)
+	c.replay.put(req.RequestID, &resp)
 	return &resp, nil
 }
 
@@ -537,7 +629,7 @@ func (c *Coordinator) Status() Result {
 	r := Result{
 		ReachedTarget: c.reached,
 		Flips:         c.flips,
-		Elapsed:       time.Since(c.start),
+		Elapsed:       c.elapsedPrior + time.Since(c.start),
 		Workers:       len(c.workers),
 		Quarantined:   c.gate.Quarantined(),
 	}
@@ -562,8 +654,9 @@ func (c *Coordinator) Wait(ctx context.Context) (Result, error) {
 	}
 }
 
-// Close stops the janitor and marks the run done; subsequent RPCs
-// return ErrDone. Idempotent.
+// Close stops the janitor, takes a final checkpoint when a Store is
+// configured, and marks the run done; subsequent RPCs return ErrDone.
+// Idempotent.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -575,6 +668,9 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	close(c.janitorStop)
 	c.janitorWG.Wait()
+	if c.cfg.Store != nil {
+		_ = c.Checkpoint()
+	}
 }
 
 // dedupSet is a bounded FIFO set of recently published (solution,
@@ -642,4 +738,57 @@ func (d *dedupSet) seen(x *bitvec.Vector, e int64) bool {
 	}
 	d.add(key)
 	return false
+}
+
+// replayCache is a bounded FIFO of recently answered request IDs and
+// their responses — the coordinator-side half of idempotent Lease and
+// Publish. Only successful responses are cached: a request that failed
+// (unknown worker, closed coordinator) is safe to re-run. The window
+// only needs to outlive a transport's retry horizon, which is seconds;
+// the default 4096 entries is hours of traffic at exchange cadence.
+type replayCache struct {
+	cap  int
+	m    map[string]any
+	fifo []string
+	next int
+}
+
+func newReplayCache(capacity int) *replayCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &replayCache{
+		cap:  capacity,
+		m:    make(map[string]any, capacity),
+		fifo: make([]string, 0, capacity),
+	}
+}
+
+// get returns the cached response for id. A nil receiver (replay
+// disabled) and the empty ID (request not marked idempotent) never hit.
+func (r *replayCache) get(id string) (any, bool) {
+	if r == nil || id == "" {
+		return nil, false
+	}
+	v, ok := r.m[id]
+	return v, ok
+}
+
+// put caches a successful response, evicting the oldest entry once the
+// window is full.
+func (r *replayCache) put(id string, resp any) {
+	if r == nil || id == "" {
+		return
+	}
+	if _, ok := r.m[id]; ok {
+		return
+	}
+	if len(r.fifo) < r.cap {
+		r.fifo = append(r.fifo, id)
+	} else {
+		delete(r.m, r.fifo[r.next])
+		r.fifo[r.next] = id
+		r.next = (r.next + 1) % r.cap
+	}
+	r.m[id] = resp
 }

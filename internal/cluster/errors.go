@@ -1,0 +1,30 @@
+package cluster
+
+import "abs/internal/retry"
+
+// PermanentError wraps a failure that retrying cannot fix: a rejected
+// registration, a corrupt grant, a request the coordinator refused as
+// malformed. It satisfies the `Permanent() bool` probe that
+// internal/retry checks, so retry.Do stops on it instead of hammering
+// the coordinator with a request that will fail the same way forever.
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string   { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error   { return e.Err }
+func (e *PermanentError) Permanent() bool { return true }
+
+// MarkPermanent wraps err as permanent (nil stays nil).
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// Permanent reports whether err (anywhere in its chain) is a failure
+// not worth retrying. The protocol sentinels are deliberately NOT
+// permanent: ErrUnknownWorker's cure is re-registration and ErrDone is
+// a clean stop — both have their own handling in the worker loop.
+func Permanent(err error) bool { return retry.IsPermanent(err) }

@@ -40,10 +40,11 @@ type leaseHeader struct {
 
 // publishHeader is the first NDJSON line of a publish request.
 type publishHeader struct {
-	WorkerID string   `json:"worker_id"`
-	Flips    uint64   `json:"flips"`
-	Release  []uint64 `json:"release,omitempty"`
-	Count    int      `json:"count"`
+	WorkerID  string   `json:"worker_id"`
+	Flips     uint64   `json:"flips"`
+	Release   []uint64 `json:"release,omitempty"`
+	Count     int      `json:"count"`
+	RequestID string   `json:"request_id,omitempty"`
 }
 
 // statusJSON is the GET /v1/cluster/status body.
@@ -70,7 +71,25 @@ func NewHTTPHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("POST /v1/cluster/publish", h.publish)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", h.heartbeat)
 	mux.HandleFunc("GET /v1/cluster/status", h.status)
-	return mux
+	return RecoverHandler(mux)
+}
+
+// RecoverHandler converts a handler panic into a 500 response instead
+// of letting it take down the connection (net/http would otherwise log
+// and close it, and a shared serve mux would drop in-flight siblings).
+// Workers treat the 500 as transient and retry, which is exactly right
+// for a bug tripped by one request.
+func RecoverHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				// Best effort: if the handler already wrote a header
+				// this is a no-op on the status line.
+				writeError(w, http.StatusInternalServerError, "internal error: %v", v)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 type httpServer struct {
@@ -168,10 +187,11 @@ func (h *httpServer) publish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := PublishRequest{
-		WorkerID: hdr.WorkerID,
-		Flips:    hdr.Flips,
-		Release:  hdr.Release,
-		Results:  make([]PublishedSolution, 0, hdr.Count),
+		WorkerID:  hdr.WorkerID,
+		Flips:     hdr.Flips,
+		Release:   hdr.Release,
+		Results:   make([]PublishedSolution, 0, hdr.Count),
+		RequestID: hdr.RequestID,
 	}
 	for {
 		var s PublishedSolution
@@ -215,6 +235,41 @@ type httpTransport struct {
 	client *http.Client
 }
 
+// maxRPCResponse guards the client against an unbounded (or corrupted)
+// response body: far above any legitimate lease batch, far below what
+// would take the worker down.
+const maxRPCResponse = 64 << 20
+
+// errResponseTooLarge is returned mid-read when a response body blows
+// through the guard.
+var errResponseTooLarge = fmt.Errorf("cluster: response body exceeds %d-byte guard", maxRPCResponse)
+
+// guardBody bounds reads from a response body, failing loudly (not
+// with a silent io.EOF truncation) past the cap.
+func guardBody(r io.Reader) io.Reader { return &guardedReader{r: r, left: maxRPCResponse} }
+
+type guardedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (g *guardedReader) Read(p []byte) (int, error) {
+	if g.left <= 0 {
+		return 0, errResponseTooLarge
+	}
+	if int64(len(p)) > g.left {
+		p = p[:g.left]
+	}
+	n, err := g.r.Read(p)
+	g.left -= int64(n)
+	if g.left <= 0 && err == nil {
+		// The cap is consumed exactly; the next Read reports the guard
+		// error rather than letting a decoder see a clean EOF.
+		return n, nil
+	}
+	return n, err
+}
+
 // NewHTTPTransport returns a Transport speaking to a coordinator at
 // baseURL (e.g. "http://host:8080"). client may be nil for a default
 // with a 30 s overall timeout; per-call deadlines come from ctx.
@@ -225,7 +280,12 @@ func NewHTTPTransport(baseURL string, client *http.Client) Transport {
 	return &httpTransport{base: strings.TrimRight(baseURL, "/"), client: client}
 }
 
-// rpcError turns a non-200 response back into a protocol error.
+// rpcError turns a non-200 response back into a protocol error. The
+// protocol sentinels keep their special meanings (410 → re-register,
+// 409 → run over); any other 4xx means the coordinator understood the
+// request and refused it — resending the same bytes cannot succeed, so
+// it is marked permanent and retry loops stop. 5xx and transport-level
+// failures stay transient.
 func rpcError(resp *http.Response) error {
 	var body struct {
 		Error string `json:"error"`
@@ -237,10 +297,16 @@ func rpcError(resp *http.Response) error {
 	case http.StatusConflict:
 		return ErrDone
 	}
+	var err error
 	if body.Error != "" {
-		return fmt.Errorf("cluster: coordinator returned %s: %s", resp.Status, body.Error)
+		err = fmt.Errorf("cluster: coordinator returned %s: %s", resp.Status, body.Error)
+	} else {
+		err = fmt.Errorf("cluster: coordinator returned %s", resp.Status)
 	}
-	return fmt.Errorf("cluster: coordinator returned %s", resp.Status)
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		return MarkPermanent(err)
+	}
+	return err
 }
 
 func (t *httpTransport) post(ctx context.Context, path string, body []byte, contentType string) (*http.Response, error) {
@@ -271,7 +337,7 @@ func (t *httpTransport) postJSON(ctx context.Context, path string, in, out any) 
 		return err
 	}
 	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(guardBody(resp.Body)).Decode(out)
 }
 
 func (t *httpTransport) Register(ctx context.Context, req RegisterRequest) (*RegisterResponse, error) {
@@ -300,7 +366,7 @@ func (t *httpTransport) Lease(ctx context.Context, req LeaseRequest) (*LeaseResp
 		return nil, err
 	}
 	defer resp.Body.Close()
-	dec := json.NewDecoder(bufio.NewReader(resp.Body))
+	dec := json.NewDecoder(bufio.NewReader(guardBody(resp.Body)))
 	var hdr leaseHeader
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("cluster: bad lease header: %w", err)
@@ -325,10 +391,11 @@ func (t *httpTransport) Publish(ctx context.Context, req PublishRequest) (*Publi
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(publishHeader{
-		WorkerID: req.WorkerID,
-		Flips:    req.Flips,
-		Release:  req.Release,
-		Count:    len(req.Results),
+		WorkerID:  req.WorkerID,
+		Flips:     req.Flips,
+		Release:   req.Release,
+		Count:     len(req.Results),
+		RequestID: req.RequestID,
 	}); err != nil {
 		return nil, err
 	}
@@ -343,7 +410,7 @@ func (t *httpTransport) Publish(ctx context.Context, req PublishRequest) (*Publi
 	}
 	defer resp.Body.Close()
 	var out PublishResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(guardBody(resp.Body)).Decode(&out); err != nil {
 		return nil, err
 	}
 	return &out, nil

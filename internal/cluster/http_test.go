@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -134,5 +135,151 @@ func TestHTTPHandlerRejectsBadBodies(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("POST %s with garbage = %d, want 400", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestHTTPClientTruncatedLeaseBody simulates a connection cut mid-NDJSON
+// stream: the header promises 3 targets, the body carries 1. The client
+// must fail loudly instead of returning a short lease as if complete.
+func TestHTTPClientTruncatedLeaseBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"count":3,"done":false}`+"\n")
+		io.WriteString(w, `{"x":"0101","lease":7}`+"\n")
+		// ...and the stream ends two targets early.
+	}))
+	defer srv.Close()
+	tr := NewHTTPTransport(srv.URL, nil)
+	resp, err := tr.Lease(context.Background(), LeaseRequest{WorkerID: "w"})
+	if err == nil {
+		t.Fatalf("Lease on truncated stream = %+v, want error", resp)
+	}
+	if !strings.Contains(err.Error(), "bad lease line") {
+		t.Errorf("truncation error = %v, want a bad-lease-line complaint", err)
+	}
+	if Permanent(err) {
+		t.Errorf("truncated stream classified permanent; a retry could succeed")
+	}
+}
+
+// TestHTTPClientMalformedErrorPayload sends a non-JSON error body (the
+// kind a proxy or load balancer emits). The client must still surface
+// the status and classification, not a decode panic or an empty error.
+func TestHTTPClientMalformedErrorPayload(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusForbidden)
+		io.WriteString(w, "<html><body>forbidden by proxy</body></html>")
+	}))
+	defer srv.Close()
+	tr := NewHTTPTransport(srv.URL, nil)
+	_, err := tr.Register(context.Background(), RegisterRequest{})
+	if err == nil {
+		t.Fatal("Register against HTML 403 succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "403") {
+		t.Errorf("error = %v, want the status surfaced", err)
+	}
+	if !Permanent(err) {
+		t.Errorf("403 = %v classified transient, want permanent", err)
+	}
+}
+
+// TestHTTPStatusClassification pins which statuses workers retry: 4xx
+// permanent, 5xx transient, and the two sentinels keep their protocol
+// meanings (neither is permanent — each has its own recovery path).
+func TestHTTPStatusClassification(t *testing.T) {
+	cases := []struct {
+		code      int
+		sentinel  error
+		permanent bool
+	}{
+		{http.StatusBadRequest, nil, true},
+		{http.StatusNotFound, nil, true},
+		{http.StatusGone, ErrUnknownWorker, false},
+		{http.StatusConflict, ErrDone, false},
+		{http.StatusInternalServerError, nil, false},
+		{http.StatusServiceUnavailable, nil, false},
+	}
+	for _, tc := range cases {
+		code := tc.code
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(code)
+			io.WriteString(w, `{"error":"synthetic"}`)
+		}))
+		tr := NewHTTPTransport(srv.URL, nil)
+		_, err := tr.Heartbeat(context.Background(), HeartbeatRequest{WorkerID: "w"})
+		srv.Close()
+		if err == nil {
+			t.Fatalf("status %d produced no error", code)
+		}
+		if tc.sentinel != nil && !errors.Is(err, tc.sentinel) {
+			t.Errorf("status %d = %v, want sentinel %v", code, err, tc.sentinel)
+		}
+		if got := Permanent(err); got != tc.permanent {
+			t.Errorf("status %d permanent = %v, want %v (err: %v)", code, got, tc.permanent, err)
+		}
+	}
+}
+
+// TestGuardBodyFailsLoudlyPastCap drives the oversized-response guard
+// directly: reads past the cap must return errResponseTooLarge, never a
+// clean EOF a decoder would mistake for end-of-message.
+func TestGuardBodyFailsLoudlyPastCap(t *testing.T) {
+	n, err := io.Copy(io.Discard, guardBody(neverEnding{}))
+	if !errors.Is(err, errResponseTooLarge) {
+		t.Fatalf("copy past cap = %v after %d bytes, want errResponseTooLarge", err, n)
+	}
+	if n != maxRPCResponse {
+		t.Errorf("guard let %d bytes through, cap is %d", n, maxRPCResponse)
+	}
+
+	// Under the cap the guard is invisible.
+	small := strings.NewReader("under the limit")
+	got, err := io.ReadAll(guardBody(small))
+	if err != nil || string(got) != "under the limit" {
+		t.Fatalf("guard mangled a small body: %q, %v", got, err)
+	}
+}
+
+// neverEnding is an infinite zero-byte reader.
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) { return len(p), nil }
+
+// TestRecoverHandlerTurnsPanicInto500 checks a handler bug becomes one
+// failed request (a JSON 500 the worker retries), not a dropped
+// connection.
+func TestRecoverHandlerTurnsPanicInto500(t *testing.T) {
+	h := RecoverHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET against panicking handler: %v (want a 500 response)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("500 body is not JSON: %v", err)
+	}
+	if !strings.Contains(body.Error, "handler bug") {
+		t.Errorf("500 body = %q, want the panic value surfaced", body.Error)
+	}
+
+	// And the worker-side classification: a 500 is transient, so retry
+	// loops keep going after the bug is fixed or the request changes.
+	tr := NewHTTPTransport(srv.URL, nil)
+	_, rpcErr := tr.Heartbeat(context.Background(), HeartbeatRequest{WorkerID: "w"})
+	if rpcErr == nil || Permanent(rpcErr) {
+		t.Errorf("panic-500 over client = %v, want transient error", rpcErr)
 	}
 }

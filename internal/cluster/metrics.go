@@ -34,6 +34,11 @@ type clusterMetrics struct {
 	redistributeDepth *telemetry.Gauge
 	flips             *telemetry.Counter
 	bestEnergy        *telemetry.Gauge
+
+	replayHits      *telemetry.Counter
+	checkpoints     *telemetry.Counter
+	checkpointBytes *telemetry.Gauge
+	checkpointFails *telemetry.Counter
 }
 
 // newClusterMetrics registers the coordinator's instrument catalogue.
@@ -84,6 +89,15 @@ func newClusterMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer) *clust
 			"cluster-wide flips accumulated from worker reports"),
 		bestEnergy: reg.Gauge("abs_cluster_best_energy",
 			"best evaluated energy in the authoritative pool"),
+
+		replayHits: reg.Counter("abs_cluster_replay_hits_total",
+			"Lease/Publish requests answered from the idempotency replay cache"),
+		checkpoints: reg.Counter("abs_cluster_checkpoints_total",
+			"durability checkpoints written to the store"),
+		checkpointBytes: reg.Gauge("abs_cluster_checkpoint_bytes",
+			"size of the most recent durability checkpoint"),
+		checkpointFails: reg.Counter("abs_cluster_checkpoint_failures_total",
+			"durability checkpoints that failed to write"),
 	}
 }
 
@@ -183,6 +197,25 @@ func (m *clusterMetrics) redistribute(depth int) {
 		return
 	}
 	m.redistributeDepth.SetInt(depth)
+}
+
+func (m *clusterMetrics) replayHit() {
+	if m == nil {
+		return
+	}
+	m.replayHits.Inc()
+}
+
+func (m *clusterMetrics) checkpointed(bytes int, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.checkpointFails.Inc()
+		return
+	}
+	m.checkpoints.Inc()
+	m.checkpointBytes.SetInt(bytes)
 }
 
 // workerMetrics is the worker-side instrument set (abs_worker_*).

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"abs/internal/bitvec"
+	"abs/internal/core"
+	"abs/internal/qubo"
+)
+
+// coordState is the coordinator's snapshot name inside its Store.
+const coordState = "coordinator"
+
+// coordSnapshot is the coordinator's durable state: everything a
+// restarted coordinator needs to resume the run without regressing.
+// Deliberately absent: the worker map and lease table. Workers prove
+// themselves alive by re-registering (the handshake is idempotent), and
+// every outstanding lease's target goes into Targets so the §3.1
+// guarantee — a generated target is eventually searched — survives the
+// restart through the redistribution queue instead of through lease
+// bookkeeping that would name dead lease IDs.
+type coordSnapshot struct {
+	Version int `json:"version"`
+	// Pool holds the authoritative pool's evaluated entries. They are
+	// re-vetted through the ingest gate on restore, so a snapshot that
+	// passed its CRC but carries semantically wrong energies cannot
+	// poison the restored pool.
+	Pool []snapEntry `json:"pool"`
+	// Flips is the cluster-wide flip total; FlipBase the last cumulative
+	// counter per worker ID, so re-registering workers are not
+	// double-counted after the restart.
+	Flips    uint64            `json:"flips"`
+	FlipBase map[string]uint64 `json:"flip_base,omitempty"`
+	Reached  bool              `json:"reached"`
+	// ElapsedMillis is total run time across all incarnations; the
+	// restored MaxDuration deadline subtracts it, so restarting cannot
+	// stretch the wall-clock budget.
+	ElapsedMillis int64  `json:"elapsed_ms"`
+	NextLease     uint64 `json:"next_lease"`
+	NextWorker    int    `json:"next_worker"`
+	// Targets are the in-flight target vectors: every outstanding
+	// lease's target plus the redistribution queue. All of them are
+	// restored into the redistribution queue.
+	Targets []string `json:"targets,omitempty"`
+}
+
+type snapEntry struct {
+	X string `json:"x"`
+	E int64  `json:"e"`
+}
+
+// snapshotLocked serializes the durable state. Caller holds c.mu.
+func (c *Coordinator) snapshotLocked() ([]byte, error) {
+	snap := coordSnapshot{
+		Version:       1,
+		Flips:         c.flips,
+		Reached:       c.reached,
+		ElapsedMillis: (c.elapsedPrior + time.Since(c.start)).Milliseconds(),
+		NextLease:     c.nextLease,
+		NextWorker:    c.nextWorker,
+	}
+	pool := c.host.Pool()
+	for i := 0; i < pool.Len(); i++ {
+		if e := pool.At(i); e.Known() {
+			snap.Pool = append(snap.Pool, snapEntry{X: e.X.String(), E: e.E})
+		}
+	}
+	if len(c.flipBase) > 0 || len(c.workers) > 0 {
+		snap.FlipBase = make(map[string]uint64, len(c.flipBase)+len(c.workers))
+		for id, f := range c.flipBase {
+			snap.FlipBase[id] = f
+		}
+		for id, w := range c.workers {
+			snap.FlipBase[id] = w.lastFlips
+		}
+	}
+	for _, l := range c.leases {
+		snap.Targets = append(snap.Targets, l.x.String())
+	}
+	for _, x := range c.redistribute {
+		snap.Targets = append(snap.Targets, x.String())
+	}
+	return json.Marshal(snap)
+}
+
+// Checkpoint writes the coordinator's durable state to its Store. The
+// janitor calls it on the configured cadence and Close takes a final
+// one, but it is also safe to call from any goroutine (an admin
+// endpoint, a test). With no Store configured it is a no-op.
+func (c *Coordinator) Checkpoint() error {
+	if c.cfg.Store == nil {
+		return nil
+	}
+	c.mu.Lock()
+	data, err := c.snapshotLocked()
+	c.mu.Unlock()
+	if err == nil {
+		err = c.cfg.Store.Save(coordState, data)
+	}
+	c.metrics.checkpointed(len(data), err)
+	return err
+}
+
+// RestoreCoordinator builds a coordinator for p, resuming from the
+// latest checkpoint in cfg.Store when one exists. The second return
+// reports whether a checkpoint was found: false means a cold start
+// (identical to NewCoordinator). A checkpoint that exists but fails
+// verification or decoding is an error, not a silent cold start — the
+// operator must choose between wiping the store and losing the run's
+// progress knowingly.
+//
+// Restored pool entries are re-vetted through the ingest gate exactly
+// like fresh publications. Workers are not restored: they re-register
+// idempotently on their own (their next RPC fails with ErrUnknownWorker,
+// which the worker answers by re-registering), and every target that
+// was out on lease is re-granted from the redistribution queue.
+func RestoreCoordinator(p *qubo.Problem, cfg CoordinatorConfig) (*Coordinator, bool, error) {
+	if cfg.Store == nil {
+		return nil, false, fmt.Errorf("cluster: RestoreCoordinator needs a Store")
+	}
+	c, err := newCoordinator(p, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, ok, err := cfg.Store.Load(coordState)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: restore: %w", err)
+	}
+	if !ok {
+		c.startJanitor()
+		return c, false, nil
+	}
+	var snap coordSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, false, fmt.Errorf("cluster: restore: undecodable checkpoint: %w", err)
+	}
+	for _, e := range snap.Pool {
+		x, err := bitvec.FromString(e.X)
+		if err != nil {
+			continue // the gate would quarantine it; skip without poisoning restore
+		}
+		if c.gate.Vet(c.host.Pool(), x, e.E) == core.VerdictAdmit {
+			c.host.Insert(x, e.E)
+		}
+	}
+	c.flips = snap.Flips
+	if snap.FlipBase != nil {
+		c.flipBase = snap.FlipBase
+	}
+	c.reached = snap.Reached
+	c.elapsedPrior = time.Duration(snap.ElapsedMillis) * time.Millisecond
+	if cfg.MaxDuration > 0 {
+		// cfg was normalized by newCoordinator; recompute the deadline
+		// net of time already spent by earlier incarnations.
+		c.deadline = c.start.Add(c.cfg.MaxDuration - c.elapsedPrior)
+	}
+	c.nextLease = snap.NextLease
+	c.nextWorker = snap.NextWorker
+	for _, t := range snap.Targets {
+		if x, err := bitvec.FromString(t); err == nil && x.Len() == p.N() {
+			c.redistribute = append(c.redistribute, x)
+		}
+	}
+	// A run that had already met its stop condition stays finished.
+	if c.reached || (c.cfg.MaxFlips > 0 && c.flips >= c.cfg.MaxFlips) {
+		c.finishLocked()
+	}
+	c.startJanitor()
+	return c, true, nil
+}

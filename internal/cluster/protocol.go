@@ -93,6 +93,12 @@ type Target struct {
 type LeaseRequest struct {
 	WorkerID string `json:"worker_id"`
 	Max      int    `json:"max"`
+	// RequestID, when non-empty, makes the call idempotent: a retry
+	// carrying the same ID inside the coordinator's replay window gets
+	// the original response back instead of a second grant. Workers
+	// derive IDs from a per-session nonce so retries after a worker
+	// restart never collide with a previous incarnation's IDs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // LeaseResponse carries the granted batch plus the run's live best so
@@ -120,6 +126,9 @@ type PublishRequest struct {
 	Flips    uint64              `json:"flips"`
 	Release  []uint64            `json:"release,omitempty"`
 	Results  []PublishedSolution `json:"results"`
+	// RequestID makes the publish idempotent under at-least-once
+	// delivery — see LeaseRequest.RequestID.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // PublishResponse reports the batch's admission outcome per class.

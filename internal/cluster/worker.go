@@ -133,6 +133,12 @@ type Worker struct {
 	pendingKeys []uint64
 	release     []uint64
 	reconnRNG   *rng.Rand
+	// reqNonce + reqSeq mint per-call request IDs for idempotent
+	// Publish/Lease. The nonce is drawn fresh per worker process, so a
+	// restarted worker reusing its WorkerID can never collide with the
+	// previous incarnation's IDs in the coordinator's replay window.
+	reqNonce uint64
+	reqSeq   uint64
 
 	report WorkerReport
 }
@@ -143,14 +149,24 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{
+	w := &Worker{
 		cfg: cfg,
 		wm:  newWorkerMetrics(cfg.Registry),
 		// Publishing dedup: remember what was already shipped so the
 		// same pool front is not re-sent every exchange.
 		sent:      newDedupSet(4096),
 		reconnRNG: rng.New(0xab5c ^ uint64(time.Now().UnixNano())),
-	}, nil
+	}
+	w.reqNonce = w.reconnRNG.Uint64()
+	return w, nil
+}
+
+// nextRequestID mints a fresh idempotency key for one Publish or Lease
+// call; a transport that retries the call reuses the key, so the
+// coordinator can recognize the duplicate.
+func (w *Worker) nextRequestID() string {
+	w.reqSeq++
+	return fmt.Sprintf("%s-%x-%d", w.id, w.reqNonce, w.reqSeq)
 }
 
 // Ready reports whether the worker has registered and attached its
@@ -176,7 +192,8 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 	}
 	p, err := qubo.ReadText(strings.NewReader(reg.Problem))
 	if err != nil {
-		return nil, fmt.Errorf("cluster: coordinator sent a bad problem: %w", err)
+		// Re-registering would fetch the same bytes: permanent.
+		return nil, MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad problem: %w", err))
 	}
 	if err := w.buildEngine(p, reg); err != nil {
 		return nil, err
@@ -193,11 +210,11 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 	nextExchange := time.Now()
 
 	// Degraded-mode state: when the coordinator is unreachable the
-	// worker keeps pumping its local engine and re-registers under the
-	// shared jittered backoff schedule.
+	// worker keeps pumping its local engine and re-registers along the
+	// shared jittered backoff schedule, paced without sleeping (the
+	// pump must keep running).
 	degraded := false
-	attempts := 0
-	var retryAt time.Time
+	pacer := retry.NewPacer(w.cfg.Reconnect, w.reconnRNG)
 
 	cancelled := false
 	for {
@@ -216,9 +233,10 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 		if !now.Before(nextExchange) {
 			nextExchange = now.Add(exchangeEvery)
 			if degraded {
-				if !now.Before(retryAt) {
+				if pacer.Due(now) {
 					if r, err := w.cfg.Transport.Register(ctx, RegisterRequest{WorkerID: w.id, Devices: w.cfg.Devices}); err == nil {
-						degraded, attempts = false, 0
+						degraded = false
+						pacer.Reset()
 						w.report.Reconnects++
 						w.wm.reconnect()
 						if r.Done {
@@ -227,8 +245,7 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 					} else if errors.Is(err, ErrDone) {
 						w.report.CoordinatorDone = true
 					} else {
-						retryAt = now.Add(w.cfg.Reconnect.Delay(attempts, w.reconnRNG))
-						attempts++
+						pacer.Fail(now)
 					}
 				}
 			} else if err := w.exchange(ctx, now); err != nil {
@@ -240,9 +257,9 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 				default:
 					// Coordinator unreachable (or it forgot us): degrade
 					// to local search and re-register under backoff.
-					degraded, attempts = true, 0
-					retryAt = now.Add(w.cfg.Reconnect.Delay(attempts, w.reconnRNG))
-					attempts++
+					degraded = true
+					pacer.Reset()
+					pacer.Fail(now)
 				}
 			}
 			continue
@@ -298,7 +315,7 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 	if opt.Storage == core.StorageAuto && reg.Storage != "" {
 		s, err := core.ParseStorage(reg.Storage)
 		if err != nil {
-			return fmt.Errorf("cluster: coordinator sent a bad storage grant: %w", err)
+			return MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad storage grant: %w", err))
 		}
 		opt.Storage = s
 	}
@@ -342,10 +359,11 @@ func (w *Worker) exchange(ctx context.Context, now time.Time) error {
 		}
 	} else {
 		presp, err := w.cfg.Transport.Publish(ctx, PublishRequest{
-			WorkerID: w.id,
-			Flips:    w.engine.Snapshot(now).Flips,
-			Release:  w.release,
-			Results:  results,
+			WorkerID:  w.id,
+			Flips:     w.engine.Snapshot(now).Flips,
+			Release:   w.release,
+			Results:   results,
+			RequestID: w.nextRequestID(),
 		})
 		if err != nil {
 			return err
@@ -360,7 +378,7 @@ func (w *Worker) exchange(ctx context.Context, now time.Time) error {
 		}
 	}
 
-	lresp, err := w.cfg.Transport.Lease(ctx, LeaseRequest{WorkerID: w.id})
+	lresp, err := w.cfg.Transport.Lease(ctx, LeaseRequest{WorkerID: w.id, RequestID: w.nextRequestID()})
 	if err != nil {
 		return err
 	}
@@ -429,10 +447,11 @@ func (w *Worker) finalFlush(flips uint64) {
 		return
 	}
 	req := PublishRequest{
-		WorkerID: w.id,
-		Flips:    flips,
-		Release:  w.release,
-		Results:  results,
+		WorkerID:  w.id,
+		Flips:     flips,
+		Release:   w.release,
+		Results:   results,
+		RequestID: w.nextRequestID(),
 	}
 	_, err := w.cfg.Transport.Publish(ctx, req)
 	if errors.Is(err, ErrUnknownWorker) {

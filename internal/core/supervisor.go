@@ -58,12 +58,10 @@ type supervisor struct {
 	// respawned every grace period forever — the same reasoning as not
 	// hammering a coordinator that keeps refusing connections. The
 	// first respawn of a silent slot is never delayed; the backoff
-	// resets as soon as an incarnation heartbeats on its own.
-	backoff      retry.Backoff
-	backoffRNG   *rng.Rand
-	attempts     []int       // consecutive respawns without progress, per slot
-	respawnStamp []int64     // heartbeat value stamped at the slot's last respawn
-	retryAt      []time.Time // earliest next respawn, per slot
+	// resets as soon as an incarnation heartbeats on its own. One
+	// retry.Pacer per slot, all jittered from one shared rng.
+	pacers       []retry.Pacer
+	respawnStamp []int64 // heartbeat value stamped at the slot's last respawn
 
 	metrics *runMetrics
 }
@@ -72,6 +70,12 @@ func newSupervisor(run slotRunner, stats *blockStats, targets *gpusim.TargetBuff
 	host *ga.Host, plan *gpusim.FaultPlan, blockFn gpusim.BlockFunc,
 	grace time.Duration, activeBlocks int, metrics *runMetrics) *supervisor {
 
+	backoff := retry.Backoff{Base: grace, Factor: 2, Max: 8 * grace, Jitter: 0.25}
+	backoffRNG := rng.New(0x5c4e)
+	pacers := make([]retry.Pacer, len(stats.slots))
+	for i := range pacers {
+		pacers[i] = retry.NewPacer(backoff, backoffRNG)
+	}
 	return &supervisor{
 		run:          run,
 		stats:        stats,
@@ -82,11 +86,8 @@ func newSupervisor(run slotRunner, stats *blockStats, targets *gpusim.TargetBuff
 		grace:        grace,
 		activeBlocks: activeBlocks,
 		retired:      make([]bool, len(stats.slots)),
-		backoff:      retry.Backoff{Base: grace, Factor: 2, Max: 8 * grace, Jitter: 0.25},
-		backoffRNG:   rng.New(0x5c4e),
-		attempts:     make([]int, len(stats.slots)),
+		pacers:       pacers,
 		respawnStamp: make([]int64, len(stats.slots)),
-		retryAt:      make([]time.Time, len(stats.slots)),
 		metrics:      metrics,
 	}
 }
@@ -125,8 +126,8 @@ func (s *supervisor) scan(now time.Time) {
 		// A heartbeat newer than the one stamped at the slot's last
 		// respawn proves the incarnation made progress on its own:
 		// reset the slot's backoff whether or not it is stale now.
-		if s.attempts[g] != 0 && hb != s.respawnStamp[g] {
-			s.attempts[g] = 0
+		if s.pacers[g].Attempts() != 0 && hb != s.respawnStamp[g] {
+			s.pacers[g].Reset()
 		}
 		if hb > cutoff {
 			continue
@@ -137,7 +138,7 @@ func (s *supervisor) scan(now time.Time) {
 		}
 		// Consecutive respawns without intervening progress wait out the
 		// slot's backoff delay on top of the ordinary grace staleness.
-		if s.attempts[g] != 0 && now.Before(s.retryAt[g]) {
+		if !s.pacers[g].Due(now) {
 			continue
 		}
 		if s.run.Respawn(g, s.blockFn) {
@@ -145,8 +146,7 @@ func (s *supervisor) scan(now time.Time) {
 			s.stats.slots[g].restarts.Add(1)
 			s.stats.slots[g].heartbeat.Store(stamp)
 			s.respawnStamp[g] = stamp
-			s.attempts[g]++
-			s.retryAt[g] = now.Add(s.backoff.Delay(s.attempts[g]-1, s.backoffRNG))
+			s.pacers[g].Fail(now)
 			s.recovered++
 			s.metrics.respawn(g)
 			s.targets.Store(g, s.host.NewTarget())

@@ -9,6 +9,7 @@ package retry
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"abs/internal/rng"
@@ -79,21 +80,85 @@ func Sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// permanenter is the interface an error (anywhere in its chain)
+// implements to declare itself not worth retrying. The cluster layer's
+// permanent-error wrapper implements it; retry stays ignorant of who.
+type permanenter interface {
+	Permanent() bool
+}
+
+// IsPermanent reports whether err (or anything it wraps) declares
+// itself permanent — a failure retrying cannot fix, like a rejected
+// registration or a corrupt grant, as opposed to a transient network
+// error.
+func IsPermanent(err error) bool {
+	var p permanenter
+	return errors.As(err, &p) && p.Permanent()
+}
+
 // Do calls fn until it succeeds, sleeping the backoff schedule between
-// failures. It returns nil on the first success, or ctx.Err() once the
-// context is cancelled (the last fn error is wrapped alongside by the
-// caller if it cares; Do itself keeps retrying on every error). r may
+// failures. It returns nil on the first success, ctx.Err() once the
+// context is cancelled, or fn's error immediately when IsPermanent
+// reports it unretryable. All other errors are retried forever. r may
 // be nil for an unjittered schedule.
 func Do(ctx context.Context, b Backoff, r *rng.Rand, fn func() error) error {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := fn(); err == nil {
+		err := fn()
+		if err == nil {
 			return nil
+		}
+		if IsPermanent(err) {
+			return err
 		}
 		if err := Sleep(ctx, b.Delay(attempt, r)); err != nil {
 			return err
 		}
 	}
 }
+
+// Pacer is the non-blocking counterpart of Do for poll-style loops that
+// cannot sleep: a loop that keeps doing useful work (pumping a local
+// engine, scanning heartbeats) asks Due before each retry attempt,
+// reports the outcome with Fail or Reset, and the Pacer spaces the
+// attempts along the backoff schedule.
+//
+// A fresh (or Reset) Pacer is immediately Due — the first attempt after
+// things go wrong is never delayed; it is the failures themselves that
+// push subsequent attempts out.
+type Pacer struct {
+	b        Backoff
+	r        *rng.Rand
+	attempts int
+	retryAt  time.Time
+}
+
+// NewPacer returns a Pacer over the schedule b, jittering with r (nil
+// for deterministic spacing). Several Pacers may share one r.
+func NewPacer(b Backoff, r *rng.Rand) Pacer {
+	return Pacer{b: b, r: r}
+}
+
+// Due reports whether the next attempt may run at now: always true
+// until the first Fail, then only once the scheduled delay has passed.
+func (p *Pacer) Due(now time.Time) bool {
+	return p.attempts == 0 || !now.Before(p.retryAt)
+}
+
+// Fail records a failed attempt at now, scheduling the next one a
+// backoff delay later.
+func (p *Pacer) Fail(now time.Time) {
+	p.retryAt = now.Add(p.b.Delay(p.attempts, p.r))
+	p.attempts++
+}
+
+// Reset clears the failure streak; the next attempt is immediately due.
+func (p *Pacer) Reset() {
+	p.attempts = 0
+	p.retryAt = time.Time{}
+}
+
+// Attempts returns the consecutive failures since the last Reset.
+func (p *Pacer) Attempts() int { return p.attempts }

@@ -3,6 +3,7 @@ package retry
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -70,6 +71,101 @@ func TestDoRetriesUntilSuccess(t *testing.T) {
 	})
 	if err != nil || calls != 3 {
 		t.Errorf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+type permErr struct{ msg string }
+
+func (e *permErr) Error() string   { return e.msg }
+func (e *permErr) Permanent() bool { return true }
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := &permErr{"rejected"}
+	err := Do(context.Background(), Backoff{Base: time.Microsecond}, nil, func() error {
+		calls++
+		if calls == 1 {
+			return errors.New("transient first")
+		}
+		return fmt.Errorf("register: %w", perm)
+	})
+	if !errors.Is(err, perm) {
+		t.Errorf("Do = %v, want the permanent error", err)
+	}
+	if calls != 2 {
+		t.Errorf("fn called %d times, want 2 (transient retried, permanent not)", calls)
+	}
+}
+
+func TestIsPermanent(t *testing.T) {
+	perm := &permErr{"no"}
+	if !IsPermanent(perm) {
+		t.Error("IsPermanent(permErr) = false")
+	}
+	if !IsPermanent(fmt.Errorf("wrapped: %w", perm)) {
+		t.Error("IsPermanent(wrapped permErr) = false")
+	}
+	if IsPermanent(errors.New("plain")) {
+		t.Error("IsPermanent(plain error) = true")
+	}
+	if IsPermanent(nil) {
+		t.Error("IsPermanent(nil) = true")
+	}
+}
+
+// TestPacerSchedule pins the Pacer's spacing to the exact semantics the
+// hand-rolled loops had: first attempt immediately due; after the k-th
+// consecutive failure the next attempt is Delay(k-1) later.
+func TestPacerSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	p := NewPacer(b, nil)
+	now := time.Unix(1000, 0)
+
+	if !p.Due(now) {
+		t.Fatal("fresh Pacer not due")
+	}
+	p.Fail(now)
+	// After one failure: due exactly Base later, not a tick before.
+	if p.Due(now.Add(99 * time.Millisecond)) {
+		t.Error("due before Base elapsed")
+	}
+	if !p.Due(now.Add(100 * time.Millisecond)) {
+		t.Error("not due at Base")
+	}
+	if p.Attempts() != 1 {
+		t.Errorf("Attempts = %d, want 1", p.Attempts())
+	}
+
+	// Second failure at the moment it came due: next delay doubles.
+	now = now.Add(100 * time.Millisecond)
+	p.Fail(now)
+	if p.Due(now.Add(199 * time.Millisecond)) {
+		t.Error("due before doubled delay elapsed")
+	}
+	if !p.Due(now.Add(200 * time.Millisecond)) {
+		t.Error("not due at doubled delay")
+	}
+
+	p.Reset()
+	if !p.Due(now) || p.Attempts() != 0 {
+		t.Error("Reset did not make the Pacer immediately due")
+	}
+}
+
+func TestPacerSharedRNGJitterBounds(t *testing.T) {
+	b := Backoff{Base: time.Second, Jitter: 0.25}
+	r := rng.New(3)
+	now := time.Unix(0, 0)
+	for i := 0; i < 200; i++ {
+		p := NewPacer(b, r)
+		p.Fail(now)
+		// Delay landed in [0.75s, 1.25s]: due at 1.25s, not at 0.74s.
+		if p.Due(now.Add(749 * time.Millisecond)) {
+			t.Fatal("jittered pacer due below the jitter floor")
+		}
+		if !p.Due(now.Add(1250 * time.Millisecond)) {
+			t.Fatal("jittered pacer not due above the jitter ceiling")
+		}
 	}
 }
 

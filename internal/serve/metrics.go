@@ -21,6 +21,7 @@ type serveMetrics struct {
 	devicesBusy   *telemetry.Gauge
 	devicesFree   *telemetry.Gauge
 	jobDevs       telemetry.GaugeVec // label: job id
+	persistFails  *telemetry.Counter
 
 	tracer *telemetry.Tracer
 }
@@ -53,8 +54,18 @@ func newServeMetrics(reg *telemetry.Registry, tr *telemetry.Tracer) *serveMetric
 			"fleet devices in the free pool"),
 		jobDevs: reg.GaugeVec("abs_serve_job_devices",
 			"devices currently allocated to each job", "job"),
+		persistFails: reg.Counter("abs_serve_persist_failures_total",
+			"job log appends that failed (the job itself is unaffected)"),
 		tracer: tr,
 	}
+}
+
+// persisted records the outcome of one job-log append.
+func (m *serveMetrics) persisted(err error) {
+	if m == nil || err == nil {
+		return
+	}
+	m.persistFails.Inc()
 }
 
 func (m *serveMetrics) emit(kind telemetry.EventKind, detail string) {

@@ -37,6 +37,7 @@ import (
 	"abs/internal/core"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
+	"abs/internal/store"
 	"abs/internal/telemetry"
 )
 
@@ -97,6 +98,14 @@ type Config struct {
 	// Tracer, when non-nil, receives job lifecycle events
 	// (EventJobSubmit/Start/Settle/Reject).
 	Tracer *telemetry.Tracer
+
+	// Store, when non-nil, makes the service crash-recoverable: every
+	// accepted job's spec (problem included) and terminal result are
+	// appended to the "jobs" log. A service built over the same Store
+	// restores settled jobs as queryable results (bounded by
+	// RetainResults), re-queues jobs that never finished under their
+	// original IDs, and resumes the job ID counter past everything seen.
+	Store store.Store
 }
 
 // Service is a long-lived multi-job solver sharing one device fleet.
@@ -111,6 +120,11 @@ type Service struct {
 	closed atomic.Bool
 	nextID atomic.Uint64
 
+	// restoredSettled seeds the scheduler's retention list at startup
+	// with settled jobs recovered from the Store; written once before
+	// the scheduler goroutine starts, read once by it.
+	restoredSettled []*Job
+
 	mu   sync.Mutex
 	jobs map[string]*Job
 }
@@ -122,6 +136,10 @@ type event interface{ isEvent() }
 type evSubmit struct {
 	job   *Job
 	reply chan error
+	// restore marks a job re-queued from the Store at startup: it
+	// bypasses the queue cap (it was already accepted once) and is not
+	// re-persisted (the startup compaction wrote its spec).
+	restore bool
 }
 type evCancel struct{ job *Job }
 type evRelease struct {
@@ -176,8 +194,59 @@ func New(cfg Config) (*Service, error) {
 		schedDone: make(chan struct{}),
 		jobs:      make(map[string]*Job),
 	}
+	var restored *restoredState
+	if cfg.Store != nil {
+		restored, err = loadJobs(cfg.Store, cfg.RetainResults)
+		if err != nil {
+			return nil, err
+		}
+		s.nextID.Store(restored.maxSeq)
+		s.restoredSettled = restored.settled
+		for _, j := range restored.settled {
+			s.jobs[j.id] = j
+		}
+		if err := compactJobs(cfg.Store, restored); err != nil {
+			return nil, err
+		}
+	}
 	go s.scheduler()
+	if restored != nil {
+		for _, q := range restored.requeue {
+			s.resubmit(q)
+		}
+	}
 	return s, nil
+}
+
+// resubmit re-queues one job recovered from the Store under its
+// original identity. Option validation is left to startJob's engine
+// construction: a spec that no longer validates settles as failed (with
+// the error queryable) instead of vanishing.
+func (s *Service) resubmit(q *requeueJob) {
+	jctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		id:        q.id,
+		spec:      q.spec,
+		opt:       s.jobOptions(q.spec),
+		problem:   q.problem,
+		ctx:       jctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: q.submitted,
+	}
+	reply := make(chan error, 1)
+	select {
+	case s.events <- evSubmit{job: job, reply: reply, restore: true}:
+	case <-s.schedDone:
+		cancel()
+		return
+	}
+	if err := <-reply; err != nil {
+		cancel()
+		return
+	}
+	go job.watch(s)
 }
 
 // Closed reports whether Close has been called — the readiness probe
@@ -323,6 +392,11 @@ type schedState struct {
 func (s *Service) scheduler() {
 	defer close(s.schedDone)
 	st := &schedState{alloc: make(map[*Job][]*gpusim.Device)}
+	// Settled jobs recovered from the Store join the retention list
+	// (oldest-finished first, already bounded by loadJobs) so the normal
+	// eviction path ages them out as new jobs settle.
+	st.settled = append(st.settled, s.restoredSettled...)
+	s.restoredSettled = nil
 	for i := 0; i < s.fleet.Size(); i++ {
 		st.free = append(st.free, s.fleet.Device(i))
 	}
@@ -371,8 +445,9 @@ func (s *Service) handleSubmit(st *schedState, ev evSubmit) {
 	}
 	// The queue bounds *waiting* jobs only: whenever fewer than D jobs
 	// run, rebalance drains the queue, so a non-empty queue implies a
-	// full fleet.
-	if len(st.queued) >= s.cfg.QueueCap {
+	// full fleet. Restored jobs were accepted by the previous process,
+	// so the cap does not apply to them again.
+	if !ev.restore && len(st.queued) >= s.cfg.QueueCap {
 		s.metrics.rejected(ev.job)
 		ev.reply <- ErrQueueFull
 		return
@@ -382,6 +457,9 @@ func (s *Service) handleSubmit(st *schedState, ev evSubmit) {
 	s.mu.Unlock()
 	st.queued = append(st.queued, ev.job)
 	s.metrics.submitted(ev.job)
+	if !ev.restore {
+		s.persistSpec(ev.job)
+	}
 	ev.reply <- nil
 	s.rebalance(st)
 }
@@ -415,6 +493,7 @@ func (s *Service) settleQueuedCancel(st *schedState, j *Job) {
 // telemetry and the bounded retention of settled handles.
 func (s *Service) settleJob(st *schedState, j *Job) {
 	s.metrics.settled(j, len(st.queued), len(st.running))
+	s.persistDone(j)
 	st.settled = append(st.settled, j)
 	if evict := len(st.settled) - s.cfg.RetainResults; evict > 0 {
 		s.mu.Lock()

@@ -1,0 +1,271 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File layout, one directory per store:
+//
+//	<dir>/<name>.snap   snapshot: magic, crc32(data), len(data), data
+//	<dir>/<name>.log    append log: frames of crc32(rec), uvarint len, rec
+//
+// Snapshots are written to a temp file in the same directory and
+// renamed over the old one, so a crash at any point leaves either the
+// old or the new snapshot — never a torn mix. Log appends are a single
+// buffered write + flush per record; a crash can tear only the final
+// frame, which Replay detects and drops.
+
+// snapMagic guards against handing an arbitrary file to Load.
+var snapMagic = [4]byte{'A', 'B', 'S', '1'}
+
+// FileStore is the file-backed Store. One FileStore owns one
+// directory; concurrent use is serialized by an internal mutex (the
+// write rates here are checkpoint-cadence, not hot-path).
+type FileStore struct {
+	dir string
+
+	mu     sync.Mutex
+	logs   map[string]*os.File // open append handles, one per name
+	closed bool
+}
+
+// Open returns a FileStore rooted at dir, creating the directory if
+// needed.
+func Open(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &FileStore{dir: dir, logs: make(map[string]*os.File)}, nil
+}
+
+// Dir returns the directory the store persists into.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) snapPath(name string) string { return filepath.Join(s.dir, name+".snap") }
+func (s *FileStore) logPath(name string) string  { return filepath.Join(s.dir, name+".log") }
+
+// Save implements Store.
+func (s *FileStore) Save(name string, data []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: use after Close")
+	}
+	tmp, err := os.CreateTemp(s.dir, name+".snap.tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	var hdr [12]byte
+	copy(hdr[:4], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		_, err = tmp.Write(data)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	// Sync before rename: the rename must not become durable ahead of
+	// the bytes it points at.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.snapPath(name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (s *FileStore) Load(name string) ([]byte, bool, error) {
+	if err := checkName(name); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, err := os.ReadFile(s.snapPath(name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	data, err := decodeSnapshot(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: snapshot %q: %w", name, err)
+	}
+	return data, true, nil
+}
+
+// decodeSnapshot verifies the snapshot framing; split out so the fuzz
+// target can hammer it with arbitrary bytes.
+func decodeSnapshot(raw []byte) ([]byte, error) {
+	if len(raw) < 12 || [4]byte(raw[:4]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(raw[4:8])
+	n := binary.LittleEndian.Uint32(raw[8:12])
+	body := raw[12:]
+	if uint32(len(body)) != n {
+		return nil, fmt.Errorf("%w: length %d != header %d", ErrCorrupt, len(body), n)
+	}
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return body, nil
+}
+
+// logHandle returns (opening if needed) the append handle for name.
+// Caller holds s.mu.
+func (s *FileStore) logHandle(name string) (*os.File, error) {
+	if f, ok := s.logs[name]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(s.logPath(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.logs[name] = f
+	return f, nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(name string, rec []byte) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: use after Close")
+	}
+	f, err := s.logHandle(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeFrame(rec)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// encodeFrame wraps one record in the log framing.
+func encodeFrame(rec []byte) []byte {
+	var hdr [4 + binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint32(hdr[:4], crc32.ChecksumIEEE(rec))
+	n := binary.PutUvarint(hdr[4:], uint64(len(rec)))
+	out := make([]byte, 0, 4+n+len(rec))
+	out = append(out, hdr[:4+n]...)
+	return append(out, rec...)
+}
+
+// Replay implements Store.
+func (s *FileStore) Replay(name string, fn func(rec []byte) error) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	raw, err := os.ReadFile(s.logPath(name))
+	s.mu.Unlock()
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return replayFrames(raw, fn)
+}
+
+// replayFrames walks the framed log in raw. A torn final frame — too
+// few header bytes, a length pointing past the end, or a checksum
+// mismatch on the very last frame — ends replay cleanly (crash
+// mid-append); a checksum mismatch with intact frames after it is
+// corruption and errors.
+func replayFrames(raw []byte, fn func(rec []byte) error) error {
+	for off := 0; off < len(raw); {
+		rest := raw[off:]
+		if len(rest) < 5 { // crc + at least one varint byte
+			return nil // torn tail
+		}
+		want := binary.LittleEndian.Uint32(rest[:4])
+		n, used := binary.Uvarint(rest[4:])
+		if used <= 0 {
+			return nil // torn varint at the tail
+		}
+		body := rest[4+used:]
+		if uint64(len(body)) < n {
+			return nil // torn tail: frame extends past the file
+		}
+		rec := body[:n]
+		if crc32.ChecksumIEEE(rec) != want {
+			if off+4+used+int(n) >= len(raw) {
+				return nil // last frame torn mid-body
+			}
+			return fmt.Errorf("store: log frame at %d: %w", off, ErrCorrupt)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += 4 + used + int(n)
+	}
+	return nil
+}
+
+// Reset implements Store.
+func (s *FileStore) Reset(name string) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.logs[name]; ok {
+		f.Close()
+		delete(s.logs, name)
+	}
+	if err := os.Remove(s.logPath(name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for name, f := range s.logs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.logs, name)
+	}
+	return first
+}
+
+var _ Store = (*FileStore)(nil)

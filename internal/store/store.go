@@ -1,0 +1,87 @@
+// Package store is the durability seam of the serving layer: a small
+// pluggable interface over "snapshot + append log" persistence, plus
+// the two implementations the repo ships — a file-backed store for real
+// deployments and an in-memory store for tests.
+//
+// The model is deliberately minimal. A component owns a handful of
+// named states; for each name it may
+//
+//   - Save a point-in-time snapshot (atomically replacing the previous
+//     one), and
+//   - Append incremental records to a log that survives between
+//     snapshots, Reset once a snapshot has folded them in.
+//
+// The cluster coordinator checkpoints its authoritative pool and run
+// status as periodic snapshots (no log — the pool is small and a
+// whole-state snapshot is cheaper than replaying admissions), while the
+// job service appends a record per job transition and compacts the log
+// into itself on restart. Both recover through the same interface, so a
+// different backend (an embedded K/V store, a remote blob) is one
+// implementation away.
+//
+// Corruption stance: snapshots and log records are CRC-framed. A
+// snapshot that fails its checksum is an error — the caller must know
+// its recovery point is gone rather than silently start fresh. A log
+// whose *tail* frame is torn (the classic crash-mid-append) is
+// truncated at the tear and replay succeeds with everything before it;
+// corruption anywhere earlier is an error.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports a snapshot or non-tail log frame whose checksum or
+// framing failed verification. Wrapped errors carry the detail; callers
+// errors.Is against this sentinel.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// Store is one durable state home. Implementations must be safe for
+// concurrent use; names must satisfy ValidName.
+type Store interface {
+	// Save atomically replaces the snapshot for name. A crash during
+	// Save leaves the previous snapshot intact.
+	Save(name string, data []byte) error
+	// Load returns the current snapshot for name; ok is false when no
+	// snapshot has ever been saved. A snapshot that exists but fails
+	// verification returns an error wrapping ErrCorrupt.
+	Load(name string) (data []byte, ok bool, err error)
+	// Append adds one record to the log for name, durably ordered after
+	// every earlier Append since the last Reset.
+	Append(name string, rec []byte) error
+	// Replay calls fn for every intact record of the log for name, in
+	// append order, stopping early if fn errors. A torn tail frame is
+	// silently dropped (crash mid-append); earlier corruption errors.
+	Replay(name string, fn func(rec []byte) error) error
+	// Reset discards the log for name (typically right after Save has
+	// folded the log's contents into a snapshot).
+	Reset(name string) error
+	// Close releases any held resources. The store must not be used
+	// after Close.
+	Close() error
+}
+
+// ValidName reports whether a state name is acceptable to every Store
+// implementation: non-empty, lowercase letters, digits and dashes only
+// — in particular, nothing that could traverse paths in a file-backed
+// store.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func checkName(name string) error {
+	if !ValidName(name) {
+		return fmt.Errorf("store: invalid state name %q (want [a-z0-9-]+)", name)
+	}
+	return nil
+}

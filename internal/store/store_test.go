@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// both runs a subtest against a fresh FileStore and a fresh MemStore —
+// the contract is one; the backends must agree.
+func both(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Run("file", func(t *testing.T) {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer s.Close()
+		fn(t, s)
+	})
+	t.Run("mem", func(t *testing.T) {
+		s := NewMem()
+		defer s.Close()
+		fn(t, s)
+	})
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		if _, ok, err := s.Load("pool"); err != nil || ok {
+			t.Fatalf("Load on empty store = ok %v, err %v; want absent", ok, err)
+		}
+		for _, data := range [][]byte{[]byte("v1"), {}, []byte("v3 much longer payload \x00\xff")} {
+			if err := s.Save("pool", data); err != nil {
+				t.Fatalf("Save(%q): %v", data, err)
+			}
+			got, ok, err := s.Load("pool")
+			if err != nil || !ok {
+				t.Fatalf("Load after Save = ok %v, err %v", ok, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Load = %q, want %q", got, data)
+			}
+		}
+	})
+}
+
+func TestLogAppendReplayReset(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		recs := [][]byte{[]byte("a"), []byte(""), []byte("ccc\nwith\nnewlines")}
+		for _, r := range recs {
+			if err := s.Append("jobs", r); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		var got [][]byte
+		if err := s.Replay("jobs", func(r []byte) error {
+			got = append(got, append([]byte(nil), r...))
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+		}
+		for i := range recs {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Errorf("record %d = %q, want %q", i, got[i], recs[i])
+			}
+		}
+		if err := s.Reset("jobs"); err != nil {
+			t.Fatalf("Reset: %v", err)
+		}
+		n := 0
+		if err := s.Replay("jobs", func([]byte) error { n++; return nil }); err != nil || n != 0 {
+			t.Fatalf("Replay after Reset = %d records, err %v; want 0, nil", n, err)
+		}
+		// The log must accept appends again after Reset.
+		if err := s.Append("jobs", []byte("fresh")); err != nil {
+			t.Fatalf("Append after Reset: %v", err)
+		}
+	})
+}
+
+func TestReplayErrorStopsEarly(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		for _, r := range []string{"one", "two", "three"} {
+			if err := s.Append("x", []byte(r)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		boom := errors.New("boom")
+		n := 0
+		err := s.Replay("x", func([]byte) error {
+			n++
+			if n == 2 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) || n != 2 {
+			t.Fatalf("Replay = err %v after %d records, want boom after 2", err, n)
+		}
+	})
+}
+
+func TestNameValidation(t *testing.T) {
+	both(t, func(t *testing.T, s Store) {
+		for _, bad := range []string{"", "UPPER", "has space", "../escape", "dot.dot", "sl/ash"} {
+			if err := s.Save(bad, nil); err == nil {
+				t.Errorf("Save(%q) accepted an invalid name", bad)
+			}
+			if err := s.Append(bad, nil); err == nil {
+				t.Errorf("Append(%q) accepted an invalid name", bad)
+			}
+		}
+		if !ValidName("ok-name-2") || ValidName("No") {
+			t.Error("ValidName disagrees with the documented alphabet")
+		}
+	})
+}
+
+func TestFileSnapshotSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Save("state", []byte("durable")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Append("log", []byte("r1")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Load("state")
+	if err != nil || !ok || string(got) != "durable" {
+		t.Fatalf("Load after reopen = %q, ok %v, err %v", got, ok, err)
+	}
+	n := 0
+	if err := s2.Replay("log", func(r []byte) error {
+		if string(r) != "r1" {
+			t.Errorf("record = %q, want r1", r)
+		}
+		n++
+		return nil
+	}); err != nil || n != 1 {
+		t.Fatalf("Replay after reopen = %d records, err %v", n, err)
+	}
+}
+
+func TestFileCorruptSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Save("state", []byte("precious")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(dir, "state.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+	if _, _, err := s.Load("state"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of corrupted snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFileTornLogTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, r := range []string{"alpha", "beta", "gamma"} {
+		if err := s.Append("log", []byte(r)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	s.Close()
+
+	// Crash mid-append: chop bytes off the final frame.
+	path := filepath.Join(dir, "log.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("tear log: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	var got []string
+	if err := s2.Replay("log", func(r []byte) error {
+		got = append(got, string(r))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay over torn log: %v", err)
+	}
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Replay over torn log = %q, want the two intact records", got)
+	}
+	// Appending after the tear keeps working (the torn bytes are dead
+	// weight; the next replay drops them the same way).
+	if err := s2.Append("log", []byte("delta")); err != nil {
+		t.Fatalf("Append after tear: %v", err)
+	}
+}
+
+func TestFileMidLogCorruptionErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for _, r := range []string{"aaaaaaaa", "bbbbbbbb", "cccccccc"} {
+		if err := s.Append("log", []byte(r)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	path := filepath.Join(dir, "log.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	// Flip a byte inside the FIRST record's body (offset 5 lands past
+	// the crc+varint header), leaving intact frames after it.
+	raw[6] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("corrupt log: %v", err)
+	}
+	err = s.Replay("log", func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over mid-log corruption = %v, want ErrCorrupt", err)
+	}
+}

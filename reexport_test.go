@@ -158,3 +158,79 @@ func TestReexportedClusterSurface(t *testing.T) {
 		t.Errorf("heartbeat after close = %v, want ErrClusterDone", err)
 	}
 }
+
+// TestReexportedDurabilityAndChaosSurface drives the crash-recovery and
+// fault-injection plumbing entirely through the public names: StoreDir,
+// a checkpointing coordinator, RestoreCoordinator, and a chaos-wrapped
+// transport with its counts and sentinel error.
+func TestReexportedDurabilityAndChaosSurface(t *testing.T) {
+	var st abs.Store
+	st, err := abs.StoreDir(t.TempDir())
+	if err != nil {
+		t.Fatalf("StoreDir: %v", err)
+	}
+	defer st.Close()
+
+	p := abs.RandomProblem(32, 21)
+	cfg := abs.CoordinatorConfig{
+		Seed:       7,
+		MaxFlips:   20_000,
+		Store:      st,
+		Checkpoint: 10 * time.Millisecond,
+	}
+	coord, err := abs.NewCoordinator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// A delay-only chaos schedule: visible in the counts, harmless to
+	// the run.
+	var spec abs.ChaosSpec = abs.ChaosSpec{
+		Seed:     3,
+		DelayMin: time.Microsecond,
+		DelayMax: 100 * time.Microsecond,
+	}
+	var ctr *abs.ChaosTransport = abs.NewChaosTransport(abs.NewLocalTransport(coord), spec)
+	w, err := abs.NewWorker(abs.WorkerConfig{
+		Transport: ctr,
+		WorkerID:  "chaos-pub",
+		Device:    abs.ScaledDevice(1),
+		Exchange:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatalf("worker Run under chaos delay: %v", err)
+	}
+	var counts abs.ChaosCounts = ctr.Counts()
+	if counts.Delayed == 0 {
+		t.Errorf("chaos transport never delayed a call: %+v", counts)
+	}
+
+	pre := coord.Status()
+	coord.Close()
+
+	// The run checkpointed through the public Store: a new incarnation
+	// restores the same best.
+	c2, restored, err := abs.RestoreCoordinator(p, cfg)
+	if err != nil {
+		t.Fatalf("RestoreCoordinator: %v", err)
+	}
+	defer c2.Close()
+	if !restored {
+		t.Fatal("RestoreCoordinator found no checkpoint")
+	}
+	if got := c2.Status(); !got.BestKnown || got.BestEnergy > pre.BestEnergy {
+		t.Errorf("restored best (%d, known %v) regressed from %d", got.BestEnergy, got.BestKnown, pre.BestEnergy)
+	}
+
+	// A certain-drop schedule surfaces the sentinel by name.
+	drop := abs.NewChaosTransport(abs.NewLocalTransport(c2), abs.ChaosSpec{Seed: 1, Drop: 1})
+	if _, err := drop.Heartbeat(ctx, abs.HeartbeatRequest{WorkerID: "x"}); !errors.Is(err, abs.ErrChaosInjected) {
+		t.Errorf("dropped call = %v, want ErrChaosInjected", err)
+	}
+}
