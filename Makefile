@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet race check ci bench obs-demo serve apicheck cluster-demo
+# Build identity, stamped into internal/telemetry and surfaced as the
+# abs_build_info gauge on every /metrics endpoint. Overridable so
+# release pipelines can pin an exact version string.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -X abs/internal/telemetry.version=$(VERSION) -X abs/internal/telemetry.commit=$(COMMIT)
+
+.PHONY: build test vet race check ci bench obs-demo obs-smoke serve apicheck cluster-demo
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 test:
 	$(GO) test ./...
@@ -60,6 +67,13 @@ cluster-demo:
 	curl -sf http://127.0.0.1:8081/v1/cluster/status && echo && \
 	echo "--- waiting for the run to finish ---" && \
 	wait
+
+# Observability smoke: boots abs-serve, runs one job, and asserts the
+# operator surface end to end — build info and latency histograms on
+# /metrics, a parseable causal trace at /v1/jobs/{id}/trace. CI runs
+# this in the short lane.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 obs-demo:
 	$(GO) build -o /tmp/abs-solve ./cmd/abs-solve

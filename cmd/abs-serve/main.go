@@ -145,6 +145,15 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		return err
 	}
 	defer svc.Close()
+	// A crash must leave a postmortem next to the job journal: dump the
+	// flight recorder (recent spans + events + metrics snapshot) through
+	// the store before re-panicking. No-op without -store.
+	defer func() {
+		if r := recover(); r != nil {
+			svc.DumpFlight(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -163,6 +172,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(out, "abs-serve: shutting down")
+		svc.DumpFlight("sigterm: shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)
@@ -185,6 +195,7 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(1 << 14)
+	telemetry.StampBuildInfo(reg)
 	storage, err := core.ParseStorage(cfg.storage)
 	if err != nil {
 		return err
@@ -229,6 +240,16 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 		}
 	}
 	defer coord.Close()
+	// Crash and kill postmortems: the flight recorder dumps through the
+	// coordinator's store (no-op without one) so a dead coordinator
+	// leaves its recent spans, events and metrics next to its last
+	// checkpoint.
+	defer func() {
+		if r := recover(); r != nil {
+			coord.DumpFlight(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+	}()
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/cluster/", cluster.NewHTTPHandler(coord))
@@ -261,6 +282,7 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 		case <-ctx.Done():
 		}
 	case <-ctx.Done():
+		coord.DumpFlight("sigterm: shutting down")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			return err
@@ -315,6 +337,7 @@ func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tra
 	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(1 << 14)
+	telemetry.StampBuildInfo(reg)
 	scfg := serve.Config{
 		Device:         device,
 		NumDevices:     cfg.gpus,

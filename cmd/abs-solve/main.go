@@ -42,8 +42,8 @@ import (
 	"abs/internal/gpusim"
 	"abs/internal/ising"
 	"abs/internal/maxcut"
+	"abs/internal/obsflags"
 	"abs/internal/qubo"
-	"abs/internal/telemetry"
 	"abs/internal/tsp"
 )
 
@@ -62,8 +62,7 @@ type config struct {
 	presolve      bool
 	trustDevices  bool
 	grace         time.Duration
-	metricsAddr   string
-	traceOut      string
+	obs           obsflags.Config
 }
 
 func main() {
@@ -83,8 +82,7 @@ func main() {
 	flag.BoolVar(&cfg.presolve, "presolve", false, "apply persistency-based variable fixing before solving")
 	flag.BoolVar(&cfg.trustDevices, "trust-devices", false, "skip host-side publication validation (the paper's pure §3.1 protocol)")
 	flag.DurationVar(&cfg.grace, "grace", 0, "supervisor grace period before a silent block is respawned (0 = default 2s)")
-	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve live telemetry on this address (e.g. :9090); empty disables")
-	flag.StringVar(&cfg.traceOut, "trace-out", "", "write lifecycle events as JSONL to this file")
+	cfg.obs.Register(flag.CommandLine)
 	flag.Parse()
 	if cfg.file == "" {
 		flag.Usage()
@@ -203,31 +201,18 @@ func run(ctx context.Context, cfg config) error {
 		opt.ProgressWriter = os.Stderr
 	}
 
-	// Telemetry: a live endpoint, a JSONL event dump, or both. The
-	// tracer's ring also backs the endpoint's /trace view, so one is
-	// created whenever either sink is requested.
-	if cfg.metricsAddr != "" || cfg.traceOut != "" {
-		opt.Telemetry = telemetry.NewRegistry()
-		opt.Tracer = telemetry.NewTracer(1 << 14)
-		if cfg.traceOut != "" {
-			tf, err := os.Create(cfg.traceOut)
-			if err != nil {
-				return err
-			}
-			defer func() {
-				opt.Tracer.Flush()
-				tf.Close()
-			}()
-			opt.Tracer.SetSink(tf)
-		}
-		if cfg.metricsAddr != "" {
-			srv, err := telemetry.Serve(cfg.metricsAddr, opt.Telemetry, opt.Tracer)
-			if err != nil {
-				return fmt.Errorf("metrics endpoint: %w", err)
-			}
-			defer srv.Close()
-			fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, events at /trace)\n", srv.Addr())
-		}
+	// Telemetry: a live endpoint, a JSONL event dump, or both, via the
+	// shared flag plane. The tracer's ring also backs the endpoint's
+	// /trace view, so one is created whenever either sink is requested.
+	obs, err := cfg.obs.Open()
+	if err != nil {
+		return err
+	}
+	defer obs.Close()
+	opt.Telemetry = obs.Registry
+	opt.Tracer = obs.Tracer
+	if addr := obs.Addr(); addr != "" {
+		fmt.Printf("telemetry: http://%s/metrics (JSON at /metrics.json, events at /trace)\n", addr)
 	}
 
 	fmt.Printf("instance: %s (%d bits, density %.3f)\n", p.Name(), p.N(), p.Density())

@@ -184,8 +184,8 @@ func TestRunWithTelemetry(t *testing.T) {
 	path := writeFile(t, "t.qubo", func(f *os.File) error { return qubo.WriteText(f, p) })
 	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
 	cfg := testConfig(path, 120*time.Millisecond, func(c *config) {
-		c.metricsAddr = "127.0.0.1:0"
-		c.traceOut = tracePath
+		c.obs.MetricsAddr = "127.0.0.1:0"
+		c.obs.TraceOut = tracePath
 	})
 	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)

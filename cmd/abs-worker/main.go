@@ -8,7 +8,7 @@
 //
 //	abs-worker -coordinator http://host:8080 [-id worker-a]
 //	           [-devices 1] [-sms 2] [-exchange 200ms] [-publish-k 8]
-//	           [-addr :9090]
+//	           [-addr :9090] [-metrics-addr :9091] [-trace-out run.jsonl]
 //
 // The worker needs nothing but the coordinator's address — the
 // instance itself arrives in the registration grant. A worker that
@@ -18,7 +18,11 @@
 //
 // When -addr is set, the worker serves /healthz (liveness), /readyz
 // (readiness: registered and devices attached) and the telemetry plane
-// (/metrics, /trace) on it.
+// (/metrics, /trace) on it. -metrics-addr and -trace-out are the flag
+// surface shared with abs-solve: a dedicated telemetry listener and a
+// JSONL stream of every lifecycle event (RPC errors, injected faults,
+// engine publications), including the worker's spans in the
+// coordinator's stitched run trace.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"abs/internal/core"
 	"abs/internal/gpusim"
 	"abs/internal/health"
+	"abs/internal/obsflags"
 	"abs/internal/telemetry"
 )
 
@@ -49,6 +54,7 @@ type config struct {
 	maxTime     time.Duration
 	storage     string
 	addr        string
+	obs         obsflags.Config
 }
 
 func main() {
@@ -62,6 +68,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTime, "max-time", 24*time.Hour, "local backstop budget for an orphaned worker")
 	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse (auto defers to the coordinator's grant, then density)")
 	flag.StringVar(&cfg.addr, "addr", "", "health/metrics listen address (empty = no listener)")
+	cfg.obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,8 +102,21 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	reg := telemetry.NewRegistry()
-	tr := telemetry.NewTracer(1 << 12)
+	// The worker's registry and tracer always exist — the -addr health
+	// listener re-exposes them — and the shared -metrics-addr /
+	// -trace-out plane adds a dedicated endpoint and a JSONL sink on
+	// top when asked.
+	cfg.obs.AlwaysOn = true
+	cfg.obs.Ring = 1 << 12
+	obs, err := cfg.obs.Open()
+	if err != nil {
+		return err
+	}
+	defer obs.Close()
+	reg, tr := obs.Registry, obs.Tracer
+	if addr := obs.Addr(); addr != "" {
+		fmt.Fprintf(out, "abs-worker: telemetry on http://%s/metrics\n", addr)
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Transport:   cluster.NewHTTPTransport(cfg.coordinator, nil),
 		WorkerID:    cfg.id,

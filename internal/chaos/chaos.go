@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"abs/internal/rng"
+	"abs/internal/telemetry"
 )
 
 // ErrInjected is the transport-level error a dropped request or lost
@@ -59,6 +60,12 @@ type Spec struct {
 	// starting PartitionAfter after the wrapper is built, every call
 	// fails for PartitionFor. Zero PartitionFor disables.
 	PartitionAfter, PartitionFor time.Duration
+
+	// Tracer, when non-nil, receives an EventFaultInject for every
+	// fault that fires (drop, reply-loss, duplicate, truncate,
+	// partition — delay is omitted as noise), so injected faults are
+	// visible in the same trace stream as their victims.
+	Tracer *telemetry.Tracer
 }
 
 // Counts reports the faults injected so far.
@@ -171,10 +178,14 @@ type fate struct {
 	truncate  bool
 }
 
-func (in *injector) decide(now time.Time) fate {
+// decide rolls one call's fate. sc is the span context of the call
+// being harmed (the zero value when none is propagating), so each
+// injected fault's trace event lands on its victim's span.
+func (in *injector) decide(now time.Time, sc telemetry.SpanContext) fate {
 	var f fate
 	if in.partitioned(now) {
 		in.count(func(c *Counts) { c.Partitioned++ })
+		in.fault("partition", sc)
 		f.drop = true
 		return f
 	}
@@ -183,15 +194,19 @@ func (in *injector) decide(now time.Time) fate {
 	case in.draw(in.spec.Drop):
 		f.drop = true
 		in.count(func(c *Counts) { c.Dropped++ })
+		in.fault("drop", sc)
 	case in.draw(in.spec.DropReply):
 		f.dropReply = true
 		in.count(func(c *Counts) { c.RepliesLost++ })
+		in.fault("reply-loss", sc)
 	case in.draw(in.spec.Duplicate):
 		f.duplicate = true
 		in.count(func(c *Counts) { c.Duplicated++ })
+		in.fault("duplicate", sc)
 	}
 	if !f.drop && in.draw(in.spec.Truncate) {
 		f.truncate = true
+		in.fault("truncate", sc)
 	}
 	if f.delay > 0 {
 		in.count(func(c *Counts) { c.Delayed++ })
@@ -200,4 +215,12 @@ func (in *injector) decide(now time.Time) fate {
 		in.count(func(c *Counts) { c.Passed++ })
 	}
 	return f
+}
+
+// fault emits one injected-fault trace event (no-op without a Tracer).
+func (in *injector) fault(kind string, sc telemetry.SpanContext) {
+	in.spec.Tracer.Emit(telemetry.Event{
+		Kind: telemetry.EventFaultInject, Device: -1, Block: -1,
+		Detail: "network " + kind,
+	}.InSpan(sc))
 }

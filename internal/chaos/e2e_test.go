@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -12,13 +13,14 @@ import (
 	"abs/internal/randqubo"
 	"abs/internal/retry"
 	"abs/internal/store"
+	"abs/internal/telemetry"
 )
 
 // fastReconnect keeps the degraded-mode pacer tight so e2e runs stay
 // inside the -short budget.
 var fastReconnect = retry.Backoff{Base: 20 * time.Millisecond, Factor: 2, Max: 200 * time.Millisecond, Jitter: 0.25}
 
-func newChaosWorker(t *testing.T, id string, tr cluster.Transport) *cluster.Worker {
+func newChaosWorker(t *testing.T, id string, tr cluster.Transport, reg *telemetry.Registry, trc *telemetry.Tracer) *cluster.Worker {
 	t.Helper()
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Transport: tr,
@@ -26,6 +28,8 @@ func newChaosWorker(t *testing.T, id string, tr cluster.Transport) *cluster.Work
 		Device:    gpusim.ScaledCPU(1),
 		Exchange:  10 * time.Millisecond,
 		Reconnect: fastReconnect,
+		Registry:  reg,
+		Tracer:    trc,
 	})
 	if err != nil {
 		t.Fatalf("NewWorker(%s): %v", id, err)
@@ -41,11 +45,13 @@ func newChaosWorker(t *testing.T, id string, tr cluster.Transport) *cluster.Work
 // and retry layers doing their job under fire. Deliberately NOT skipped
 // in -short: this is the cheap always-on chaos lane.
 func TestClusterConvergesUnderChaos(t *testing.T) {
-	// A simulated worker burns ~1M flips/s, and flips only reach the
-	// coordinator on the 20ms exchange cadence: the budget is sized so
-	// each worker makes ~100+ RPC rounds, enough draws for every fault
-	// kind to fire.
-	const flipBudget = 4_000_000
+	// Flips only reach the coordinator on the exchange cadence, and that
+	// cadence is scheduler-dependent: an idle multi-core host exchanges
+	// every ~10ms, a loaded single-core host closer to ~150ms. The
+	// budget is sized so that even on the slow end the run spans enough
+	// RPC rounds (roughly a hundred across both workers) for the 15%
+	// combined fault rate to fire many times over.
+	const flipBudget = 16_000_000
 	p := randqubo.Generate(48, 31)
 	coord, err := cluster.NewCoordinator(p, cluster.CoordinatorConfig{
 		Seed:        5,
@@ -59,9 +65,21 @@ func TestClusterConvergesUnderChaos(t *testing.T) {
 	}
 	defer coord.Close()
 
+	// Per-worker observability planes: the faults injected into each
+	// worker's transport must surface in that worker's trace stream and
+	// RPC-latency histograms (asserted below).
+	// wfault is each wrapper's dedicated fault stream: fault events
+	// carry the victim RPC's trace/span IDs, but live in their own small
+	// ring so the engine's per-solution event volume (tens of thousands
+	// over a run, sharing wtrc's ring) cannot evict them before the
+	// assertions at the end.
+	wreg := [2]*telemetry.Registry{telemetry.NewRegistry(), telemetry.NewRegistry()}
+	wtrc := [2]*telemetry.Tracer{telemetry.NewTracer(8192), telemetry.NewTracer(8192)}
+	wfault := [2]*telemetry.Tracer{telemetry.NewTracer(4096), telemetry.NewTracer(4096)}
+
 	// One seeded fault schedule per worker: each worker's RPC sequence
 	// is serial, so its fault draws are reproducible per seed.
-	spec := func(seed uint64) Spec {
+	spec := func(seed uint64, trc *telemetry.Tracer) Spec {
 		return Spec{
 			Seed:      seed,
 			Drop:      0.05,
@@ -69,10 +87,11 @@ func TestClusterConvergesUnderChaos(t *testing.T) {
 			Duplicate: 0.05,
 			DelayMin:  time.Millisecond,
 			DelayMax:  8 * time.Millisecond,
+			Tracer:    trc,
 		}
 	}
-	chaosA := WrapTransport(cluster.NewLocalTransport(coord), spec(101))
-	chaosB := WrapTransport(cluster.NewLocalTransport(coord), spec(202))
+	chaosA := WrapTransport(cluster.NewLocalTransport(coord), spec(101, wfault[0]))
+	chaosB := WrapTransport(cluster.NewLocalTransport(coord), spec(202, wfault[1]))
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -83,7 +102,7 @@ func TestClusterConvergesUnderChaos(t *testing.T) {
 		wg.Add(1)
 		go func(i int, tr *Transport) {
 			defer wg.Done()
-			w := newChaosWorker(t, []string{"chaos-a", "chaos-b"}[i], tr)
+			w := newChaosWorker(t, []string{"chaos-a", "chaos-b"}[i], tr, wreg[i], wtrc[i])
 			reports[i], errs[i] = w.Run(ctx)
 		}(i, tr)
 	}
@@ -141,6 +160,57 @@ func TestClusterConvergesUnderChaos(t *testing.T) {
 	}
 	if total.Delayed == 0 {
 		t.Errorf("no call was ever delayed: %+v", total)
+	}
+
+	// Observability of the chaos itself. Every injected fault must have
+	// emitted a fault_inject trace event, at least some stamped with the
+	// span of the RPC they harmed (the initial register carries no span,
+	// so its faults are legitimately unattached); RPCs the chaos failed
+	// must be visible as failed client spans; and the worker RPC
+	// histograms must show the ≥1ms injected-delay floor — no lease or
+	// publish observation can land under the 400µs bucket boundary.
+	var faultEvents, faultStamped int
+	for i := range wfault {
+		for _, e := range wfault[i].Events() {
+			if e.Kind != telemetry.EventFaultInject {
+				t.Errorf("worker %d fault stream holds a foreign event: %+v", i, e)
+				continue
+			}
+			faultEvents++
+			if e.TraceID != "" {
+				faultStamped++
+			}
+		}
+	}
+	if faultEvents == 0 {
+		t.Error("no fault_inject trace event despite injected faults")
+	}
+	if faultStamped == 0 {
+		t.Error("no fault_inject event was attached to the harmed RPC's span")
+	}
+	failedRPCSpans := 0
+	for i := range wtrc {
+		for _, s := range wtrc[i].Spans() {
+			if strings.HasPrefix(s.Name, "rpc.") && s.Err != "" {
+				failedRPCSpans++
+			}
+		}
+	}
+	if failedRPCSpans == 0 {
+		t.Error("no failed RPC client span despite dropped requests")
+	}
+	for i := range wreg {
+		snap := wreg[i].Snapshot()
+		for _, rpc := range []string{"lease", "publish"} {
+			h, ok := snap.Histogram("abs_worker_rpc_seconds", rpc)
+			if !ok || h.Count == 0 {
+				t.Errorf("worker %d has no %s RPC latency observations", i, rpc)
+				continue
+			}
+			if fast := h.Counts[0] + h.Counts[1]; fast != 0 {
+				t.Errorf("worker %d: %d %s RPCs under 400µs despite the 1ms injected-delay floor", i, fast, rpc)
+			}
+		}
 	}
 }
 
@@ -211,6 +281,8 @@ func TestCoordinatorKillRestoreNeverRegresses(t *testing.T) {
 		WorkerTTL:   3 * time.Second,
 		Store:       mem,
 		Checkpoint:  25 * time.Millisecond,
+		Registry:    telemetry.NewRegistry(),
+		Tracer:      telemetry.NewTracer(8192),
 	}
 	c1, err := cluster.NewCoordinator(p, cfg)
 	if err != nil {
@@ -227,7 +299,7 @@ func TestCoordinatorKillRestoreNeverRegresses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := newChaosWorker(t, []string{"kr-a", "kr-b"}[i], sw)
+			w := newChaosWorker(t, []string{"kr-a", "kr-b"}[i], sw, nil, nil)
 			reports[i], errs[i] = w.Run(ctx)
 		}(i)
 	}
@@ -252,7 +324,33 @@ func TestCoordinatorKillRestoreNeverRegresses(t *testing.T) {
 	if err := c1.Checkpoint(); err != nil {
 		t.Fatalf("final checkpoint: %v", err)
 	}
+	// A real deployment dumps the flight recorder from the SIGTERM
+	// handler before exiting; model that here so the death leaves a
+	// postmortem artifact next to the last checkpoint.
+	if err := c1.DumpFlight("sigterm: test kill"); err != nil {
+		t.Fatalf("DumpFlight: %v", err)
+	}
 	c1.Close()
+
+	// The dump must be readable from the store the dead incarnation
+	// wrote, and must actually carry the incident context: recent spans
+	// and events plus a metrics snapshot.
+	dump, ok, err := telemetry.ReadFlightDump(mem)
+	if err != nil || !ok {
+		t.Fatalf("ReadFlightDump: ok=%v err=%v", ok, err)
+	}
+	if dump.Reason != "sigterm: test kill" {
+		t.Errorf("flight dump reason = %q, want the kill reason", dump.Reason)
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("flight dump has no spans")
+	}
+	if len(dump.Events) == 0 {
+		t.Error("flight dump has no events")
+	}
+	if dump.Metrics == nil {
+		t.Error("flight dump has no metrics snapshot")
+	}
 
 	// Leave the coordinator dead long enough that every worker fails a
 	// call, goes degraded, and has to re-register — the path under test.

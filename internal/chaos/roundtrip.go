@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"abs/internal/telemetry"
 )
 
 // RoundTripper wraps an http.RoundTripper with injected faults at the
@@ -32,7 +34,8 @@ func WrapRoundTripper(inner http.RoundTripper, spec Spec) *RoundTripper {
 func (rt *RoundTripper) Counts() Counts { return rt.in.Counts() }
 
 func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
-	f := rt.in.decide(time.Now())
+	sc, _ := telemetry.ParseTraceparent(req.Header.Get(telemetry.TraceparentHeader))
+	f := rt.in.decide(time.Now(), sc)
 	if err := sleep(req.Context(), f.delay); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"abs/internal/cluster"
+	"abs/internal/telemetry"
 )
 
 // Transport wraps a cluster.Transport with injected faults. Register
@@ -29,7 +30,8 @@ func (t *Transport) Counts() Counts { return t.in.Counts() }
 // invoke twice (duplicate delivery) and may be invoked zero times
 // (drop). mutating marks RPCs eligible for reply loss and duplication.
 func (t *Transport) apply(ctx context.Context, mutating bool, exec func() error) error {
-	f := t.in.decide(time.Now())
+	sc, _ := telemetry.SpanFromContext(ctx)
+	f := t.in.decide(time.Now(), sc)
 	if err := sleep(ctx, f.delay); err != nil {
 		return err
 	}

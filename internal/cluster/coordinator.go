@@ -169,6 +169,14 @@ type Coordinator struct {
 	start       time.Time
 	deadline    time.Time
 
+	// runSpan is the root of the cluster run's trace; every RPC span
+	// (coordinator- and, via the propagated traceparent, worker-side)
+	// descends from it. trace caches its context; flight is the
+	// incident recorder over cfg.Store (nil without one).
+	runSpan *telemetry.ActiveSpan
+	trace   telemetry.SpanContext
+	flight  *telemetry.FlightRecorder
+
 	// elapsedPrior is run time accumulated by previous incarnations of
 	// this coordinator (restored from a checkpoint); Status and the
 	// MaxDuration deadline both include it, so a kill+restore cannot
@@ -247,7 +255,42 @@ func newCoordinator(p *qubo.Problem, cfg CoordinatorConfig) (*Coordinator, error
 	if cfg.MaxDuration > 0 {
 		c.deadline = c.start.Add(cfg.MaxDuration)
 	}
+	c.runSpan = cfg.Tracer.StartSpan("cluster.run", telemetry.SpanContext{})
+	c.runSpan.SetNode("coordinator")
+	c.trace = c.runSpan.Context()
+	c.metrics.setRun(c.trace)
+	if cfg.Store != nil {
+		c.flight = telemetry.NewFlightRecorder("coordinator", cfg.Registry, cfg.Tracer, cfg.Store)
+	}
 	return c, nil
+}
+
+// rpcSpan opens one coordinator-side RPC span — parented to the
+// caller's span when the transport propagated one (traceparent header,
+// or the ctx of an in-process call), to the run span otherwise — and
+// returns the finisher that times the call into the per-RPC histogram.
+func (c *Coordinator) rpcSpan(ctx context.Context, name string) (*telemetry.ActiveSpan, func(error)) {
+	start := time.Now()
+	parent, ok := telemetry.SpanFromContext(ctx)
+	if !ok {
+		parent = c.trace
+	}
+	sp := c.cfg.Tracer.StartSpan("rpc."+name, parent)
+	sp.SetNode("coordinator")
+	return sp, func(err error) {
+		c.metrics.rpc(name, time.Since(start))
+		sp.Fail(err)
+		sp.End()
+	}
+}
+
+// DumpFlight writes a flight-recorder dump — the recent spans and
+// events plus a metrics snapshot — through the coordinator's Store.
+// abs-serve calls it on SIGTERM and panic so a killed coordinator
+// leaves a postmortem artifact next to its last checkpoint. No-op
+// without a Store.
+func (c *Coordinator) DumpFlight(reason string) error {
+	return c.flight.Dump(reason)
 }
 
 func (c *Coordinator) startJanitor() {
@@ -392,7 +435,10 @@ func (c *Coordinator) touchLocked(w *workerState, now time.Time) {
 // worker process genuinely restarted (counter back at zero), while a
 // worker that merely lost connectivity keeps counting from where it
 // left off instead of being double-counted.
-func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*RegisterResponse, error) {
+func (c *Coordinator) Register(ctx context.Context, req RegisterRequest) (resp *RegisterResponse, err error) {
+	sp, finish := c.rpcSpan(ctx, "register")
+	defer func() { finish(err) }()
+	sp.SetAttr("worker", req.WorkerID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -428,7 +474,7 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 		delete(c.flipBase, id)
 		c.workers[id] = w
 	}
-	c.metrics.registered(w.id, len(c.workers))
+	c.metrics.registered(sp.Context(), w.id, len(c.workers))
 	storage := ""
 	if c.cfg.Storage != core.StorageAuto {
 		storage = c.cfg.Storage.String()
@@ -442,6 +488,7 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 		LeaseBatch:      c.cfg.LeaseBatch,
 		TargetEnergy:    c.cfg.TargetEnergy,
 		Storage:         storage,
+		Trace:           c.trace.Traceparent(),
 		Done:            c.isDone(),
 	}, nil
 }
@@ -449,7 +496,10 @@ func (c *Coordinator) Register(_ context.Context, req RegisterRequest) (*Registe
 // Lease implements Transport: the networked §3.1 Step 4. Expired-lease
 // targets are re-granted before fresh ones are generated, so work lost
 // to a dead worker is the first work a surviving worker picks up.
-func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse, error) {
+func (c *Coordinator) Lease(ctx context.Context, req LeaseRequest) (resp *LeaseResponse, err error) {
+	sp, finish := c.rpcSpan(ctx, "lease")
+	defer func() { finish(err) }()
+	sp.SetAttr("worker", req.WorkerID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -460,6 +510,7 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	// targets are generated.
 	if cached, ok := c.replay.get(req.RequestID); ok {
 		c.metrics.replayHit()
+		sp.SetAttr("replay", "hit")
 		return cached.(*LeaseResponse), nil
 	}
 	w, ok := c.workers[req.WorkerID]
@@ -468,7 +519,7 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 	}
 	now := time.Now()
 	c.touchLocked(w, now)
-	resp := &LeaseResponse{Done: c.isDone()}
+	resp = &LeaseResponse{Done: c.isDone()}
 	resp.BestEnergy, resp.BestKnown = c.bestLocked()
 	if resp.Done {
 		return resp, nil
@@ -492,7 +543,7 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 		w.leases[l.id] = l
 		resp.Targets = append(resp.Targets, Target{Lease: l.id, X: x.String()})
 	}
-	c.metrics.leased(w.id, len(resp.Targets), len(c.leases))
+	c.metrics.leased(sp.Context(), w.id, len(resp.Targets), len(c.leases))
 	c.metrics.redistribute(len(c.redistribute))
 	c.replay.put(req.RequestID, resp)
 	return resp, nil
@@ -504,7 +555,10 @@ func (c *Coordinator) Lease(_ context.Context, req LeaseRequest) (*LeaseResponse
 // energy recheck unless TrustPublications) before pool admission.
 // Publications are still admitted after the run is done — a worker's
 // final flush must not lose the best solution found.
-func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishResponse, error) {
+func (c *Coordinator) Publish(ctx context.Context, req PublishRequest) (out *PublishResponse, err error) {
+	sp, finish := c.rpcSpan(ctx, "publish")
+	defer func() { finish(err) }()
+	sp.SetAttr("worker", req.WorkerID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -512,9 +566,12 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 	}
 	// Duplicate delivery: the first delivery already accounted the
 	// flips, released the leases and admitted the solutions; replay the
-	// response without touching any of that state again.
+	// response without touching any of that state again. Shipped spans
+	// were already recorded by the first delivery, so they are skipped
+	// along with everything else.
 	if cached, ok := c.replay.get(req.RequestID); ok {
 		c.metrics.replayHit()
+		sp.SetAttr("replay", "hit")
 		return cached.(*PublishResponse), nil
 	}
 	w, ok := c.workers[req.WorkerID]
@@ -523,6 +580,13 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 	}
 	now := time.Now()
 	c.touchLocked(w, now)
+
+	// Stitch: record the worker's shipped spans into the coordinator's
+	// tracer. A retry under a fresh RequestID (lost reply) re-ships the
+	// same spans; RecordSpan's span-ID dedup absorbs that.
+	for _, s := range req.Spans {
+		c.cfg.Tracer.RecordSpan(s)
+	}
 
 	// Flip accounting: cumulative counter, delta-summed. A counter that
 	// went backwards means the worker restarted; re-baseline.
@@ -556,9 +620,14 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 			resp.Duplicate++
 			continue
 		}
-		switch c.gate.Vet(c.host.Pool(), x, r.Energy) {
+		gateStart := time.Now()
+		verdict := c.gate.Vet(c.host.Pool(), x, r.Energy)
+		c.metrics.gateTimed(time.Since(gateStart))
+		switch verdict {
 		case core.VerdictAdmit:
+			insertStart := time.Now()
 			c.host.Insert(x, r.Energy)
+			c.metrics.insertTimed(time.Since(insertStart))
 			resp.Accepted++
 			if !batchBestKnown || r.Energy < batchBest {
 				batchBest, batchBestKnown = r.Energy, true
@@ -581,13 +650,15 @@ func (c *Coordinator) Publish(_ context.Context, req PublishRequest) (*PublishRe
 	}
 	resp.Done = c.isDone()
 	resp.BestEnergy, resp.BestKnown = c.bestLocked()
-	c.metrics.published(w.id, resp, len(req.Results), batchBest, batchBestKnown)
+	c.metrics.published(sp.Context(), w.id, resp, len(req.Results), batchBest, batchBestKnown)
 	c.replay.put(req.RequestID, &resp)
 	return &resp, nil
 }
 
 // Heartbeat implements Transport: proof of life between publishes.
-func (c *Coordinator) Heartbeat(_ context.Context, req HeartbeatRequest) (*HeartbeatResponse, error) {
+func (c *Coordinator) Heartbeat(ctx context.Context, req HeartbeatRequest) (resp *HeartbeatResponse, err error) {
+	_, finish := c.rpcSpan(ctx, "heartbeat")
+	defer func() { finish(err) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -598,7 +669,7 @@ func (c *Coordinator) Heartbeat(_ context.Context, req HeartbeatRequest) (*Heart
 		return nil, ErrUnknownWorker
 	}
 	c.touchLocked(w, time.Now())
-	resp := &HeartbeatResponse{Done: c.isDone()}
+	resp = &HeartbeatResponse{Done: c.isDone()}
 	resp.BestEnergy, resp.BestKnown = c.bestLocked()
 	return resp, nil
 }
@@ -671,6 +742,7 @@ func (c *Coordinator) Close() {
 	if c.cfg.Store != nil {
 		_ = c.Checkpoint()
 	}
+	c.runSpan.End()
 }
 
 // dedupSet is a bounded FIFO set of recently published (solution,

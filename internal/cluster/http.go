@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"abs/internal/telemetry"
 )
 
 // HTTP wire mapping. Register, Heartbeat and Status are plain JSON;
@@ -38,13 +40,16 @@ type leaseHeader struct {
 	BestKnown  bool  `json:"best_known"`
 }
 
-// publishHeader is the first NDJSON line of a publish request.
+// publishHeader is the first NDJSON line of a publish request. Spans
+// ride in the header (they are bounded batches, not the bulk payload —
+// the per-line stream stays pure PublishedSolution).
 type publishHeader struct {
-	WorkerID  string   `json:"worker_id"`
-	Flips     uint64   `json:"flips"`
-	Release   []uint64 `json:"release,omitempty"`
-	Count     int      `json:"count"`
-	RequestID string   `json:"request_id,omitempty"`
+	WorkerID  string           `json:"worker_id"`
+	Flips     uint64           `json:"flips"`
+	Release   []uint64         `json:"release,omitempty"`
+	Count     int              `json:"count"`
+	RequestID string           `json:"request_id,omitempty"`
+	Spans     []telemetry.Span `json:"spans,omitempty"`
 }
 
 // statusJSON is the GET /v1/cluster/status body.
@@ -96,6 +101,17 @@ type httpServer struct {
 	c *Coordinator
 }
 
+// traceCtx lifts an incoming traceparent header into the request
+// context, so the coordinator's per-RPC span parents under the
+// worker's client span instead of the run root. A missing or
+// malformed header degrades to the plain request context.
+func traceCtx(r *http.Request) context.Context {
+	if sc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.TraceparentHeader)); ok {
+		return telemetry.ContextWithSpan(r.Context(), sc)
+	}
+	return r.Context()
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -132,7 +148,7 @@ func (h *httpServer) register(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := h.c.Register(r.Context(), req)
+	resp, err := h.c.Register(traceCtx(r), req)
 	if err != nil {
 		writeRPCError(w, err)
 		return
@@ -145,7 +161,7 @@ func (h *httpServer) heartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := h.c.Heartbeat(r.Context(), req)
+	resp, err := h.c.Heartbeat(traceCtx(r), req)
 	if err != nil {
 		writeRPCError(w, err)
 		return
@@ -158,7 +174,7 @@ func (h *httpServer) lease(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	resp, err := h.c.Lease(r.Context(), req)
+	resp, err := h.c.Lease(traceCtx(r), req)
 	if err != nil {
 		writeRPCError(w, err)
 		return
@@ -192,6 +208,7 @@ func (h *httpServer) publish(w http.ResponseWriter, r *http.Request) {
 		Release:   hdr.Release,
 		Results:   make([]PublishedSolution, 0, hdr.Count),
 		RequestID: hdr.RequestID,
+		Spans:     hdr.Spans,
 	}
 	for {
 		var s PublishedSolution
@@ -203,7 +220,7 @@ func (h *httpServer) publish(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Results = append(req.Results, s)
 	}
-	resp, err := h.c.Publish(r.Context(), req)
+	resp, err := h.c.Publish(traceCtx(r), req)
 	if err != nil {
 		writeRPCError(w, err)
 		return
@@ -315,6 +332,9 @@ func (t *httpTransport) post(ctx context.Context, path string, body []byte, cont
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if sc, ok := telemetry.SpanFromContext(ctx); ok {
+		req.Header.Set(telemetry.TraceparentHeader, sc.Traceparent())
+	}
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -396,6 +416,7 @@ func (t *httpTransport) Publish(ctx context.Context, req PublishRequest) (*Publi
 		Release:   req.Release,
 		Count:     len(req.Results),
 		RequestID: req.RequestID,
+		Spans:     req.Spans,
 	}); err != nil {
 		return nil, err
 	}

@@ -2,9 +2,16 @@ package cluster
 
 import (
 	"strconv"
+	"time"
 
 	"abs/internal/telemetry"
 )
+
+// rpcBuckets is the latency layout shared by the coordinator- and
+// worker-side per-RPC histograms: 100 µs to ~26 s, a spread wide
+// enough that chaos-injected delays land visibly above the loopback
+// floor.
+func rpcBuckets() []float64 { return telemetry.LogBuckets(1e-4, 4, 10) }
 
 // clusterMetrics binds a Coordinator to the telemetry layer: the
 // abs_cluster_* instrument catalogue plus the register/lease/publish/
@@ -14,6 +21,10 @@ import (
 // convention, not a requirement.
 type clusterMetrics struct {
 	tracer *telemetry.Tracer
+	// run is the coordinator's root span context; events emitted from
+	// clock-driven sites (expiry, retirement) that have no RPC span of
+	// their own attach here.
+	run telemetry.SpanContext
 
 	workers           *telemetry.Gauge
 	workersRegistered *telemetry.Counter
@@ -39,6 +50,14 @@ type clusterMetrics struct {
 	checkpoints     *telemetry.Counter
 	checkpointBytes *telemetry.Gauge
 	checkpointFails *telemetry.Counter
+
+	// Per-stage latency histograms: one per RPC (labeled), plus the
+	// publish pipeline's ingest-gate and pool-insert stages and the
+	// durability checkpoint.
+	rpcSeconds        telemetry.HistogramVec
+	gateSeconds       *telemetry.Histogram
+	insertSeconds     *telemetry.Histogram
+	checkpointSeconds *telemetry.Histogram
 }
 
 // newClusterMetrics registers the coordinator's instrument catalogue.
@@ -98,7 +117,51 @@ func newClusterMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer) *clust
 			"size of the most recent durability checkpoint"),
 		checkpointFails: reg.Counter("abs_cluster_checkpoint_failures_total",
 			"durability checkpoints that failed to write"),
+
+		rpcSeconds: reg.HistogramVec("abs_cluster_rpc_seconds",
+			"coordinator-side latency of one cluster RPC", "rpc", rpcBuckets()),
+		gateSeconds: reg.Histogram("abs_cluster_ingest_gate_seconds",
+			"time vetting one publication in the ingest gate", telemetry.LogBuckets(1e-7, 10, 8)),
+		insertSeconds: reg.Histogram("abs_cluster_pool_insert_seconds",
+			"time inserting one admitted publication into the authoritative pool",
+			telemetry.LogBuckets(1e-7, 10, 8)),
+		checkpointSeconds: reg.Histogram("abs_cluster_checkpoint_seconds",
+			"time writing one durability checkpoint", telemetry.LogBuckets(1e-5, 4, 10)),
 	}
+}
+
+// setRun records the coordinator's root span context for clock-driven
+// event sites.
+func (m *clusterMetrics) setRun(sc telemetry.SpanContext) {
+	if m == nil {
+		return
+	}
+	m.run = sc
+}
+
+// rpc times one coordinator-side RPC into its labeled histogram.
+// Handles are looked up per call; RPC cadence is per-exchange, far off
+// the flip path.
+func (m *clusterMetrics) rpc(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.rpcSeconds.With(name).Observe(d.Seconds())
+}
+
+// gateTimed / insertTimed record one publish-pipeline stage latency.
+func (m *clusterMetrics) gateTimed(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.gateSeconds.Observe(d.Seconds())
+}
+
+func (m *clusterMetrics) insertTimed(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.insertSeconds.Observe(d.Seconds())
 }
 
 func (m *clusterMetrics) trace(e telemetry.Event) {
@@ -108,7 +171,7 @@ func (m *clusterMetrics) trace(e telemetry.Event) {
 	m.tracer.Emit(e)
 }
 
-func (m *clusterMetrics) registered(worker string, workers int) {
+func (m *clusterMetrics) registered(sc telemetry.SpanContext, worker string, workers int) {
 	if m == nil {
 		return
 	}
@@ -116,7 +179,7 @@ func (m *clusterMetrics) registered(worker string, workers int) {
 	m.workers.SetInt(workers)
 	m.trace(telemetry.Event{
 		Kind: telemetry.EventWorkerRegister, Device: -1, Block: -1, Detail: worker,
-	})
+	}.InSpan(sc))
 }
 
 func (m *clusterMetrics) retired(worker string, workers int) {
@@ -127,10 +190,10 @@ func (m *clusterMetrics) retired(worker string, workers int) {
 	m.workers.SetInt(workers)
 	m.trace(telemetry.Event{
 		Kind: telemetry.EventWorkerRetire, Device: -1, Block: -1, Detail: worker,
-	})
+	}.InSpan(m.run))
 }
 
-func (m *clusterMetrics) leased(worker string, n, active int) {
+func (m *clusterMetrics) leased(sc telemetry.SpanContext, worker string, n, active int) {
 	if m == nil {
 		return
 	}
@@ -139,7 +202,7 @@ func (m *clusterMetrics) leased(worker string, n, active int) {
 	m.trace(telemetry.Event{
 		Kind: telemetry.EventLeaseGrant, Device: -1, Block: -1,
 		Detail: worker + " n=" + strconv.Itoa(n),
-	})
+	}.InSpan(sc))
 }
 
 func (m *clusterMetrics) released(n, active int) {
@@ -160,10 +223,10 @@ func (m *clusterMetrics) expired(worker string, n, active, redistribute int) {
 	m.trace(telemetry.Event{
 		Kind: telemetry.EventLeaseExpire, Device: -1, Block: -1,
 		Detail: worker + " n=" + strconv.Itoa(n),
-	})
+	}.InSpan(m.run))
 }
 
-func (m *clusterMetrics) published(worker string, resp PublishResponse, results int, bestE int64, bestKnown bool) {
+func (m *clusterMetrics) published(sc telemetry.SpanContext, worker string, resp PublishResponse, results int, bestE int64, bestKnown bool) {
 	if m == nil {
 		return
 	}
@@ -182,7 +245,7 @@ func (m *clusterMetrics) published(worker string, resp PublishResponse, results 
 	if bestKnown {
 		ev.Energy = bestE
 	}
-	m.trace(ev)
+	m.trace(ev.InSpan(sc))
 }
 
 func (m *clusterMetrics) flipsDelta(d uint64) {
@@ -206,7 +269,7 @@ func (m *clusterMetrics) replayHit() {
 	m.replayHits.Inc()
 }
 
-func (m *clusterMetrics) checkpointed(bytes int, err error) {
+func (m *clusterMetrics) checkpointed(bytes int, d time.Duration, err error) {
 	if m == nil {
 		return
 	}
@@ -216,6 +279,7 @@ func (m *clusterMetrics) checkpointed(bytes int, err error) {
 	}
 	m.checkpoints.Inc()
 	m.checkpointBytes.SetInt(bytes)
+	m.checkpointSeconds.Observe(d.Seconds())
 }
 
 // workerMetrics is the worker-side instrument set (abs_worker_*).
@@ -226,6 +290,8 @@ type workerMetrics struct {
 	reconnects *telemetry.Counter
 	published  *telemetry.Counter
 	leased     *telemetry.Counter
+	rpcSeconds telemetry.HistogramVec
+	rpcErrors  *telemetry.Counter
 }
 
 func newWorkerMetrics(reg *telemetry.Registry) *workerMetrics {
@@ -243,6 +309,24 @@ func newWorkerMetrics(reg *telemetry.Registry) *workerMetrics {
 			"pool entries shipped to the coordinator"),
 		leased: reg.Counter("abs_worker_leased_total",
 			"targets leased from the coordinator"),
+		rpcSeconds: reg.HistogramVec("abs_worker_rpc_seconds",
+			"worker-side latency of one cluster RPC (including injected faults)",
+			"rpc", rpcBuckets()),
+		rpcErrors: reg.Counter("abs_worker_rpc_errors_total",
+			"cluster RPCs that returned an error to this worker"),
+	}
+}
+
+// rpc times one worker-side RPC, counting errors separately — failed
+// calls stay in the histogram (their latency is real, often the
+// interesting part under chaos).
+func (m *workerMetrics) rpc(name string, d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.rpcSeconds.With(name).Observe(d.Seconds())
+	if err != nil {
+		m.rpcErrors.Inc()
 	}
 }
 

@@ -93,13 +93,14 @@ func (c *Coordinator) Checkpoint() error {
 	if c.cfg.Store == nil {
 		return nil
 	}
+	start := time.Now()
 	c.mu.Lock()
 	data, err := c.snapshotLocked()
 	c.mu.Unlock()
 	if err == nil {
 		err = c.cfg.Store.Save(coordState, data)
 	}
-	c.metrics.checkpointed(len(data), err)
+	c.metrics.checkpointed(len(data), time.Since(start), err)
 	return err
 }
 

@@ -36,6 +36,8 @@ package cluster
 import (
 	"context"
 	"errors"
+
+	"abs/internal/telemetry"
 )
 
 // ErrUnknownWorker is returned by Lease, Publish and Heartbeat when
@@ -78,7 +80,11 @@ type RegisterResponse struct {
 	// one cluster-wide flag reaches every worker with the problem.
 	// A worker's own explicit -storage setting wins over this.
 	Storage string `json:"storage,omitempty"`
-	Done    bool   `json:"done"`
+	// Trace is the run's root span context as a W3C-traceparent-style
+	// value (telemetry.ParseTraceparent). Workers parent their own spans
+	// under it, so one stitched trace covers the whole cluster run.
+	Trace string `json:"trace,omitempty"`
+	Done  bool   `json:"done"`
 }
 
 // Target is one leased target solution.
@@ -129,6 +135,13 @@ type PublishRequest struct {
 	// RequestID makes the publish idempotent under at-least-once
 	// delivery — see LeaseRequest.RequestID.
 	RequestID string `json:"request_id,omitempty"`
+	// Spans ships the worker's recently completed spans to the
+	// coordinator, which records them into its own tracer — the
+	// stitching that makes the cluster's causal timeline readable from
+	// one process. Batches are bounded (Tracer.SpansSince) and re-sent
+	// until acknowledged; the coordinator dedups by span ID, so a lost
+	// reply cannot double-record.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // PublishResponse reports the batch's admission outcome per class.

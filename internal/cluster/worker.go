@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -140,6 +141,16 @@ type Worker struct {
 	reqNonce uint64
 	reqSeq   uint64
 
+	// trace is the run's root span context, adopted from the
+	// coordinator's registration grant; span is the worker's own root
+	// span under it. spanCursor paces incremental span shipping
+	// (Tracer.SpansSince) — advanced only when a Publish succeeds, so a
+	// lost reply re-ships the same batch and the coordinator's dedup
+	// absorbs it.
+	trace      telemetry.SpanContext
+	span       *telemetry.ActiveSpan
+	spanCursor uint64
+
 	report WorkerReport
 }
 
@@ -190,6 +201,17 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 		w.report.CoordinatorDone = true
 		return &w.report, nil
 	}
+	// Adopt the run's trace from the registration grant and open the
+	// worker's root span under it, so every span this node records
+	// stitches into the coordinator's timeline. Without a grant (old
+	// coordinator) the worker roots its own trace.
+	if sc, ok := telemetry.ParseTraceparent(reg.Trace); ok {
+		w.trace = sc
+	}
+	w.span = w.cfg.Tracer.StartSpan("worker", w.trace)
+	w.span.SetNode(w.id)
+	w.span.SetAttr("devices", strconv.Itoa(w.cfg.Devices))
+	defer w.span.End() // idempotent; covers early error returns
 	p, err := qubo.ReadText(strings.NewReader(reg.Problem))
 	if err != nil {
 		// Re-registering would fetch the same bytes: permanent.
@@ -234,7 +256,13 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 			nextExchange = now.Add(exchangeEvery)
 			if degraded {
 				if pacer.Due(now) {
-					if r, err := w.cfg.Transport.Register(ctx, RegisterRequest{WorkerID: w.id, Devices: w.cfg.Devices}); err == nil {
+					var r *RegisterResponse
+					err := w.call(ctx, "register", func(ctx context.Context) error {
+						var err error
+						r, err = w.cfg.Transport.Register(ctx, RegisterRequest{WorkerID: w.id, Devices: w.cfg.Devices})
+						return err
+					})
+					if err == nil {
 						degraded = false
 						pacer.Reset()
 						w.report.Reconnects++
@@ -272,8 +300,10 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 	// quiesced pool's best to the coordinator. Stopping first matters
 	// twice over: the flush sees the final drain's solutions, and on a
 	// saturated host the compute goroutines no longer starve the flush
-	// RPC of CPU.
+	// RPC of CPU. The worker root span ends before the flush so it rides
+	// the final span batch to the coordinator.
 	w.report.Result = w.engine.Finish(cancelled)
+	w.span.End()
 	w.finalFlush(w.report.Result.Flips)
 	return &w.report, nil
 }
@@ -284,7 +314,12 @@ func (w *Worker) Run(ctx context.Context) (*WorkerReport, error) {
 func (w *Worker) register(ctx context.Context) (*RegisterResponse, error) {
 	var resp *RegisterResponse
 	err := retry.Do(ctx, w.cfg.Reconnect, w.reconnRNG, func() error {
+		// No span here: the run trace arrives in the response, so the
+		// initial register has nothing to parent under. Latency still
+		// lands in the worker-side RPC histogram.
+		start := time.Now()
 		r, err := w.cfg.Transport.Register(ctx, RegisterRequest{WorkerID: w.cfg.WorkerID, Devices: w.cfg.Devices})
+		w.wm.rpc("register", time.Since(start), err)
 		if errors.Is(err, ErrDone) {
 			resp = &RegisterResponse{WorkerID: w.cfg.WorkerID, Done: true}
 			return nil
@@ -322,6 +357,7 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 	opt.MaxDuration = w.cfg.MaxDuration
 	opt.Telemetry = w.cfg.Registry
 	opt.Tracer = w.cfg.Tracer
+	opt.Span = w.span.Context()
 	opt.Faults = w.cfg.Faults
 	eng, err := core.NewEngine(p, opt)
 	if err != nil {
@@ -341,13 +377,44 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 	return nil
 }
 
+// spanBatch bounds how many completed spans ride one Publish.
+const spanBatch = 256
+
+// call wraps one transport RPC in a worker-side client span parented
+// under the worker's root, propagates it via ctx (the HTTP transport
+// bridges it onto the traceparent header, so the coordinator's server
+// span parents under this one), and feeds the abs_worker_rpc_seconds
+// histogram. Failed calls keep their latency (often the interesting
+// part under chaos) and emit an rpc_error trace event on the span.
+func (w *Worker) call(ctx context.Context, name string, fn func(context.Context) error) error {
+	start := time.Now()
+	sp := w.cfg.Tracer.StartSpan("rpc."+name, w.span.Context())
+	sp.SetNode(w.id)
+	err := fn(telemetry.ContextWithSpan(ctx, sp.Context()))
+	w.wm.rpc(name, time.Since(start), err)
+	if err != nil {
+		sp.Fail(err)
+		sp.Event(telemetry.Event{
+			Kind: telemetry.EventRPCError, Device: -1, Block: -1,
+			Detail: name + ": " + err.Error(),
+		})
+	}
+	sp.End()
+	return err
+}
+
 // exchange runs one publish(or heartbeat)+lease round trip. Runs on
 // the pump goroutine — PoolTopK and InjectTargets touch the local
 // pool.
 func (w *Worker) exchange(ctx context.Context, now time.Time) error {
 	results := w.pending()
 	if len(results) == 0 && len(w.release) == 0 {
-		hb, err := w.cfg.Transport.Heartbeat(ctx, HeartbeatRequest{WorkerID: w.id})
+		var hb *HeartbeatResponse
+		err := w.call(ctx, "heartbeat", func(ctx context.Context) error {
+			var err error
+			hb, err = w.cfg.Transport.Heartbeat(ctx, HeartbeatRequest{WorkerID: w.id})
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -358,16 +425,24 @@ func (w *Worker) exchange(ctx context.Context, now time.Time) error {
 			return nil
 		}
 	} else {
-		presp, err := w.cfg.Transport.Publish(ctx, PublishRequest{
-			WorkerID:  w.id,
-			Flips:     w.engine.Snapshot(now).Flips,
-			Release:   w.release,
-			Results:   results,
-			RequestID: w.nextRequestID(),
+		spans, cursor := w.cfg.Tracer.SpansSince(w.spanCursor, spanBatch)
+		var presp *PublishResponse
+		err := w.call(ctx, "publish", func(ctx context.Context) error {
+			var err error
+			presp, err = w.cfg.Transport.Publish(ctx, PublishRequest{
+				WorkerID:  w.id,
+				Flips:     w.engine.Snapshot(now).Flips,
+				Release:   w.release,
+				Results:   results,
+				RequestID: w.nextRequestID(),
+				Spans:     spans,
+			})
+			return err
 		})
 		if err != nil {
 			return err
 		}
+		w.spanCursor = cursor
 		w.markSent()
 		w.release = nil
 		w.report.Exchanges++
@@ -378,7 +453,12 @@ func (w *Worker) exchange(ctx context.Context, now time.Time) error {
 		}
 	}
 
-	lresp, err := w.cfg.Transport.Lease(ctx, LeaseRequest{WorkerID: w.id, RequestID: w.nextRequestID()})
+	var lresp *LeaseResponse
+	err := w.call(ctx, "lease", func(ctx context.Context) error {
+		var err error
+		lresp, err = w.cfg.Transport.Lease(ctx, LeaseRequest{WorkerID: w.id, RequestID: w.nextRequestID()})
+		return err
+	})
 	if err != nil {
 		return err
 	}
@@ -443,7 +523,10 @@ func (w *Worker) finalFlush(flips uint64) {
 	for _, ent := range w.engine.PoolTopK(w.cfg.PublishK) {
 		results = append(results, PublishedSolution{X: ent.X.String(), Energy: ent.E})
 	}
-	if len(results) == 0 && len(w.release) == 0 {
+	// The worker root span ended just before this call, so the final
+	// batch carries it (and any tail RPC spans) to the coordinator.
+	spans, cursor := w.cfg.Tracer.SpansSince(w.spanCursor, spanBatch)
+	if len(results) == 0 && len(w.release) == 0 && len(spans) == 0 {
 		return
 	}
 	req := PublishRequest{
@@ -452,17 +535,25 @@ func (w *Worker) finalFlush(flips uint64) {
 		Release:   w.release,
 		Results:   results,
 		RequestID: w.nextRequestID(),
+		Spans:     spans,
 	}
-	_, err := w.cfg.Transport.Publish(ctx, req)
+	err := w.call(ctx, "publish", func(ctx context.Context) error {
+		_, err := w.cfg.Transport.Publish(ctx, req)
+		return err
+	})
 	if errors.Is(err, ErrUnknownWorker) {
 		if _, rerr := w.cfg.Transport.Register(ctx, RegisterRequest{WorkerID: w.id, Devices: w.cfg.Devices}); rerr == nil {
 			// Retirement already redistributed our leases; there is
 			// nothing left to release.
 			req.Release = nil
-			_, err = w.cfg.Transport.Publish(ctx, req)
+			err = w.call(ctx, "publish", func(ctx context.Context) error {
+				_, err := w.cfg.Transport.Publish(ctx, req)
+				return err
+			})
 		}
 	}
 	if err == nil {
+		w.spanCursor = cursor
 		w.report.Exchanges++
 		w.wm.exchange(len(results), 0)
 	}

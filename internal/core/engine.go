@@ -138,7 +138,7 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 	// Telemetry, when requested: the runMetrics adapter is installed as
 	// the buffers' and pool's observer before anything is shared, so
 	// even the §3.1 Step 1 seeding below is on the record.
-	metrics := newRunMetrics(opt.Telemetry, opt.Tracer, opt.NumGPUs, blocksPerDevice, time.Now())
+	metrics := newRunMetrics(opt.Telemetry, opt.Tracer, opt.Span, opt.NumGPUs, blocksPerDevice, time.Now())
 	if metrics != nil {
 		solutions.SetObserver(metrics)
 		targets.SetObserver(metrics)

@@ -19,7 +19,8 @@ import (
 // batch through search.Meter, nothing at all per flip.
 type runMetrics struct {
 	tracer       *telemetry.Tracer
-	activeBlocks int // per device; maps global slots to devices for traces
+	sc           telemetry.SpanContext // enclosing span; stamps every event
+	activeBlocks int                   // per device; maps global slots to devices for traces
 
 	// Per-device instruments, indexed by device.
 	flips     []*telemetry.Counter
@@ -64,7 +65,7 @@ type runMetrics struct {
 // reg and tracer may be nil; when both are (or the abstelemetryoff
 // build tag compiled telemetry out) it returns nil and the run is
 // uninstrumented.
-func newRunMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer, numDevices, activeBlocks int, start time.Time) *runMetrics {
+func newRunMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer, sc telemetry.SpanContext, numDevices, activeBlocks int, start time.Time) *runMetrics {
 	if !telemetry.Enabled || (reg == nil && tracer == nil) {
 		return nil
 	}
@@ -74,6 +75,7 @@ func newRunMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer, numDevices
 	}
 	m := &runMetrics{
 		tracer:       tracer,
+		sc:           sc,
 		activeBlocks: activeBlocks,
 		lastTick:     start,
 		lastFlips:    make([]uint64, numDevices),
@@ -245,7 +247,9 @@ func (m *runMetrics) progressTick(now time.Time, pr Progress, poolLen int) {
 	m.poolSize.SetInt(poolLen)
 }
 
-func (m *runMetrics) trace(e telemetry.Event) { m.tracer.Emit(e) }
+// trace is the single emission point: every event is stamped with the
+// enclosing span context (a no-op when none was configured).
+func (m *runMetrics) trace(e telemetry.Event) { m.tracer.Emit(e.InSpan(m.sc)) }
 
 // device maps a global slot index to its device.
 func (m *runMetrics) device(g int) int {

@@ -151,6 +151,12 @@ type Options struct {
 	// for a JSONL dump, or scrape /trace on the telemetry endpoint.
 	Tracer *telemetry.Tracer
 
+	// Span, when valid, is the enclosing span context (a serve job's
+	// run span, a cluster worker's root span). Every trace event the
+	// run emits is stamped with it, so engine events land inside the
+	// caller's causal timeline instead of floating free.
+	Span telemetry.SpanContext
+
 	// Adaptive lets every block reschedule its own window length when
 	// it stagnates (double on AdaptivePatience stagnant rounds, wrap to
 	// WindowMin past WindowMax) — the paper's future-work direction of

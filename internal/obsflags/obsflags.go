@@ -1,0 +1,113 @@
+// Package obsflags is the shared observability flag surface of the abs
+// commands. Every binary that exposes -metrics-addr and -trace-out
+// registers them through one Config and opens one Plane from it, so the
+// flags mean the same thing everywhere: -metrics-addr serves the live
+// telemetry endpoint (Prometheus text at /metrics, a JSON snapshot at
+// /metrics.json, the event ring at /trace, pprof under /debug/pprof/),
+// and -trace-out streams every lifecycle event as one JSON object per
+// line. Opening a plane also stamps build identity, so abs_build_info
+// and abs_uptime_seconds appear on every binary's endpoint.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abs/internal/telemetry"
+)
+
+// Config is the flag surface. Zero value: telemetry off unless AlwaysOn.
+type Config struct {
+	// MetricsAddr serves the live telemetry plane when non-empty.
+	MetricsAddr string
+	// TraceOut streams lifecycle events as JSONL to this file.
+	TraceOut string
+
+	// AlwaysOn builds the registry and tracer even when no flag asked
+	// for a sink — for commands (abs-worker) whose own HTTP plane
+	// re-exposes them. Not a flag.
+	AlwaysOn bool
+	// Ring overrides the tracer's ring capacity (default 1<<14).
+	// Not a flag.
+	Ring int
+}
+
+// Register installs the shared flags on fs (the standard library's
+// flag.CommandLine in the common case).
+func (c *Config) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", "", "serve live telemetry on this address (e.g. :9090); empty disables")
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write lifecycle events as JSONL to this file")
+}
+
+// Plane is one opened observability plane. Registry and Tracer are nil
+// when the config asked for nothing — both are nil-safe throughout
+// internal/telemetry, so callers thread them through unconditionally.
+type Plane struct {
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	srv  *telemetry.Server
+	sink *os.File
+}
+
+// Open builds the plane: registry + tracer (when any sink is requested
+// or AlwaysOn), build-info stamp, the JSONL sink, and the live
+// endpoint. Closing the plane flushes and stops all of it.
+func (c Config) Open() (*Plane, error) {
+	p := &Plane{}
+	if !c.AlwaysOn && c.MetricsAddr == "" && c.TraceOut == "" {
+		return p, nil
+	}
+	ring := c.Ring
+	if ring <= 0 {
+		ring = 1 << 14
+	}
+	p.Registry = telemetry.NewRegistry()
+	p.Tracer = telemetry.NewTracer(ring)
+	telemetry.StampBuildInfo(p.Registry)
+	if c.TraceOut != "" {
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			return nil, err
+		}
+		p.sink = f
+		p.Tracer.SetSink(f)
+	}
+	if c.MetricsAddr != "" {
+		srv, err := telemetry.Serve(c.MetricsAddr, p.Registry, p.Tracer)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		p.srv = srv
+	}
+	return p, nil
+}
+
+// Addr is the live endpoint's bound address ("" when none is serving).
+func (p *Plane) Addr() string {
+	if p == nil || p.srv == nil {
+		return ""
+	}
+	return p.srv.Addr()
+}
+
+// Close flushes the tracer, closes the JSONL sink and stops the live
+// endpoint. Safe on a zero or half-open plane.
+func (p *Plane) Close() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.srv != nil {
+		first = p.srv.Close()
+	}
+	p.Tracer.Flush()
+	if p.sink != nil {
+		if err := p.sink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,88 @@
+package obsflags
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"abs/internal/telemetry"
+)
+
+func TestOffByDefault(t *testing.T) {
+	var c Config
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Registry != nil || p.Tracer != nil || p.Addr() != "" {
+		t.Errorf("plane should be inert with no flags: %+v", p)
+	}
+}
+
+func TestOpenServesAndSinks(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.jsonl")
+	var c Config
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-trace-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Registry == nil || p.Tracer == nil {
+		t.Fatal("flags set but plane is inert")
+	}
+
+	p.Tracer.Emit(telemetry.Event{Kind: telemetry.EventSolutionPublish, Device: 0, Block: 0})
+
+	resp, err := http.Get("http://" + p.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "abs_build_info") {
+		t.Error("/metrics is missing abs_build_info")
+	}
+	if !strings.Contains(string(body), "abs_uptime_seconds") {
+		t.Error("/metrics is missing abs_uptime_seconds")
+	}
+
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), string(telemetry.EventSolutionPublish)) {
+		t.Errorf("trace-out sink is missing the emitted event: %q", data)
+	}
+}
+
+func TestAlwaysOn(t *testing.T) {
+	p, err := Config{AlwaysOn: true, Ring: 64}.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Registry == nil || p.Tracer == nil {
+		t.Fatal("AlwaysOn plane is inert")
+	}
+	if p.Addr() != "" {
+		t.Errorf("no metrics-addr was given, but endpoint at %q", p.Addr())
+	}
+}

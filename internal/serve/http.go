@@ -22,6 +22,8 @@ import (
 //	GET    /v1/jobs/{id}        one job's status (+ result when settled)
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/jobs/{id}/events NDJSON stream of status snapshots
+//	GET    /v1/jobs/{id}/trace  the job's spans + events (NDJSON;
+//	                            ?format=chrome for chrome://tracing JSON)
 //	GET    /healthz             liveness probe (always 200)
 //	GET    /readyz              readiness probe (503 once closed)
 //
@@ -29,13 +31,14 @@ import (
 // (/metrics, /trace, /debug/pprof/, …) when a registry is attached, so
 // one listener serves both planes.
 func NewHTTPHandler(s *Service, reg *telemetry.Registry, tr *telemetry.Tracer) http.Handler {
-	h := &httpAPI{svc: s}
+	h := &httpAPI{svc: s, tr: tr}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", h.submit)
 	mux.HandleFunc("GET /v1/jobs", h.list)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.get)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.trace)
 	health.Register(mux, func() bool { return !s.Closed() })
 	if reg != nil {
 		mux.Handle("/", telemetry.NewHandler(reg, tr))
@@ -45,6 +48,7 @@ func NewHTTPHandler(s *Service, reg *telemetry.Registry, tr *telemetry.Tracer) h
 
 type httpAPI struct {
 	svc *Service
+	tr  *telemetry.Tracer
 }
 
 // jobRequest is the POST /v1/jobs body. Exactly one problem source must
@@ -274,6 +278,50 @@ func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
 	case <-time.After(2 * time.Second):
 	}
 	writeJSON(w, http.StatusOK, statusJSON(j))
+}
+
+// trace returns the job's causal timeline: every span and event still
+// in the tracer's rings that carries the job's trace ID. The default
+// is NDJSON — one {"span":…} or {"event":…} object per line, spans
+// first — which tools can filter line-by-line; ?format=chrome renders
+// the Chrome trace-event JSON array for chrome://tracing or Perfetto.
+func (h *httpAPI) trace(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	sc := j.Trace()
+	if h.tr == nil || !sc.Valid() {
+		writeError(w, http.StatusNotFound, "no trace for job %q (service has no tracer)", j.ID())
+		return
+	}
+	var spans []telemetry.Span
+	for _, s := range h.tr.Spans() {
+		if s.TraceID == sc.TraceID {
+			spans = append(spans, s)
+		}
+	}
+	var events []telemetry.Event
+	for _, e := range h.tr.Events() {
+		if e.TraceID == sc.TraceID {
+			events = append(events, e)
+		}
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		telemetry.WriteChromeTrace(w, spans, events)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		enc.Encode(map[string]any{"span": s})
+	}
+	for _, e := range events {
+		enc.Encode(map[string]any{"event": e})
+	}
 }
 
 // events streams one status snapshot as a JSON line every ?interval

@@ -8,6 +8,7 @@ import (
 
 	"abs/internal/core"
 	"abs/internal/qubo"
+	"abs/internal/telemetry"
 )
 
 // JobState is a job's position in the lifecycle
@@ -89,6 +90,18 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{} // closed once terminal
 
+	// Causal timeline: trace is minted at submission and identifies the
+	// job's whole trace; rootSpan covers submit→settle, queueSpan the
+	// wait for a device, runSpan the engine's run (its context is handed
+	// to the engine via core.Options.Span, so every engine event lands
+	// inside it). All are written before the job is published to the
+	// scheduler or by the scheduler goroutine; ActiveSpan methods are
+	// concurrency-safe and nil-safe.
+	trace     telemetry.SpanContext
+	rootSpan  *telemetry.ActiveSpan
+	queueSpan *telemetry.ActiveSpan
+	runSpan   *telemetry.ActiveSpan
+
 	devices atomic.Int64 // scheduler-written allocation size
 
 	mu        sync.Mutex
@@ -103,6 +116,25 @@ type Job struct {
 
 // ID returns the service-assigned job identifier ("job-7").
 func (j *Job) ID() string { return j.id }
+
+// Trace returns the job's trace context (the root span), minted at
+// submission. Invalid when the service has no tracer.
+func (j *Job) Trace() telemetry.SpanContext { return j.trace }
+
+// startSpans opens the job's causal timeline: the root span covering
+// submit→settle and the queue child covering the wait for a device.
+// Called once before the job is handed to the scheduler.
+func (j *Job) startSpans(tr *telemetry.Tracer) {
+	j.rootSpan = tr.StartSpan("job", telemetry.SpanContext{})
+	j.rootSpan.SetNode("serve")
+	j.rootSpan.SetAttr("job", j.id)
+	if j.spec.Name != "" {
+		j.rootSpan.SetAttr("name", j.spec.Name)
+	}
+	j.trace = j.rootSpan.Context()
+	j.queueSpan = tr.StartSpan("job.queue", j.trace)
+	j.queueSpan.SetNode("serve")
+}
 
 // Spec returns the spec the job was submitted with.
 func (j *Job) Spec() JobSpec { return j.spec }
@@ -210,6 +242,17 @@ func (j *Job) settle(state JobState, res *core.Result, err error) {
 	j.finished = time.Now()
 	j.devices.Store(0)
 	j.mu.Unlock()
+	// Close out the causal timeline (idempotent; the queue span already
+	// ended if the job reached a device). The terminal state and any
+	// failure land on the root span before it ends.
+	j.queueSpan.End()
+	if err != nil {
+		j.runSpan.Fail(err)
+		j.rootSpan.Fail(err)
+	}
+	j.rootSpan.SetAttr("state", string(state))
+	j.runSpan.End()
+	j.rootSpan.End()
 	j.cancel() // release the context subtree; watchers exit via done
 	close(j.done)
 }

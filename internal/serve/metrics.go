@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"time"
+
 	"abs/internal/telemetry"
 )
 
@@ -22,6 +24,7 @@ type serveMetrics struct {
 	devicesFree   *telemetry.Gauge
 	jobDevs       telemetry.GaugeVec // label: job id
 	persistFails  *telemetry.Counter
+	stageSeconds  telemetry.HistogramVec // label: pipeline stage (queue, run)
 
 	tracer *telemetry.Tracer
 }
@@ -56,8 +59,19 @@ func newServeMetrics(reg *telemetry.Registry, tr *telemetry.Tracer) *serveMetric
 			"devices currently allocated to each job", "job"),
 		persistFails: reg.Counter("abs_serve_persist_failures_total",
 			"job log appends that failed (the job itself is unaffected)"),
+		stageSeconds: reg.HistogramVec("abs_serve_stage_seconds",
+			"time a job spent in each pipeline stage", "stage",
+			telemetry.LogBuckets(1e-4, 4, 12)),
 		tracer: tr,
 	}
+}
+
+// stage records one pipeline-stage latency (queue wait, run time).
+func (m *serveMetrics) stage(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stageSeconds.With(name).Observe(d.Seconds())
 }
 
 // persisted records the outcome of one job-log append.
@@ -68,9 +82,11 @@ func (m *serveMetrics) persisted(err error) {
 	m.persistFails.Inc()
 }
 
-func (m *serveMetrics) emit(kind telemetry.EventKind, detail string) {
+// emit stamps every job event with the job's span context, attaching
+// the lifecycle catalogue to the job's trace.
+func (m *serveMetrics) emit(kind telemetry.EventKind, detail string, sc telemetry.SpanContext) {
 	if m != nil {
-		m.tracer.Emit(telemetry.Event{Kind: kind, Device: -1, Block: -1, Detail: detail})
+		m.tracer.Emit(telemetry.Event{Kind: kind, Device: -1, Block: -1, Detail: detail}.InSpan(sc))
 	}
 }
 
@@ -79,7 +95,7 @@ func (m *serveMetrics) submitted(j *Job) {
 		return
 	}
 	m.jobsSubmitted.Inc()
-	m.emit(telemetry.EventJobSubmit, j.id)
+	m.emit(telemetry.EventJobSubmit, j.id, j.trace)
 }
 
 func (m *serveMetrics) rejected(j *Job) {
@@ -87,14 +103,15 @@ func (m *serveMetrics) rejected(j *Job) {
 		return
 	}
 	m.jobsRejected.Inc()
-	m.emit(telemetry.EventJobReject, j.id+" queue full")
+	m.emit(telemetry.EventJobReject, j.id+" queue full", j.trace)
 }
 
-func (m *serveMetrics) started(j *Job) {
+func (m *serveMetrics) started(j *Job, queued time.Duration) {
 	if m == nil {
 		return
 	}
-	m.emit(telemetry.EventJobStart, j.id)
+	m.stage("queue", queued)
+	m.emit(telemetry.EventJobStart, j.id, j.trace)
 }
 
 func (m *serveMetrics) settled(j *Job, queueDepth, running int) {
@@ -102,11 +119,14 @@ func (m *serveMetrics) settled(j *Job, queueDepth, running int) {
 		return
 	}
 	st := j.Status()
+	if !st.Started.IsZero() && !st.Finished.IsZero() {
+		m.stage("run", st.Finished.Sub(st.Started))
+	}
 	m.jobsSettled.With(string(st.State)).Inc()
 	m.jobsQueued.SetInt(queueDepth)
 	m.jobsRunning.SetInt(running)
 	m.jobDevs.With(j.id).SetInt(0)
-	m.emit(telemetry.EventJobSettle, j.id+" "+string(st.State))
+	m.emit(telemetry.EventJobSettle, j.id+" "+string(st.State), j.trace)
 }
 
 func (m *serveMetrics) evicted(n int) {

@@ -113,6 +113,7 @@ type Service struct {
 	cfg     Config
 	fleet   *gpusim.Fleet
 	metrics *serveMetrics
+	flight  *telemetry.FlightRecorder
 
 	events    chan event
 	schedDone chan struct{}
@@ -196,6 +197,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	var restored *restoredState
 	if cfg.Store != nil {
+		s.flight = telemetry.NewFlightRecorder("serve", cfg.Registry, cfg.Tracer, cfg.Store)
 		restored, err = loadJobs(cfg.Store, cfg.RetainResults)
 		if err != nil {
 			return nil, err
@@ -235,6 +237,7 @@ func (s *Service) resubmit(q *requeueJob) {
 		state:     StateQueued,
 		submitted: q.submitted,
 	}
+	job.startSpans(s.cfg.Tracer)
 	reply := make(chan error, 1)
 	select {
 	case s.events <- evSubmit{job: job, reply: reply, restore: true}:
@@ -252,6 +255,11 @@ func (s *Service) resubmit(q *requeueJob) {
 // Closed reports whether Close has been called — the readiness probe
 // for the health endpoints. Safe from any goroutine.
 func (s *Service) Closed() bool { return s.closed.Load() }
+
+// DumpFlight writes a flight-recorder dump (recent spans and events
+// plus a metrics snapshot) through the service's Store — the incident
+// artifact for SIGTERM and panic paths. A no-op without a Store.
+func (s *Service) DumpFlight(reason string) error { return s.flight.Dump(reason) }
 
 // Fleet reports the service's fleet shape.
 func (s *Service) Fleet() (spec gpusim.DeviceSpec, size int) {
@@ -289,6 +297,7 @@ func (s *Service) Submit(ctx context.Context, p *qubo.Problem, spec JobSpec) (*J
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	job.startSpans(s.cfg.Tracer)
 	reply := make(chan error, 1)
 	select {
 	case s.events <- evSubmit{job: job, reply: reply}:
@@ -493,6 +502,11 @@ func (s *Service) settleQueuedCancel(st *schedState, j *Job) {
 // telemetry and the bounded retention of settled handles.
 func (s *Service) settleJob(st *schedState, j *Job) {
 	s.metrics.settled(j, len(st.queued), len(st.running))
+	if stt := j.Status(); stt.State == StateFailed {
+		// A failed job is an incident: preserve the last spans, events
+		// and metrics while they are still in the rings.
+		s.flight.Dump("job " + j.id + " failed: " + stt.Error)
+	}
 	s.persistDone(j)
 	st.settled = append(st.settled, j)
 	if evict := len(st.settled) - s.cfg.RetainResults; evict > 0 {
@@ -592,6 +606,12 @@ func (s *Service) rebalance(st *schedState) {
 // startJob builds the engine and starts the runner; devices arrive in
 // the grant phase of the same rebalance pass.
 func (s *Service) startJob(st *schedState, j *Job) {
+	// The queue stage ends here; the run span opens before the engine is
+	// built so its context reaches the engine's event stream.
+	j.queueSpan.End()
+	j.runSpan = s.cfg.Tracer.StartSpan("job.run", j.trace)
+	j.runSpan.SetNode("serve")
+	j.opt.Span = j.runSpan.Context()
 	eng, err := core.NewEngine(j.problem, j.opt)
 	if err != nil {
 		// Validate at Submit makes this near-impossible; settle as
@@ -603,7 +623,7 @@ func (s *Service) startJob(st *schedState, j *Job) {
 	j.setRunning(eng)
 	st.running = append(st.running, j)
 	st.alloc[j] = nil
-	s.metrics.started(j)
+	s.metrics.started(j, time.Since(j.submitted))
 	go s.run(j)
 }
 

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"time"
+)
+
+// version and commit are stamped by the Makefile's -ldflags
+// (`-X abs/internal/telemetry.version=… -X …commit=…`); when a binary
+// is built without them (`go build`, `go test`), BuildVersion falls
+// back to the module build info embedded by the toolchain.
+var (
+	version string
+	commit  string
+)
+
+// processStart anchors the uptime gauge.
+var processStart = time.Now()
+
+// BuildVersion returns this binary's identity as "version+commit"
+// (commit truncated to 12 hex digits), degrading to whichever half is
+// known and to "dev" when neither is.
+func BuildVersion() string {
+	v, c := version, commit
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v = bi.Main.Version
+		}
+		if c == "" {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					c = s.Value
+				}
+			}
+		}
+	}
+	if v == "" {
+		v = "dev"
+	}
+	if len(c) > 12 {
+		c = c[:12]
+	}
+	if c != "" {
+		return v + "+" + c
+	}
+	return v
+}
+
+// StampBuildInfo registers the build-identity instruments every
+// telemetry endpoint carries: abs_build_info (constant 1, the identity
+// riding in the version label — the Prometheus idiom for build
+// metadata) and abs_uptime_seconds, refreshed at each scrape via an
+// OnScrape hook. Safe to call more than once and on a nil registry.
+func StampBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVec("abs_build_info",
+		"build identity; the version label holds version+commit and the value is always 1",
+		"version").With(BuildVersion()).Set(1)
+	up := reg.Gauge("abs_uptime_seconds", "seconds since process start, refreshed at scrape time")
+	up.Set(time.Since(processStart).Seconds())
+	reg.OnScrape(func() { up.Set(time.Since(processStart).Seconds()) })
+}

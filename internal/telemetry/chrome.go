@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace-event JSON array
+// format (the "JSON Array Format" consumed by about://tracing and
+// Perfetto): complete spans are ph "X" with microsecond ts/dur,
+// instants are ph "i", and thread-name metadata records are ph "M".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans and events as a Chrome trace-event
+// JSON array. Each distinct span Node becomes one named "thread", so a
+// stitched cluster trace opens as coordinator and worker lanes side by
+// side; events land on the lane of the span they are attached to.
+func WriteChromeTrace(w io.Writer, spans []Span, events []Event) error {
+	// Lane assignment: node name -> tid, in first-seen order; the
+	// anonymous lane 0 catches spans with no node and unattached events.
+	lanes := map[string]int{"": 0}
+	laneOrder := []string{""}
+	lane := func(node string) int {
+		if id, ok := lanes[node]; ok {
+			return id
+		}
+		id := len(laneOrder)
+		lanes[node] = id
+		laneOrder = append(laneOrder, node)
+		return id
+	}
+	bySpan := make(map[string]int, len(spans))
+
+	out := make([]chromeEvent, 0, len(spans)+len(events)+4)
+	for _, s := range spans {
+		tid := lane(s.Node)
+		bySpan[s.SpanID] = tid
+		args := map[string]any{
+			"trace":  s.TraceID,
+			"span":   s.SpanID,
+			"parent": s.Parent,
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		out = append(out, chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    float64(s.Start) / 1e3,
+			Dur:   float64(s.DurationNanos) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+	}
+	for _, e := range events {
+		tid := 0
+		if id, ok := bySpan[e.SpanID]; ok {
+			tid = id
+		}
+		args := map[string]any{"seq": e.Seq}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if e.Device >= 0 {
+			args["device"] = e.Device
+		}
+		if e.Energy != 0 {
+			args["energy"] = e.Energy
+		}
+		out = append(out, chromeEvent{
+			Name:  string(e.Kind),
+			Phase: "i",
+			TS:    float64(e.UnixNano) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	for node, tid := range lanes {
+		name := node
+		if name == "" {
+			name = "(unattached)"
+		}
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": name},
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}

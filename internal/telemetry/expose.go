@@ -37,11 +37,17 @@ func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 			http.Error(w, "no tracer attached", http.StatusNotFound)
 			return
 		}
-		// ?n=100 caps the dump to the most recent n events.
+		// ?n=100 caps the dump to the most recent n events and spans.
 		events := tr.Events()
+		spans := tr.Spans()
 		if q := req.URL.Query().Get("n"); q != "" {
-			if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(events) {
-				events = events[len(events)-n:]
+			if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+				if n < len(events) {
+					events = events[len(events)-n:]
+				}
+				if n < len(spans) {
+					spans = spans[len(spans)-n:]
+				}
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -50,7 +56,8 @@ func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 		enc.Encode(struct {
 			Emitted uint64  `json:"emitted"`
 			Events  []Event `json:"events"`
-		}{tr.Emitted(), events})
+			Spans   []Span  `json:"spans,omitempty"`
+		}{tr.Emitted(), events, spans})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"abs/internal/store"
+)
+
+// FlightStateName is the store state the flight recorder saves under.
+const FlightStateName = "flight-recorder"
+
+// FlightDump is the postmortem artifact a flight recorder writes: the
+// most recent spans and events from the tracer's rings plus a metrics
+// snapshot, stamped with the reason (panic, SIGTERM, a job failure)
+// and the node that wrote it. It is JSON on disk, saved through
+// internal/store so it shares the durability (atomic replace,
+// CRC framing) of the checkpoints it will be read alongside.
+type FlightDump struct {
+	Reason   string    `json:"reason"`
+	Node     string    `json:"node,omitempty"`
+	UnixNano int64     `json:"t"`
+	Spans    []Span    `json:"spans,omitempty"`
+	Events   []Event   `json:"events,omitempty"`
+	Metrics  *Snapshot `json:"metrics,omitempty"`
+}
+
+// FlightRecorder snapshots a registry and tracer into a store on
+// demand. It keeps no state of its own beyond its wiring, so it is
+// cheap to construct; a nil receiver and nil wiring are all valid (a
+// recorder with no store discards dumps).
+type FlightRecorder struct {
+	node string
+	reg  *Registry
+	tr   *Tracer
+	st   store.Store
+
+	mu sync.Mutex // serializes Save: dumps can race (signal vs. defer)
+}
+
+// NewFlightRecorder wires a recorder. Any of reg, tr, st may be nil;
+// with a nil store, Dump is a no-op returning nil.
+func NewFlightRecorder(node string, reg *Registry, tr *Tracer, st store.Store) *FlightRecorder {
+	return &FlightRecorder{node: node, reg: reg, tr: tr, st: st}
+}
+
+// Snapshot assembles the dump without writing it.
+func (f *FlightRecorder) Snapshot(reason string) FlightDump {
+	d := FlightDump{Reason: reason, UnixNano: time.Now().UnixNano()}
+	if f == nil {
+		return d
+	}
+	d.Node = f.node
+	d.Spans = f.tr.Spans()
+	d.Events = f.tr.Events()
+	if f.reg != nil {
+		s := f.reg.Snapshot()
+		d.Metrics = &s
+	}
+	return d
+}
+
+// Dump writes the current dump through the store, atomically replacing
+// any previous one — the newest incident wins, which is what a
+// postmortem wants. No-op without a store.
+func (f *FlightRecorder) Dump(reason string) error {
+	if f == nil || f.st == nil {
+		return nil
+	}
+	data, err := json.Marshal(f.Snapshot(reason))
+	if err != nil {
+		return fmt.Errorf("flight recorder: encode: %w", err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.st.Save(FlightStateName, data); err != nil {
+		return fmt.Errorf("flight recorder: %w", err)
+	}
+	return nil
+}
+
+// RecoverAndDump is meant for `defer` at the top of a command's run
+// function: if the goroutine is panicking it writes a dump with the
+// panic value as the reason, then re-panics so the crash (and stack)
+// still surfaces. Harmless when there is no panic in flight.
+func (f *FlightRecorder) RecoverAndDump() {
+	if r := recover(); r != nil {
+		_ = f.Dump(fmt.Sprintf("panic: %v", r))
+		panic(r)
+	}
+}
+
+// ReadFlightDump loads the last dump from a store; ok is false when
+// none has ever been written.
+func ReadFlightDump(st store.Store) (FlightDump, bool, error) {
+	var d FlightDump
+	data, ok, err := st.Load(FlightStateName)
+	if err != nil || !ok {
+		return d, false, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, false, fmt.Errorf("flight recorder: decode: %w", err)
+	}
+	return d, true, nil
+}

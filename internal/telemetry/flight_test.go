@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"abs/internal/store"
+)
+
+func TestFlightRecorderDumpRoundTrip(t *testing.T) {
+	st := store.NewMem()
+	defer st.Close()
+
+	reg := NewRegistry()
+	reg.Counter("abs_flips_total", "flips").Add(42)
+	tr := NewTracer(16)
+	sp := tr.StartSpan("run", SpanContext{})
+	sp.SetNode("coordinator")
+	sp.Event(Event{Kind: EventPoolInsert, Device: -1, Block: -1})
+	sp.End()
+
+	fr := NewFlightRecorder("coordinator", reg, tr, st)
+	if err := fr.Dump("sigterm"); err != nil {
+		t.Fatal(err)
+	}
+
+	d, ok, err := ReadFlightDump(st)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if d.Reason != "sigterm" || d.Node != "coordinator" || d.UnixNano == 0 {
+		t.Fatalf("header fields: %+v", d)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Name != "run" {
+		t.Fatalf("spans: %+v", d.Spans)
+	}
+	if len(d.Events) != 1 || d.Events[0].SpanID != d.Spans[0].SpanID {
+		t.Fatalf("events not attached: %+v", d.Events)
+	}
+	if d.Metrics == nil {
+		t.Fatal("no metrics snapshot")
+	}
+	if v, ok := d.Metrics.Counter("abs_flips_total", ""); !ok || v != 42 {
+		t.Fatalf("metrics snapshot flips = %v ok=%v", v, ok)
+	}
+
+	// A later dump replaces the earlier one — newest incident wins.
+	if err := fr.Dump("panic: test"); err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ = ReadFlightDump(st)
+	if d.Reason != "panic: test" {
+		t.Fatalf("second dump reason %q", d.Reason)
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	if err := fr.Dump("x"); err != nil {
+		t.Fatal(err)
+	}
+	fr = NewFlightRecorder("n", nil, nil, nil)
+	if err := fr.Dump("x"); err != nil {
+		t.Fatal(err)
+	}
+	d := fr.Snapshot("x")
+	if d.Reason != "x" || d.Metrics != nil || d.Spans != nil {
+		t.Fatalf("bare snapshot: %+v", d)
+	}
+}
+
+func TestFlightRecorderRecoverAndDump(t *testing.T) {
+	st := store.NewMem()
+	defer st.Close()
+	fr := NewFlightRecorder("serve", nil, NewTracer(4), st)
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic swallowed")
+			}
+			if s, _ := r.(string); s != "kaboom" {
+				t.Fatalf("re-panicked with %v", r)
+			}
+		}()
+		defer fr.RecoverAndDump()
+		panic("kaboom")
+	}()
+
+	d, ok, err := ReadFlightDump(st)
+	if err != nil || !ok {
+		t.Fatalf("no dump after panic: ok=%v err=%v", ok, err)
+	}
+	if !strings.HasPrefix(d.Reason, "panic: ") {
+		t.Fatalf("reason %q", d.Reason)
+	}
+}

@@ -34,8 +34,12 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. A nil receiver (the product of a zero
+// HistogramVec) discards the observation.
 func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
 	// First bound >= v is the upper-inclusive bucket; SearchFloat64s
 	// returns len(bounds) when v exceeds them all — the +Inf bucket.
 	i := sort.SearchFloat64s(h.bounds, v)
@@ -49,11 +53,21 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Count returns the total number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
 
-// Sum returns the sum of all observed values.
-func (h *Histogram) Sum() float64 { return floatFromBits(h.sum.Load()) }
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return floatFromBits(h.sum.Load())
+}
 
 func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	s := HistogramSnapshot{

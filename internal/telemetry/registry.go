@@ -126,6 +126,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+	hooks    []func() // run at the top of every Snapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -209,16 +210,62 @@ func (v GaugeVec) With(labelValue string) *Gauge {
 // creating it with the given bucket bounds on first use (later calls
 // ignore the bounds and return the existing instrument).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	f := r.lookup(name, help, kindHistogram, "")
+	return r.lookup(name, help, kindHistogram, "").hist("", bounds)
+}
+
+// HistogramVec is a family of histograms distinguished by one label,
+// all sharing the bucket bounds fixed at registration. The zero value
+// is a valid no-op vector (With returns nil, and a nil *Histogram
+// discards observations), so optional metrics plumbing can hold one
+// unconditionally.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec returns the labeled histogram family with the given
+// name, label key and bucket bounds.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) HistogramVec {
+	if !sortedBounds(bounds) {
+		panic("telemetry: histogram bounds must be strictly increasing")
+	}
+	return HistogramVec{r.lookup(name, help, kindHistogram, label), bounds}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use. Callers on hot paths must cache the returned handle.
+func (v HistogramVec) With(labelValue string) *Histogram {
+	if v.f == nil {
+		return nil
+	}
+	return v.f.hist(labelValue, v.bounds)
+}
+
+// hist returns the family's histogram series for one label value,
+// creating it with bounds on first use.
+func (f *family) hist(labelValue string, bounds []float64) *Histogram {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if h, ok := f.hists[""]; ok {
+	if h, ok := f.hists[labelValue]; ok {
 		return h
 	}
 	h := newHistogram(bounds)
-	f.hists[""] = h
-	f.order = append(f.order, "")
+	f.hists[labelValue] = h
+	f.order = append(f.order, labelValue)
 	return h
+}
+
+// OnScrape registers fn to run at the start of every Snapshot — the
+// hook that keeps derived gauges (uptime, queue depths sampled from
+// other subsystems) current without a background goroutine. Hooks must
+// not call Snapshot.
+func (r *Registry) OnScrape(fn func()) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // SeriesSnapshot is one counter or gauge series in a Snapshot.
@@ -235,11 +282,13 @@ type SeriesSnapshot struct {
 // Bounds[i-1] < v <= Bounds[i], and the final bucket is the +Inf
 // overflow.
 type HistogramSnapshot struct {
-	Name   string    `json:"name"`
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
+	Name       string    `json:"name"`
+	Label      string    `json:"label,omitempty"`
+	LabelValue string    `json:"label_value,omitempty"`
+	Bounds     []float64 `json:"bounds"`
+	Counts     []uint64  `json:"counts"`
+	Count      uint64    `json:"count"`
+	Sum        float64   `json:"sum"`
 }
 
 // Snapshot is a point-in-time view of every instrument in a registry,
@@ -254,8 +303,16 @@ type Snapshot struct {
 	Histograms []HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures all instruments.
+// Snapshot captures all instruments, after running any OnScrape hooks.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
 	r.mu.Lock()
 	names := make([]string, len(r.order))
 	copy(names, r.order)
@@ -283,7 +340,9 @@ func (r *Registry) Snapshot() Snapshot {
 					Value: f.gauges[lv].Value(),
 				})
 			case kindHistogram:
-				s.Histograms = append(s.Histograms, f.hists[lv].snapshot(f.name))
+				hs := f.hists[lv].snapshot(f.name)
+				hs.Label, hs.LabelValue = f.label, lv
+				s.Histograms = append(s.Histograms, hs)
 			}
 		}
 		f.mu.Unlock()
@@ -301,6 +360,17 @@ func (s Snapshot) Counter(name, labelValue string) (float64, bool) {
 // Gauge is Counter for gauge series.
 func (s Snapshot) Gauge(name, labelValue string) (float64, bool) {
 	return s.value(name, "gauge", labelValue)
+}
+
+// Histogram returns the named histogram series ("" labelValue for
+// unlabeled histograms) and whether it exists.
+func (s Snapshot) Histogram(name, labelValue string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name && h.LabelValue == labelValue {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
 }
 
 func (s Snapshot) value(name, kind, labelValue string) (float64, bool) {

@@ -57,6 +57,13 @@ func (s Snapshot) writePrometheus(w io.Writer, helps map[string]string) error {
 	}
 	for _, h := range s.Histograms {
 		header(h.Name, "histogram")
+		// Labeled histogram series put the instrument label before le on
+		// every bucket line and alone on _sum/_count, matching how a
+		// Prometheus client library renders a HistogramVec.
+		series := ""
+		if h.Label != "" {
+			series = fmt.Sprintf("{%s=%q}", h.Label, h.LabelValue)
+		}
 		cum := uint64(0)
 		for i, c := range h.Counts {
 			cum += c
@@ -64,10 +71,14 @@ func (s Snapshot) writePrometheus(w io.Writer, helps map[string]string) error {
 			if i < len(h.Bounds) {
 				le = formatValue(h.Bounds[i])
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, le, cum)
+			if h.Label != "" {
+				fmt.Fprintf(&b, "%s_bucket{%s=%q,le=%q} %d\n", h.Name, h.Label, h.LabelValue, le, cum)
+			} else {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.Name, le, cum)
+			}
 		}
-		fmt.Fprintf(&b, "%s_sum %s\n", h.Name, formatValue(h.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, series, formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, series, h.Count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text-exposition output for
+// one of every instrument shape — counter, labeled gauge, unlabeled
+// histogram, labeled histogram — so renderer changes that would break
+// a real Prometheus scrape fail loudly here.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("abs_flips_total", "total flips").Add(7)
+	gv := reg.GaugeVec("abs_busy", "busy devices", "device")
+	gv.With("0").Set(1)
+	gv.With("1").Set(0.5)
+
+	h := reg.Histogram("abs_drain_batch", "drain batch size", []float64{1, 4, 16})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+
+	// Powers of two keep the float sums exact, so the golden text is
+	// stable across platforms.
+	hv := reg.HistogramVec("abs_rpc_seconds", "rpc latency", "rpc", []float64{0.25, 4})
+	lease := hv.With("lease")
+	lease.Observe(0.125)
+	lease.Observe(0.5)
+	hv.With("publish").Observe(8)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP abs_flips_total total flips
+# TYPE abs_flips_total counter
+abs_flips_total 7
+# HELP abs_busy busy devices
+# TYPE abs_busy gauge
+abs_busy{device="0"} 1
+abs_busy{device="1"} 0.5
+# HELP abs_drain_batch drain batch size
+# TYPE abs_drain_batch histogram
+abs_drain_batch_bucket{le="1"} 1
+abs_drain_batch_bucket{le="4"} 2
+abs_drain_batch_bucket{le="16"} 2
+abs_drain_batch_bucket{le="+Inf"} 3
+abs_drain_batch_sum 104
+abs_drain_batch_count 3
+# HELP abs_rpc_seconds rpc latency
+# TYPE abs_rpc_seconds histogram
+abs_rpc_seconds_bucket{rpc="lease",le="0.25"} 1
+abs_rpc_seconds_bucket{rpc="lease",le="4"} 2
+abs_rpc_seconds_bucket{rpc="lease",le="+Inf"} 2
+abs_rpc_seconds_sum{rpc="lease"} 0.625
+abs_rpc_seconds_count{rpc="lease"} 2
+abs_rpc_seconds_bucket{rpc="publish",le="0.25"} 0
+abs_rpc_seconds_bucket{rpc="publish",le="4"} 0
+abs_rpc_seconds_bucket{rpc="publish",le="+Inf"} 1
+abs_rpc_seconds_sum{rpc="publish"} 8
+abs_rpc_seconds_count{rpc="publish"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramVecZeroValueIsNoop(t *testing.T) {
+	var hv HistogramVec
+	h := hv.With("anything")
+	if h != nil {
+		t.Fatal("zero HistogramVec returned a live histogram")
+	}
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+}
+
+func TestStampBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	StampBuildInfo(reg)
+	StampBuildInfo(reg) // idempotent re-registration
+	s := reg.Snapshot()
+	vs := s.LabelValues("abs_build_info")
+	if len(vs) != 1 || vs[0] == "" {
+		t.Fatalf("abs_build_info label values: %v", vs)
+	}
+	if v, ok := s.Gauge("abs_build_info", vs[0]); !ok || v != 1 {
+		t.Fatalf("abs_build_info = %v ok=%v, want 1", v, ok)
+	}
+	up1, ok := s.Gauge("abs_uptime_seconds", "")
+	if !ok || up1 < 0 {
+		t.Fatalf("uptime %v ok=%v", up1, ok)
+	}
+	// The OnScrape hook keeps uptime moving between snapshots.
+	up2, _ := reg.Snapshot().Gauge("abs_uptime_seconds", "")
+	if up2 < up1 {
+		t.Fatalf("uptime went backwards: %v -> %v", up1, up2)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `abs_build_info{version=`) {
+		t.Fatalf("render missing abs_build_info:\n%s", b.String())
+	}
+}

@@ -1,0 +1,337 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceparentHeader is the HTTP header the cluster transports use to
+// propagate a SpanContext across processes, in the W3C trace-context
+// style: `00-<32 hex trace id>-<16 hex span id>-01`.
+const TraceparentHeader = "traceparent"
+
+// SpanContext identifies one position in a trace: the trace ID shared
+// by every span of a causally connected operation (a job, a cluster
+// run) and the ID of one span within it. IDs are lower-case hex, 32
+// and 16 digits — the W3C trace-context field widths — so the zero
+// value is recognizably invalid rather than a legal all-zero ID.
+type SpanContext struct {
+	TraceID string `json:"trace"`
+	SpanID  string `json:"span"`
+}
+
+// Valid reports whether both IDs have their full hex width.
+func (sc SpanContext) Valid() bool {
+	return len(sc.TraceID) == 32 && len(sc.SpanID) == 16 && isHex(sc.TraceID) && isHex(sc.SpanID)
+}
+
+// Traceparent renders sc as the header value ParseTraceparent reads.
+// Invalid contexts render as "" so callers can set headers
+// unconditionally.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent decodes a traceparent-style header value. Unknown
+// versions are accepted as long as the ID fields have the right shape —
+// the IDs are all this layer ever uses.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// version(2)-traceid(32)-spanid(16)-flags(2)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: s[3:35], SpanID: s[36:52]}
+	if !isHex(s[0:2]) || !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// spanCtxKey carries a SpanContext through a context.Context — the
+// in-process leg of propagation (the HTTP transports bridge it onto the
+// traceparent header, so the local and HTTP cluster transports
+// propagate identically).
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc; an invalid sc returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext extracts the propagated span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// ID minting: a splitmix64 walk seeded per process. Cheap (one atomic
+// add), collision-safe across processes by the time-derived nonce, and
+// free of crypto/rand so span creation stays off every allocation
+// profile.
+var (
+	idCounter atomic.Uint64
+	idNonce   = uint64(time.Now().UnixNano()) | 1
+)
+
+func mintID() uint64 {
+	x := (idNonce + idCounter.Add(1)) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// NewTraceID mints a fresh 32-hex-digit trace ID.
+func NewTraceID() string { return fmt.Sprintf("%016x%016x", mintID(), mintID()) }
+
+// NewSpanID mints a fresh 16-hex-digit span ID.
+func NewSpanID() string { return fmt.Sprintf("%016x", mintID()) }
+
+// Span is one completed timed operation in a trace. Start is wall
+// clock (UnixNano); DurationNanos is measured monotonically, so spans
+// survive clock steps. Node names the process-level locus
+// ("coordinator", a worker ID, "serve") and is what stitched cross-node
+// timelines group by.
+type Span struct {
+	TraceID       string            `json:"trace"`
+	SpanID        string            `json:"span"`
+	Parent        string            `json:"parent,omitempty"`
+	Name          string            `json:"name"`
+	Node          string            `json:"node,omitempty"`
+	Start         int64             `json:"start"`
+	DurationNanos int64             `json:"dur"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Err           string            `json:"err,omitempty"`
+	// Seq is the 1-based recording order in the tracer's span ring;
+	// SpansSince uses it as a resumable cursor.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Context returns the span's own context — the parent value for child
+// spans and for stamping events.
+func (s Span) Context() SpanContext { return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID} }
+
+// ActiveSpan is a span that has started but not ended. All methods are
+// safe on a nil receiver (the product of StartSpan on a nil tracer),
+// so instrumentation sites never branch. End is idempotent.
+type ActiveSpan struct {
+	t *Tracer
+
+	mu      sync.Mutex
+	span    Span
+	started time.Time // monotonic duration source
+	ended   bool
+}
+
+// StartSpan opens a span. A valid parent places it in the parent's
+// trace; otherwise a fresh trace is minted — the root of a new causal
+// timeline. Nothing is recorded until End.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := Span{Name: name, SpanID: NewSpanID(), Start: now.UnixNano()}
+	if parent.Valid() {
+		sp.TraceID = parent.TraceID
+		sp.Parent = parent.SpanID
+	} else {
+		sp.TraceID = NewTraceID()
+	}
+	return &ActiveSpan{t: t, span: sp, started: now}
+}
+
+// Context returns the span's context for propagation and child spans;
+// the zero context on a nil receiver.
+func (s *ActiveSpan) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.span.Context()
+}
+
+// SetNode names the process-level locus ("coordinator", a worker ID)
+// that executed the span; cross-node timeline views group by it.
+func (s *ActiveSpan) SetNode(node string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.span.Node = node
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches one key-value attribute.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.span.Attrs == nil {
+			s.span.Attrs = make(map[string]string, 4)
+		}
+		s.span.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// Fail records the error the span's operation ended with.
+func (s *ActiveSpan) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.span.Err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// Event emits e onto the owning tracer, stamped with this span's
+// context — the hook that attaches the EventKind catalogue to the
+// enclosing span instead of letting events float free.
+func (s *ActiveSpan) Event(e Event) {
+	if s == nil {
+		return
+	}
+	s.t.Emit(e.InSpan(s.Context()))
+}
+
+// End closes the span and records it into the tracer's span ring (and
+// sink). Idempotent; only the first call records.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	sp := s.span
+	sp.DurationNanos = time.Since(s.started).Nanoseconds()
+	s.mu.Unlock()
+	s.t.record(sp, false)
+}
+
+// RecordSpan ingests an already-completed span — the coordinator calls
+// it with spans shipped by workers, stitching the cluster's timeline
+// into one tracer. Re-deliveries (at-least-once transports re-ship
+// spans whose publish reply was lost) are deduplicated by span ID
+// within a bounded window.
+func (t *Tracer) RecordSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.record(s, true)
+}
+
+func (t *Tracer) record(s Span, dedup bool) {
+	t.mu.Lock()
+	if dedup {
+		if _, ok := t.spanSeen[s.SpanID]; ok {
+			t.mu.Unlock()
+			return
+		}
+		t.rememberSpanLocked(s.SpanID)
+	}
+	t.spanSeq++
+	s.Seq = t.spanSeq
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+	} else {
+		t.spans[int((t.spanSeq-1)%uint64(cap(t.spans)))] = s
+	}
+	if t.enc != nil && t.sinkErr == nil {
+		t.sinkErr = t.enc.Encode(s)
+	}
+	t.mu.Unlock()
+}
+
+// rememberSpanLocked adds id to the bounded dedup window (caller holds
+// t.mu).
+func (t *Tracer) rememberSpanLocked(id string) {
+	if t.spanSeen == nil {
+		t.spanSeen = make(map[string]struct{}, cap(t.spans))
+		t.seenFIFO = make([]string, 0, cap(t.spans))
+	}
+	if len(t.seenFIFO) < cap(t.seenFIFO) {
+		t.seenFIFO = append(t.seenFIFO, id)
+	} else {
+		delete(t.spanSeen, t.seenFIFO[t.seenNext])
+		t.seenFIFO[t.seenNext] = id
+		t.seenNext = (t.seenNext + 1) % cap(t.seenFIFO)
+	}
+	t.spanSeen[id] = struct{}{}
+}
+
+// Spans returns the span ring's contents oldest-first (a copy).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.spans))
+	if len(t.spans) < cap(t.spans) {
+		return append(out, t.spans...)
+	}
+	start := int(t.spanSeq % uint64(cap(t.spans)))
+	out = append(out, t.spans[start:]...)
+	return append(out, t.spans[:start]...)
+}
+
+// SpansSince returns up to max spans recorded after the cursor (a Seq
+// previously returned here; start from 0) plus the new cursor. Workers
+// use it to ship span batches incrementally: advance the cursor only
+// once a ship succeeds and a lost reply re-ships the same batch, which
+// RecordSpan's dedup absorbs.
+func (t *Tracer) SpansSince(after uint64, max int) ([]Span, uint64) {
+	if t == nil || max <= 0 {
+		return nil, after
+	}
+	var out []Span
+	cursor := after
+	for _, s := range t.Spans() {
+		if s.Seq <= after {
+			continue
+		}
+		out = append(out, s)
+		if s.Seq > cursor {
+			cursor = s.Seq
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out, cursor
+}

@@ -72,6 +72,10 @@ const (
 	// EventWorkerRetire: a worker missed its heartbeat window and was
 	// retired; its leases are redistributed to the survivors.
 	EventWorkerRetire EventKind = "worker_retire"
+	// EventRPCError: a worker-side cluster RPC failed (Detail is
+	// "rpc: error"). Chaos-injected drops and partitions surface here,
+	// attached to the span of the exchange they broke.
+	EventRPCError EventKind = "rpc_error"
 )
 
 // Event is one structured trace record. Device and Block are -1 when
@@ -87,6 +91,19 @@ type Event struct {
 	Block    int       `json:"block"`
 	Energy   int64     `json:"energy,omitempty"`
 	Detail   string    `json:"detail,omitempty"`
+	// TraceID/SpanID attach the event to its enclosing span, when the
+	// emitting site runs inside one (see Span); empty otherwise.
+	TraceID string `json:"trace,omitempty"`
+	SpanID  string `json:"span,omitempty"`
+}
+
+// InSpan returns a copy of e stamped with sc's trace and span IDs; an
+// invalid sc returns e unchanged, so call sites stamp unconditionally.
+func (e Event) InSpan(sc SpanContext) Event {
+	if sc.Valid() {
+		e.TraceID, e.SpanID = sc.TraceID, sc.SpanID
+	}
+	return e
 }
 
 // Tracer records Events into a fixed-capacity ring (newest overwrite
@@ -101,18 +118,29 @@ type Tracer struct {
 	ring []Event
 	seq  uint64 // events ever emitted
 
+	// Span ring: same wrap discipline as the event ring, plus a bounded
+	// span-ID dedup window for RecordSpan's at-least-once ingestion.
+	spans    []Span
+	spanSeq  uint64
+	spanSeen map[string]struct{}
+	seenFIFO []string
+	seenNext int
+
 	sink    *bufio.Writer
 	sinkErr error
 	enc     *json.Encoder
 }
 
 // NewTracer returns a tracer whose ring holds the most recent capacity
-// events (minimum 1).
+// events (minimum 1) and as many spans.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{ring: make([]Event, 0, capacity)}
+	return &Tracer{
+		ring:  make([]Event, 0, capacity),
+		spans: make([]Span, 0, capacity),
+	}
 }
 
 // SetSink attaches a JSONL stream: every subsequent event is written

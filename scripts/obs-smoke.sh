@@ -1,0 +1,130 @@
+#!/bin/sh
+# Observability smoke: boot abs-serve with stamped build identity, run
+# one quick job, and assert the operator surface end to end —
+#   * /metrics carries abs_build_info (the ldflags stamp), the uptime
+#     gauge and native histogram _bucket series;
+#   * /v1/jobs/{id}/trace returns a parseable NDJSON causal trace and a
+#     well-formed Chrome trace (?format=chrome) holding the job's
+#     lifecycle spans.
+# Needs only the Go toolchain, curl and (preferably) python3 — without
+# python3 the trace check degrades to grep-level shape assertions.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+VERSION=${VERSION:-$(git describe --tags --always --dirty 2>/dev/null || echo dev)}
+COMMIT=${COMMIT:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}
+
+TMP=$(mktemp -d)
+SRV_PID=
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "obs-smoke: FAIL: $*" >&2
+	if [ -s "$TMP/serve.log" ]; then
+		echo "--- abs-serve log ---" >&2
+		cat "$TMP/serve.log" >&2
+	fi
+	exit 1
+}
+
+echo "obs-smoke: building abs-serve ($VERSION @ $COMMIT)"
+$GO build -ldflags "-X abs/internal/telemetry.version=$VERSION -X abs/internal/telemetry.commit=$COMMIT" \
+	-o "$TMP/abs-serve" ./cmd/abs-serve
+
+"$TMP/abs-serve" -addr 127.0.0.1:0 -gpus 1 -sms 1 >"$TMP/serve.log" 2>&1 &
+SRV_PID=$!
+
+# The service binds an ephemeral port; read it off the listen line.
+BASE=
+i=0
+while [ $i -lt 50 ]; do
+	BASE=$(sed -n 's#.*listening on http://\([^/]*\)/v1/jobs.*#\1#p' "$TMP/serve.log" | head -1)
+	[ -n "$BASE" ] && break
+	kill -0 "$SRV_PID" 2>/dev/null || fail "abs-serve exited before listening"
+	sleep 0.2
+	i=$((i + 1))
+done
+[ -n "$BASE" ] || fail "no listen address after 10s"
+echo "obs-smoke: abs-serve on $BASE"
+
+# One quick job, then wait for it to settle.
+SUBMIT=$(curl -sf -X POST "http://$BASE/v1/jobs" \
+	-d '{"random": {"n": 32, "seed": 7}, "max_flips": 200000, "name": "obs-smoke"}') ||
+	fail "job submit"
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit reply has no job id: $SUBMIT"
+
+STATE=
+i=0
+while [ $i -lt 150 ]; do
+	STATE=$(curl -sf "http://$BASE/v1/jobs/$ID" | sed -n 's/.*"state":[[:space:]]*"\([^"]*\)".*/\1/p')
+	[ "$STATE" = done ] && break
+	[ "$STATE" = failed ] && fail "job failed"
+	sleep 0.2
+	i=$((i + 1))
+done
+[ "$STATE" = done ] || fail "job still '$STATE' after 30s"
+echo "obs-smoke: job $ID done"
+
+# The metrics surface: build identity and native histograms.
+curl -sf "http://$BASE/metrics" >"$TMP/metrics.prom" || fail "/metrics scrape"
+grep -q '^abs_build_info{version=' "$TMP/metrics.prom" || fail "/metrics missing abs_build_info"
+grep -q "^abs_build_info{version=\"$VERSION" "$TMP/metrics.prom" ||
+	fail "abs_build_info does not carry the stamped version $VERSION"
+grep -q '^abs_uptime_seconds ' "$TMP/metrics.prom" || fail "/metrics missing abs_uptime_seconds"
+grep -q '^abs_serve_stage_seconds_bucket{' "$TMP/metrics.prom" ||
+	fail "/metrics missing abs_serve_stage_seconds_bucket series"
+grep -q 'le="+Inf"' "$TMP/metrics.prom" || fail "histogram export missing the +Inf bucket"
+echo "obs-smoke: metrics ok ($(grep -c '^abs_' "$TMP/metrics.prom") abs_* samples)"
+
+# The trace surface: NDJSON and Chrome formats.
+curl -sf "http://$BASE/v1/jobs/$ID/trace" >"$TMP/trace.ndjson" || fail "trace fetch"
+curl -sf "http://$BASE/v1/jobs/$ID/trace?format=chrome" >"$TMP/trace.json" || fail "chrome trace fetch"
+[ -s "$TMP/trace.ndjson" ] || fail "empty NDJSON trace"
+if command -v python3 >/dev/null 2>&1; then
+	python3 - "$TMP/trace.ndjson" "$TMP/trace.json" <<'PY' || fail "trace validation"
+import json, sys
+
+spans, events, names = 0, 0, set()
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    rec = json.loads(line)
+    if "span" in rec:
+        spans += 1
+        names.add(rec["span"].get("name"))
+    elif "event" in rec:
+        events += 1
+    else:
+        sys.exit("NDJSON line is neither span nor event: " + line)
+for want in ("job", "job.queue", "job.run"):
+    if want not in names:
+        sys.exit("trace is missing the %r lifecycle span (got %s)" % (want, sorted(names)))
+
+chrome = json.load(open(sys.argv[2]))
+if not isinstance(chrome, list) or not chrome:
+    sys.exit("chrome trace is not a non-empty JSON array")
+slices = {r.get("name") for r in chrome if r.get("ph") == "X"}
+for want in ("job", "job.queue", "job.run"):
+    if want not in slices:
+        sys.exit("chrome trace is missing the %r slice" % want)
+print("obs-smoke: trace ok (%d spans, %d events, %d chrome records)" % (spans, events, len(chrome)))
+PY
+else
+	echo "obs-smoke: python3 not found, grep-level trace checks only" >&2
+	grep -q '"span"' "$TMP/trace.ndjson" || fail "NDJSON trace has no span lines"
+	grep -q '"name":"job.run"' "$TMP/trace.ndjson" || fail "NDJSON trace missing job.run span"
+	grep -q '"name":"job.run"' "$TMP/trace.json" || fail "chrome trace missing job.run slice"
+fi
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+echo "obs-smoke: PASS"
