@@ -7,7 +7,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X abs/internal/telemetry.version=$(VERSION) -X abs/internal/telemetry.commit=$(COMMIT)
 
-.PHONY: build test vet race check ci bench obs-demo obs-smoke serve apicheck cluster-demo
+.PHONY: build test vet race check ci bench obs-demo obs-smoke backend-smoke serve apicheck cluster-demo
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -74,6 +74,13 @@ cluster-demo:
 # this in the short lane.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# Solver-backend smoke: boots abs-serve with the race meta-backend,
+# asserts /v1/backends, a race-pinned job, the 400 on unknown names and
+# the per-backend ingest counters on /metrics. CI runs this in the
+# short lane.
+backend-smoke:
+	./scripts/backend-smoke.sh
 
 obs-demo:
 	$(GO) build -o /tmp/abs-solve ./cmd/abs-solve

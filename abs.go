@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"time"
 
+	"abs/internal/backend"
 	"abs/internal/bitvec"
 	"abs/internal/chaos"
 	"abs/internal/cluster"
@@ -45,6 +46,12 @@ type (
 	// Storage selects the search-engine representation (auto, dense,
 	// sparse).
 	Storage = core.Storage
+	// Backend selects the solver backend each search unit runs
+	// (straight, sb, tabu, race, or auto); see Backends for the live
+	// registry with descriptions.
+	Backend = core.Backend
+	// BackendInfo describes one registered solver backend.
+	BackendInfo = backend.Info
 
 	// Progress is the periodic run snapshot passed to Options.Progress
 	// and reported live by Job.Status.
@@ -98,6 +105,41 @@ const (
 // ParseStorage parses "auto", "dense" or "sparse" into a Storage value
 // (the decoder behind every -storage CLI flag).
 func ParseStorage(s string) (Storage, error) { return core.ParseStorage(s) }
+
+// Backend constants, re-exported from the core package. The registry
+// is open — Backends lists everything registered — but these four ship
+// with the library.
+const (
+	// BackendAuto defers the choice: a cluster worker takes the
+	// coordinator's grant, everything else runs BackendStraight.
+	BackendAuto = core.BackendAuto
+	// BackendStraight is the paper's §3.2 program: straight search to
+	// the pool target, then bulk local search on the window ladder.
+	BackendStraight = core.BackendStraight
+	// BackendSB is simulated bifurcation: adiabatic Hamiltonian
+	// dynamics on float spins over the exact Ising form.
+	BackendSB = core.BackendSB
+	// BackendTabu is diversified multi-start tabu search: tenure-ring
+	// local search with escalating restart kicks on stagnation.
+	BackendTabu = core.BackendTabu
+	// BackendRace splits a run's units across the whole portfolio,
+	// racing through the shared pool.
+	BackendRace = core.BackendRace
+)
+
+// ErrUnknownBackend is the typed error Options.Validate (and every
+// parse path above it) returns for an unregistered backend name; test
+// with errors.Is.
+var ErrUnknownBackend = core.ErrUnknownBackend
+
+// ParseBackend parses "auto" or a registered backend name into a
+// Backend value (the decoder behind every -backend CLI flag); the
+// error for an unknown name lists the registry.
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// Backends lists the registered solver backends with their one-line
+// descriptions, sorted by name (the body of GET /v1/backends).
+func Backends() []BackendInfo { return core.Backends() }
 
 // NewProblem returns an all-zero n-variable QUBO instance; fill it with
 // SetWeight/AddWeight.
@@ -276,20 +318,27 @@ func SolveToTargetContext(ctx context.Context, p *Problem, target int64, budget 
 	return SolveContext(ctx, p, opt)
 }
 
-// SolveFor is SolveForContext without cancellation.
+// SolveFor is SolveForContext without cancellation. Everything beyond
+// the budget is DefaultOptions — host-sized fleet, auto storage and
+// the straight backend — with no way to override; that implicit
+// configuration is why the wrapper is deprecated rather than grown.
 //
-// Deprecated: use SolveForContext. SolveFor is kept for source
-// compatibility and will not be removed in v1, but new code should
-// pass a context.
+// Deprecated: use SolveForContext, or Solve with explicit Options when
+// any non-default configuration (a Backend, Storage, telemetry) is
+// wanted. SolveFor is kept for source compatibility and will not be
+// removed in v1, but new code should pass a context.
 func SolveFor(p *Problem, budget time.Duration) (*Result, error) {
 	return SolveForContext(context.Background(), p, budget)
 }
 
-// SolveToTarget is SolveToTargetContext without cancellation.
+// SolveToTarget is SolveToTargetContext without cancellation. Like
+// SolveFor, everything beyond the target and budget is pinned to
+// DefaultOptions with no way to override.
 //
-// Deprecated: use SolveToTargetContext. SolveToTarget is kept for
-// source compatibility and will not be removed in v1, but new code
-// should pass a context.
+// Deprecated: use SolveToTargetContext, or Solve with explicit Options
+// when any non-default configuration (a Backend, Storage, telemetry)
+// is wanted. SolveToTarget is kept for source compatibility and will
+// not be removed in v1, but new code should pass a context.
 func SolveToTarget(p *Problem, target int64, budget time.Duration) (*Result, error) {
 	return SolveToTargetContext(context.Background(), p, target, budget)
 }

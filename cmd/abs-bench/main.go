@@ -13,6 +13,10 @@
 //	abs-bench -report BENCH.json [-scale quick|medium|full]
 //	abs-bench -cluster-report BENCH.json [-scale quick|medium|full]
 //	abs-bench -sparse-report BENCH.json [-assert-ratio 2.0]
+//	abs-bench -backend-report BENCH.json [-scale quick|medium|full]
+//
+// Every benchmark solve accepts -backend to pin the solver backend
+// (auto|straight|sb|tabu|race; auto means straight).
 //
 // -report solves a fixed seeded problem set with telemetry attached
 // and writes a machine-readable JSON report (per-device flips/sec,
@@ -25,6 +29,9 @@
 // -assert-ratio additionally fails the process unless the sparse
 // engine delivers at least that multiple of the dense flips/sec on
 // every below-threshold instance (the CI regression gate).
+// -backend-report runs every registered solver backend over the sparse
+// sweep's instance families and writes time-to-target side by side,
+// with a per-family winner.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"io"
 	"os"
 
+	"abs/internal/backendflag"
 	"abs/internal/bench"
 )
 
@@ -97,8 +105,11 @@ func main() {
 		clusterR = flag.String("cluster-report", "", "write a single-node vs loopback-cluster comparison JSON to this file")
 		sparseR  = flag.String("sparse-report", "", "write a dense-vs-sparse engine comparison JSON to this file")
 		ratio    = flag.Float64("assert-ratio", 0, "with -sparse-report: fail unless sparse/dense flips ratio is at least this on below-threshold instances (0 disables)")
+		backendR = flag.String("backend-report", "", "write a per-backend time-to-target comparison JSON to this file")
+		backend  = backendflag.Register("auto means straight; applies to every benchmark solve except -backend-report, which sweeps all backends")
 	)
 	flag.Parse()
+	bench.SetDefaultBackend(backend.Backend())
 
 	s, err := parseScale(*scale)
 	if err != nil {
@@ -126,7 +137,14 @@ func main() {
 		}
 		fmt.Println("sparse report written to", *sparseR)
 	}
-	if (*report != "" || *clusterR != "" || *sparseR != "") &&
+	if *backendR != "" {
+		if err := writeBackendReport(*backendR, s); err != nil {
+			fmt.Fprintln(os.Stderr, "abs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("backend report written to", *backendR)
+	}
+	if (*report != "" || *clusterR != "" || *sparseR != "" || *backendR != "") &&
 		!*all && *table == "" && *figure == "" && *ablation == "" {
 		return
 	}
@@ -180,4 +198,24 @@ func writeSparseReport(path string, s bench.Scale, minRatio float64) error {
 		return bench.CheckSparseRatios(rep, minRatio)
 	}
 	return nil
+}
+
+// writeBackendReport builds the per-backend time-to-target comparison
+// and writes it to path.
+func writeBackendReport(path string, s bench.Scale) error {
+	rep, err := bench.BuildBackendReport(s)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"abs/internal/backendflag"
 	"abs/internal/cluster"
 	"abs/internal/core"
 	"abs/internal/gpusim"
@@ -76,6 +77,7 @@ type config struct {
 	retain      int
 	defaultTime time.Duration
 	maxTime     time.Duration
+	backend     *backendflag.Value
 
 	// Durability (both modes).
 	storeDir   string
@@ -119,6 +121,7 @@ func main() {
 	flag.IntVar(&cfg.leaseBatch, "lease-batch", 0, "coordinator: targets granted per lease call (default 32)")
 	flag.DurationVar(&cfg.linger, "linger", 3*time.Second, "coordinator: how long to keep serving after the run finishes so workers can flush")
 	flag.StringVar(&cfg.storage, "storage", "auto", "coordinator: engine representation granted to workers (auto|dense|sparse)")
+	cfg.backend = backendflag.Register("job mode: default for jobs that name none; coordinator mode: granted to workers")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "target" {
@@ -207,6 +210,7 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 		LeaseTTL:    cfg.leaseTTL,
 		LeaseBatch:  cfg.leaseBatch,
 		Storage:     storage,
+		Backend:     cfg.backend.Backend(),
 		Registry:    reg,
 		Tracer:      tr,
 		Checkpoint:  cfg.checkpoint,
@@ -328,6 +332,7 @@ func loadProblem(cfg config) (*qubo.Problem, error) {
 func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tracer, error) {
 	defaults := core.DefaultOptions()
 	defaults.MaxDuration = cfg.defaultTime
+	defaults.Backend = cfg.backend.Backend()
 
 	var device gpusim.DeviceSpec
 	if cfg.sms == 0 {

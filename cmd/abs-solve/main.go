@@ -6,6 +6,7 @@
 //	abs-solve -file problem.qubo [-format qubo|qubobin|gset|tsplib|ising]
 //	          [-time 5s] [-target -12345 -use-target] [-gpus 1] [-sms 2]
 //	          [-bits-per-thread 0] [-seed 1] [-storage auto|dense|sparse]
+//	          [-backend auto|straight|sb|tabu|race]
 //	          [-solution] [-v] [-presolve]
 //	          [-metrics-addr :9090] [-trace-out run.jsonl]
 //
@@ -37,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"abs/internal/backendflag"
 	"abs/internal/bitvec"
 	"abs/internal/core"
 	"abs/internal/gpusim"
@@ -57,6 +59,7 @@ type config struct {
 	bitsPerThread int
 	seed          uint64
 	storage       string
+	backend       *backendflag.Value
 	showSolution  bool
 	verbose       bool
 	presolve      bool
@@ -77,6 +80,7 @@ func main() {
 	flag.IntVar(&cfg.bitsPerThread, "bits-per-thread", 0, "bits per thread (0 = auto)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse")
+	cfg.backend = backendflag.Register("")
 	flag.BoolVar(&cfg.showSolution, "solution", false, "print the solution bit vector")
 	flag.BoolVar(&cfg.verbose, "v", false, "print progress once per second")
 	flag.BoolVar(&cfg.presolve, "presolve", false, "apply persistency-based variable fixing before solving")
@@ -195,6 +199,7 @@ func run(ctx context.Context, cfg config) error {
 	if err != nil {
 		return err
 	}
+	opt.Backend = cfg.backend.Backend()
 	opt.TrustPublications = cfg.trustDevices
 	opt.SupervisorGrace = cfg.grace
 	if cfg.verbose {
@@ -266,8 +271,8 @@ func run(ctx context.Context, cfg config) error {
 		res.Best = full
 		res.BestEnergy += pre.Offset
 	}
-	fmt.Printf("blocks: %d (%d threads/block, %d blocks/GPU, occupancy %.0f%%, %s engine)\n",
-		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100, res.Storage)
+	fmt.Printf("blocks: %d (%d threads/block, %d blocks/GPU, occupancy %.0f%%, %s engine, %s backend)\n",
+		res.Blocks, res.Occupancy.ThreadsPerBlock, res.Occupancy.ActiveBlocks, res.Occupancy.Fraction*100, res.Storage, res.Backend)
 	fmt.Printf("elapsed: %v   flips: %d   evaluated: %d   search rate: %.3g sol/s\n",
 		res.Elapsed.Round(time.Millisecond), res.Flips, res.Evaluated, res.SearchRate)
 	fmt.Printf("fault tolerance: %d quarantined, %d respawned, %d retired, %d dropped\n",

@@ -8,6 +8,7 @@
 //
 //	abs-worker -coordinator http://host:8080 [-id worker-a]
 //	           [-devices 1] [-sms 2] [-exchange 200ms] [-publish-k 8]
+//	           [-backend auto|straight|sb|tabu|race]
 //	           [-addr :9090] [-metrics-addr :9091] [-trace-out run.jsonl]
 //
 // The worker needs nothing but the coordinator's address — the
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"abs/internal/backendflag"
 	"abs/internal/cluster"
 	"abs/internal/core"
 	"abs/internal/gpusim"
@@ -53,6 +55,7 @@ type config struct {
 	publishK    int
 	maxTime     time.Duration
 	storage     string
+	backend     *backendflag.Value
 	addr        string
 	obs         obsflags.Config
 }
@@ -67,6 +70,7 @@ func main() {
 	flag.IntVar(&cfg.publishK, "publish-k", 8, "best local solutions shipped per exchange")
 	flag.DurationVar(&cfg.maxTime, "max-time", 24*time.Hour, "local backstop budget for an orphaned worker")
 	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse (auto defers to the coordinator's grant, then density)")
+	cfg.backend = backendflag.Register("auto defers to the coordinator's grant, then straight")
 	flag.StringVar(&cfg.addr, "addr", "", "health/metrics listen address (empty = no listener)")
 	cfg.obs.Register(flag.CommandLine)
 	flag.Parse()
@@ -126,6 +130,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		PublishK:    cfg.publishK,
 		MaxDuration: cfg.maxTime,
 		Storage:     storage,
+		Backend:     cfg.backend.Backend(),
 		Registry:    reg,
 		Tracer:      tr,
 	})

@@ -1,0 +1,52 @@
+package backend
+
+import "fmt"
+
+func init() {
+	Register("race",
+		"portfolio meta-backend: units round-robin across straight, sb and tabu, racing through the one shared pool",
+		newRace)
+}
+
+// raceMembers is the portfolio the race meta-backend splits units
+// across, in assignment order.
+var raceMembers = []string{"straight", "sb", "tabu"}
+
+// raceBackend is the Diverse-ABS portfolio (arXiv 2207.03069): unit g
+// runs member g mod len(members), so a fleet hosts all three
+// algorithms at once. No new coordination is needed — every member
+// already publishes through the same solution buffer and ingest gate
+// and adopts targets from the same GA pool, so the portfolio
+// cross-pollinates by construction: a basin found by SB becomes a
+// target straight search refines, and vice versa.
+type raceBackend struct {
+	members []Backend
+}
+
+func newRace(cfg Config) (Backend, error) {
+	b := &raceBackend{}
+	for _, name := range raceMembers {
+		m, err := New(name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("backend: race member %q: %w", name, err)
+		}
+		b.members = append(b.members, m)
+	}
+	return b, nil
+}
+
+func (b *raceBackend) Name() string { return "race" }
+
+func (b *raceBackend) member(g int) Backend {
+	if g < 0 {
+		g = -g
+	}
+	return b.members[g%len(b.members)]
+}
+
+// UnitName reports the member actually running slot g, which is what
+// the engine stamps on per-backend telemetry — so /metrics shows which
+// portfolio member the improvements come from.
+func (b *raceBackend) UnitName(g int) string { return b.member(g).Name() }
+
+func (b *raceBackend) NewUnit(g int) Unit { return b.member(g).NewUnit(g) }

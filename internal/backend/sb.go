@@ -1,0 +1,240 @@
+package backend
+
+import (
+	"math"
+
+	"abs/internal/bitvec"
+	"abs/internal/ising"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+func init() {
+	Register("sb",
+		"simulated bifurcation: adiabatic Hamiltonian dynamics on float spins over the Ising form (even units discrete dSB, odd units ballistic bSB)",
+		newSB)
+}
+
+// sbBackend integrates simulated-bifurcation dynamics (Goto-style
+// adiabatic evolution of Kerr-nonlinear oscillators) over the exact
+// Ising form of the instance: each spin i carries a position x_i and
+// momentum y_i, the bifurcation parameter a(t) ramps from 0 to a0, and
+// the force is the Ising gradient −∂H/∂s_i = Σ_j J_ij σ_j + h_i with
+// σ_j = sign(x_j) (discrete SB, even units) or σ_j = x_j (ballistic
+// SB, odd units) — the two suppressed-error variants, both with
+// inelastic walls at |x| = 1.
+//
+// The Δ-register engine stays in the loop as a binary mirror of
+// sign(x): whenever a position crosses zero the mirrored bit is
+// flipped, so exact incremental energies, best-of-round tracking and
+// the flips accounting all come from the same machinery as every
+// other backend — SB only decides which bits flip.
+//
+// The interaction structure is shared, read-only, across units; h and
+// the per-edge couplings come from the same integer-exact 2E = H + C
+// correspondence as internal/ising.FromQUBO, so minimizing H minimizes
+// the QUBO energy.
+type sbBackend struct {
+	cfg Config
+
+	// CSR adjacency of the Ising couplings: row i spans
+	// [start[i], start[i+1]) in idx/j.
+	start []int32
+	idx   []int32
+	jw    []float64
+	h     []float64
+
+	c0             float64 // coupling scale 0.5/(σ_J √n)
+	dt             float64 // integration step
+	a0             float64 // final bifurcation parameter
+	rampSweeps     int     // sweeps per adiabatic epoch (a: 0 → a0)
+	sweepsPerRound int     // sweeps between target polls / publishes
+}
+
+func newSB(cfg Config) (Backend, error) {
+	p := cfg.Problem
+	n := p.N()
+	sp := qubo.Sparsify(p)
+	b := &sbBackend{
+		cfg:        cfg,
+		start:      make([]int32, n+1),
+		h:          make([]float64, n),
+		dt:         0.5,
+		a0:         1.0,
+		rampSweeps: 256,
+	}
+	// One sweep costs O(nnz + n) ≈ n·(1+deg) engine evaluations, about
+	// what n flips cost, so LocalSteps/64 sweeps keeps an SB round in
+	// the same wall-clock band as the flip-based backends' rounds.
+	b.sweepsPerRound = cfg.LocalSteps / 64
+	if b.sweepsPerRound < 4 {
+		b.sweepsPerRound = 4
+	}
+	// Couplings via the package's integer-exact Ising correspondence
+	// (2·E = H + C, internal/ising.FromQUBO): minimizing H minimizes
+	// the QUBO energy with the same minimizers. The sparse adjacency
+	// only says which pairs interact, so the CSR build touches O(nnz)
+	// model entries rather than the dense triangle.
+	model, _ := ising.FromQUBO(p)
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		cols, _ := sp.Neighbours(i)
+		b.start[i] = int32(len(b.idx))
+		for _, j := range cols {
+			jij := float64(model.J(i, int(j)))
+			b.idx = append(b.idx, j)
+			b.jw = append(b.jw, jij)
+			sumSq += jij * jij
+		}
+		b.h[i] = float64(model.H(i))
+		sumSq += b.h[i] * b.h[i]
+	}
+	b.start[n] = int32(len(b.idx))
+	// c0 = 0.5/(σ_J √n), the standard SB normalization that keeps the
+	// force term and the confining term on comparable scales.
+	sigma := math.Sqrt(sumSq / float64(n))
+	if sigma > 0 {
+		b.c0 = 0.5 / (sigma * math.Sqrt(float64(n)))
+	} else {
+		b.c0 = 1 // degenerate all-zero instance; any scale works
+	}
+	return b, nil
+}
+
+func (b *sbBackend) Name() string        { return "sb" }
+func (b *sbBackend) UnitName(int) string { return "sb" }
+
+func (b *sbBackend) NewUnit(g int) Unit {
+	n := b.cfg.Problem.N()
+	u := &sbUnit{
+		b:        b,
+		state:    b.cfg.NewState(),
+		x:        make([]float64, n),
+		y:        make([]float64, n),
+		sgn:      make([]float64, n),
+		discrete: g%2 == 0,
+		r:        rng.New(b.cfg.Seed ^ (0x5b5b_0000_0000_0001 * uint64(g+1))),
+	}
+	// The mirror starts at the zero vector (all spins −1); seed the
+	// oscillators just below the origin so positions and mirror agree
+	// without any initial flips.
+	for i := range u.x {
+		u.x[i] = -0.02 - 0.02*u.r.Float64()
+		u.y[i] = 0.04 * (u.r.Float64() - 0.5)
+		u.sgn[i] = -1
+	}
+	return u
+}
+
+type sbUnit struct {
+	b        *sbBackend
+	state    qubo.Engine // binary mirror of sign(x)
+	x, y     []float64
+	sgn      []float64 // cached ±1 of x, kept in lockstep with the mirror
+	sweep    int       // position within the current adiabatic ramp
+	discrete bool
+	r        *rng.Rand
+}
+
+// Retarget adopts a pool target: the mirror walks to it (straight
+// search, so the walk itself is evaluated like any other), and the
+// oscillators restart a fresh ramp from small positions aligned with
+// the target's spins.
+func (u *sbUnit) Retarget(t *bitvec.Vector, stop func() bool) int {
+	flips := search.StraightUntil(u.state, t, stop)
+	cur := u.state.X()
+	for i := range u.x {
+		u.sgn[i] = float64(2*cur.Bit(i) - 1)
+		u.x[i] = 0.05 * u.sgn[i]
+		u.y[i] = 0.04 * (u.r.Float64() - 0.5)
+	}
+	u.sweep = 0
+	return flips
+}
+
+func (u *sbUnit) Round(stop func() bool) (int, *bitvec.Vector, int64, bool) {
+	flips := 0
+	for s := 0; s < u.b.sweepsPerRound && !stop(); s++ {
+		u.integrate()
+		flips += u.syncMirror(stop)
+		u.sweep++
+		if u.sweep >= u.b.rampSweeps {
+			u.reramp()
+		}
+	}
+	x, e, ok := u.state.Best()
+	u.state.ResetBest()
+	return flips, x, e, ok
+}
+
+// integrate advances every oscillator one symplectic Euler step of
+//
+//	ẏ_i = −(a0 − a(t))·x_i + c0·(Σ_j J_ij σ_j + h_i),  ẋ_i = a0·y_i
+//
+// with inelastic walls: a position crossing |x| = 1 is clamped and its
+// momentum zeroed.
+func (u *sbUnit) integrate() {
+	b := u.b
+	a := b.a0 * float64(u.sweep) / float64(b.rampSweeps)
+	pump := a - b.a0 // ≤ 0 while ramping; 0 at the bifurcation point
+	for i := range u.x {
+		f := b.h[i]
+		lo, hi := b.start[i], b.start[i+1]
+		if u.discrete {
+			for k := lo; k < hi; k++ {
+				f += b.jw[k] * u.sgn[b.idx[k]]
+			}
+		} else {
+			for k := lo; k < hi; k++ {
+				f += b.jw[k] * u.x[b.idx[k]]
+			}
+		}
+		u.y[i] += b.dt * (pump*u.x[i] + b.c0*f)
+		u.x[i] += b.dt * b.a0 * u.y[i]
+		if u.x[i] > 1 {
+			u.x[i], u.y[i] = 1, 0
+		} else if u.x[i] < -1 {
+			u.x[i], u.y[i] = -1, 0
+		}
+	}
+}
+
+// syncMirror flips mirror bits whose positions crossed zero, keeping
+// sgn and the Δ-register engine consistent with x. Positions exactly
+// at zero keep their previous orientation. Returns the flips done.
+func (u *sbUnit) syncMirror(stop func() bool) int {
+	flips := 0
+	for i := range u.x {
+		want := u.sgn[i]
+		if u.x[i] > 0 {
+			want = 1
+		} else if u.x[i] < 0 {
+			want = -1
+		}
+		if want == u.sgn[i] {
+			continue
+		}
+		if stop() {
+			break
+		}
+		u.sgn[i] = want
+		u.state.Flip(i)
+		flips++
+	}
+	return flips
+}
+
+// reramp starts the next adiabatic epoch: positions shrink back to the
+// origin keeping their orientation plus a little noise (so weakly
+// pinned spins may re-decide), momenta re-randomize. The mirror is
+// untouched — its best-so-far already went to the host.
+func (u *sbUnit) reramp() {
+	u.sweep = 0
+	for i := range u.x {
+		u.x[i] = 0.02*u.sgn[i] + 0.03*(u.r.Float64()-0.5)
+		u.y[i] = 0.04 * (u.r.Float64() - 0.5)
+	}
+}
+
+func (u *sbUnit) Window() int { return 0 }

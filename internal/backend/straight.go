@@ -1,0 +1,62 @@
+package backend
+
+import (
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/search"
+)
+
+func init() {
+	Register("straight",
+		"the paper's §3.2 program: straight search to the pool target, then bulk local search with the offset-window ladder",
+		func(cfg Config) (Backend, error) { return &straightBackend{cfg: cfg}, nil })
+}
+
+// straightBackend is the paper's device-side algorithm, verbatim: the
+// behaviour every run had before the registry existed. Each unit walks
+// straight to its pool target (Algorithm 5), then runs LocalSteps
+// forced flips under the offset-window policy (Algorithm 4), with its
+// window length drawn from the §2.1 ladder — optionally rescheduled
+// per unit on stagnation (Config.Adaptive).
+type straightBackend struct {
+	cfg Config
+}
+
+func (b *straightBackend) Name() string        { return "straight" }
+func (b *straightBackend) UnitName(int) string { return "straight" }
+func (b *straightBackend) NewUnit(g int) Unit {
+	n := b.cfg.Problem.N()
+	initial := WindowFor(g, b.cfg.Units, b.cfg.WindowMin, b.cfg.WindowMax, n)
+	u := &straightUnit{
+		state:  b.cfg.NewState(),
+		policy: search.NewOffsetWindow(initial),
+		steps:  b.cfg.LocalSteps,
+	}
+	if b.cfg.Adaptive {
+		u.adapt = newAdaptiveWindow(initial, b.cfg.WindowMin, b.cfg.WindowMax, b.cfg.patience())
+	}
+	return u
+}
+
+type straightUnit struct {
+	state  qubo.Engine
+	policy *search.OffsetWindow
+	adapt  *adaptiveWindow
+	steps  int
+}
+
+func (u *straightUnit) Retarget(t *bitvec.Vector, stop func() bool) int {
+	return search.StraightUntil(u.state, t, stop)
+}
+
+func (u *straightUnit) Round(stop func() bool) (int, *bitvec.Vector, int64, bool) {
+	flips := search.RunUntil(u.state, u.steps, u.policy, stop)
+	x, e, ok := u.state.Best()
+	u.state.ResetBest()
+	if u.adapt != nil {
+		u.policy.L = u.adapt.Observe(e, ok)
+	}
+	return flips, x, e, ok
+}
+
+func (u *straightUnit) Window() int { return u.policy.L }

@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"abs/internal/bitvec"
+	"abs/internal/qubo"
+	"abs/internal/rng"
+	"abs/internal/search"
+)
+
+func init() {
+	Register("tabu",
+		"diversified multi-start tabu (arXiv 1706.00037 style): tabu-window local search with escalating random-restart kicks on stagnation",
+		func(cfg Config) (Backend, error) { return &tabuBackend{cfg: cfg}, nil })
+}
+
+// tabuBackend runs Lewis-style diversified multi-start tabu search in
+// every unit: the offset-window policy gains a tabu tenure with
+// aspiration (search.TabuWindow), and a unit that stagnates for
+// Patience rounds restarts from a perturbed copy of its own best-ever
+// solution — a kick whose strength escalates with consecutive
+// fruitless restarts, so light diversification is tried before a
+// near-random jump. The pool still steers the population: targets
+// arrive exactly as for the straight backend, which is what makes the
+// two raceable against one another.
+type tabuBackend struct {
+	cfg Config
+}
+
+func (b *tabuBackend) Name() string        { return "tabu" }
+func (b *tabuBackend) UnitName(int) string { return "tabu" }
+
+// tabuTenure derives a tenure from the instance size, varied a little
+// per unit so the population does not share one cycle length.
+func tabuTenure(n, g int) int {
+	t := n / 10
+	if t < 4 {
+		t = 4
+	}
+	if t > 64 {
+		t = 64
+	}
+	return t + 3*(g%4)
+}
+
+func (b *tabuBackend) NewUnit(g int) Unit {
+	n := b.cfg.Problem.N()
+	l := WindowFor(g, b.cfg.Units, b.cfg.WindowMin, b.cfg.WindowMax, n)
+	return &tabuUnit{
+		state:    b.cfg.NewState(),
+		policy:   search.NewTabuWindow(l, tabuTenure(n, g)),
+		steps:    b.cfg.LocalSteps,
+		patience: b.cfg.patience(),
+		r:        rng.New(b.cfg.Seed ^ (0x7ab0_0000_0000_0001 * uint64(g+1))),
+	}
+}
+
+type tabuUnit struct {
+	state    qubo.Engine
+	policy   *search.TabuWindow
+	steps    int
+	patience int
+	r        *rng.Rand
+
+	// Multi-start bookkeeping: the unit's own best-ever solution (the
+	// restart anchor), rounds since it improved, and how many restarts
+	// fired without improvement (the kick escalator).
+	bestX    *bitvec.Vector
+	bestE    int64
+	hasBest  bool
+	stagnant int
+	level    int
+}
+
+func (u *tabuUnit) Retarget(t *bitvec.Vector, stop func() bool) int {
+	// A fresh pool target supersedes the local stagnation history: the
+	// host moved this unit somewhere new on purpose.
+	u.stagnant = 0
+	u.level = 0
+	return search.StraightUntil(u.state, t, stop)
+}
+
+func (u *tabuUnit) Round(stop func() bool) (int, *bitvec.Vector, int64, bool) {
+	flips := search.RunUntil(u.state, u.steps, u.policy, stop)
+	x, e, ok := u.state.Best()
+	u.state.ResetBest()
+	if ok && (!u.hasBest || e < u.bestE) {
+		u.bestX, u.bestE, u.hasBest = x, e, true
+		u.stagnant = 0
+		u.level = 0
+	} else {
+		u.stagnant++
+		if u.stagnant >= u.patience {
+			flips += u.restart(stop)
+		}
+	}
+	return flips, x, e, ok
+}
+
+// restart performs one diversified kick: walk to the unit's best-ever
+// solution with an escalating number of random bits flipped, and clear
+// the tabu memory so the new basin is explored unprejudiced. Without a
+// best yet (budget too small to evaluate anything) it jumps uniformly.
+func (u *tabuUnit) restart(stop func() bool) int {
+	n := u.state.N()
+	var target *bitvec.Vector
+	if u.hasBest {
+		u.level++
+		kick := (n / 10) * u.level
+		if kick < 4 {
+			kick = 4
+		}
+		if kick > n/2 {
+			kick = n / 2
+			u.level = 0 // escalated to maximum: cycle back to light kicks
+		}
+		target = u.bestX.Clone()
+		for i := 0; i < kick; i++ {
+			target.Flip(u.r.Intn(n))
+		}
+	} else {
+		target = bitvec.Random(n, u.r)
+	}
+	u.stagnant = 0
+	u.policy = search.NewTabuWindow(u.policy.L, u.policy.Tenure)
+	return search.StraightUntil(u.state, target, stop)
+}
+
+func (u *tabuUnit) Window() int { return u.policy.L }

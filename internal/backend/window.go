@@ -1,14 +1,36 @@
-package core
+package backend
+
+import "math"
+
+// WindowFor assigns unit g of total a window length log-interpolated
+// in [min, max] and clamped to [1, n]: the static parallel-tempering-
+// style exploration ladder of §2.1, shared by every window-based
+// backend so "the same rung" means the same thing across them.
+func WindowFor(g, total, min, max, n int) int {
+	lo, hi := float64(min), float64(max)
+	frac := 0.0
+	if total > 1 {
+		frac = float64(g) / float64(total-1)
+	}
+	l := int(math.Round(lo * math.Pow(hi/lo, frac)))
+	if l < 1 {
+		l = 1
+	}
+	if l > n {
+		l = n
+	}
+	return l
+}
 
 // adaptiveWindow implements the paper's future-work direction of
 // changing each block's search behaviour automatically (§5: "each CUDA
 // block would perform different algorithms and possibly they are
-// changed automatically"): a block that keeps improving keeps its
-// offset-window length; a block that stagnates for Patience consecutive
+// changed automatically"): a unit that keeps improving keeps its
+// offset-window length; one that stagnates for Patience consecutive
 // rounds doubles its window (cooling toward greedier selection), and
 // wraps back to the minimum once it exceeds the maximum (reheating).
-// This turns the static parallel-tempering-style ladder of §2.1 into a
-// per-block schedule, with no cross-block communication.
+// This turns the static ladder of §2.1 into a per-unit schedule, with
+// no cross-unit communication.
 type adaptiveWindow struct {
 	// Min and Max bound the window length; Patience is the number of
 	// stagnant rounds tolerated before a change.
@@ -44,7 +66,7 @@ func newAdaptiveWindow(initial, min, max, patience int) *adaptiveWindow {
 // Length returns the current window length.
 func (a *adaptiveWindow) Length() int { return a.l }
 
-// Observe records the block's best energy after a round and returns
+// Observe records the unit's best energy after a round and returns
 // the window length for the next round.
 func (a *adaptiveWindow) Observe(bestE int64, found bool) int {
 	improved := found && (!a.hasBest || bestE < a.bestE)

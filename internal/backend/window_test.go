@@ -1,0 +1,50 @@
+package backend
+
+import "testing"
+
+func TestAdaptiveWindowClampsConstruction(t *testing.T) {
+	a := newAdaptiveWindow(0, -3, -5, 0)
+	if a.Min != 1 || a.Max != 1 || a.Length() != 1 || a.Patience != 1 {
+		t.Errorf("degenerate construction not clamped: %+v", a)
+	}
+	b := newAdaptiveWindow(999, 4, 64, 3)
+	if b.Length() != 64 {
+		t.Errorf("initial not clamped to max: %d", b.Length())
+	}
+}
+
+func TestAdaptiveWindowDoublesOnStagnation(t *testing.T) {
+	a := newAdaptiveWindow(4, 4, 64, 2)
+	// First observation establishes the baseline best (an improvement).
+	if l := a.Observe(-100, true); l != 4 {
+		t.Fatalf("window changed on improvement: %d", l)
+	}
+	// Two stagnant rounds → double.
+	a.Observe(-100, true) // equal energy: stagnant (1)
+	if l := a.Observe(-90, true); l != 8 {
+		t.Fatalf("window after 2 stagnant rounds = %d, want 8", l)
+	}
+	// Improvement resets the stagnation counter and keeps the length.
+	if l := a.Observe(-200, true); l != 8 {
+		t.Fatalf("window changed on improvement: %d", l)
+	}
+}
+
+func TestAdaptiveWindowReheatsPastMax(t *testing.T) {
+	a := newAdaptiveWindow(32, 4, 64, 1)
+	a.Observe(-1, true)           // baseline
+	if a.Observe(0, true) != 64 { // 32→64
+		t.Fatal("first doubling wrong")
+	}
+	if l := a.Observe(0, true); l != 4 { // 64→wrap to min
+		t.Fatalf("no reheat: %d", l)
+	}
+}
+
+func TestAdaptiveWindowHandlesNoBest(t *testing.T) {
+	a := newAdaptiveWindow(8, 4, 64, 1)
+	// Rounds with no best found count as stagnant.
+	if l := a.Observe(0, false); l != 16 {
+		t.Fatalf("stagnant no-best round did not double: %d", l)
+	}
+}

@@ -1,0 +1,68 @@
+// Package backendflag is the one place the -backend command-line flag
+// is defined, so every binary (abs-solve, abs-serve, abs-worker,
+// abs-bench) spells it the same way: same name, same usage text, same
+// validation against the registry, same "auto" semantics. Precedence
+// is uniform too — an explicit local value wins, "auto" defers to a
+// coordinator grant where one exists (abs-worker) and otherwise to the
+// straight default.
+package backendflag
+
+import (
+	"flag"
+	"strings"
+
+	"abs/internal/backend"
+	"abs/internal/core"
+)
+
+// Value is a flag.Value that only accepts "auto" or a registered
+// solver-backend name; the error from an unknown name lists the
+// registry, the same way the HTTP 400 does.
+type Value struct {
+	b core.Backend
+}
+
+// String renders the current setting ("auto" for the zero value).
+func (v *Value) String() string {
+	if v == nil {
+		return core.BackendAuto.String()
+	}
+	return v.b.String()
+}
+
+// Set validates and stores one setting.
+func (v *Value) Set(s string) error {
+	b, err := core.ParseBackend(s)
+	if err != nil {
+		return err
+	}
+	v.b = b
+	return nil
+}
+
+// Backend returns the parsed selection (core.BackendAuto when the flag
+// was not given, set to "auto", or never registered — nil receiver).
+func (v *Value) Backend() core.Backend {
+	if v == nil {
+		return core.BackendAuto
+	}
+	return v.b
+}
+
+// Register installs -backend on the default flag set and returns the
+// value to read after flag.Parse. The extra clause tailors the "auto"
+// explanation to the binary (pass "" for the plain default).
+func Register(autoMeans string) *Value {
+	return RegisterOn(flag.CommandLine, autoMeans)
+}
+
+// RegisterOn is Register on an explicit FlagSet (tests, sub-commands).
+func RegisterOn(fs *flag.FlagSet, autoMeans string) *Value {
+	if autoMeans == "" {
+		autoMeans = "auto means straight"
+	}
+	v := &Value{}
+	fs.Var(v, "backend",
+		"solver backend: auto|"+strings.Join(backend.Names(), "|")+" ("+autoMeans+")")
+	return v
+}

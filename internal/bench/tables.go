@@ -16,11 +16,21 @@ import (
 	"abs/internal/tsp"
 )
 
+// defaultBackend is the solver backend every benchmark run uses;
+// BackendAuto (the zero value) keeps the paper's straight program.
+// Set once from the -backend flag before any benchmark runs.
+var defaultBackend core.Backend
+
+// SetDefaultBackend pins the solver backend for all subsequent
+// benchmark solves (abs-bench -backend).
+func SetDefaultBackend(b core.Backend) { defaultBackend = b }
+
 // solveOptions returns the solver configuration shared by all
 // time-to-solution rows.
 func solveOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Seed = 20200701 // fixed for reproducibility across report runs
+	o.Backend = defaultBackend
 	return o
 }
 

@@ -487,3 +487,57 @@ func TestStorageGrantOmittedOnAuto(t *testing.T) {
 		t.Errorf("auto coordinator granted storage %q, want empty (decide locally)", reg.Storage)
 	}
 }
+
+func TestBackendGrantPropagatesToWorkerEngine(t *testing.T) {
+	p := testProblem(48, 6)
+	c := newCoord(t, p, CoordinatorConfig{Backend: core.BackendTabu})
+	reg := mustRegister(t, c, "w-grant")
+	if reg.Backend != "tabu" {
+		t.Fatalf("registration grant backend = %q, want \"tabu\"", reg.Backend)
+	}
+
+	// A worker left on auto inherits the coordinator's choice.
+	w, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-grant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w.engine.Finish(true)
+	if got := w.engine.Backend(); got != core.BackendTabu {
+		t.Errorf("auto worker resolved %v, want tabu from the grant", got)
+	}
+
+	// An explicit local setting wins over the grant.
+	w2, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-local", Backend: core.BackendSB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w2.engine.Finish(true)
+	if got := w2.engine.Backend(); got != core.BackendSB {
+		t.Errorf("locally pinned worker resolved %v, want sb", got)
+	}
+
+	// A corrupt grant is a hard registration error, not a silent auto.
+	w3, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *reg
+	bad.Backend = "columnar"
+	if err := w3.buildEngine(p, &bad); err == nil {
+		w3.engine.Finish(true)
+		t.Error("buildEngine accepted an unknown backend grant")
+	}
+}
+
+func TestBackendGrantOmittedOnAuto(t *testing.T) {
+	c := newCoord(t, testProblem(32, 7), CoordinatorConfig{})
+	if reg := mustRegister(t, c, "w"); reg.Backend != "" {
+		t.Errorf("auto coordinator granted backend %q, want empty (decide locally)", reg.Backend)
+	}
+}

@@ -47,6 +47,12 @@ type CoordinatorConfig struct {
 	// StorageDense/StorageSparse pin the whole cluster.
 	Storage core.Storage
 
+	// Backend is the solver backend granted to workers at registration
+	// (RegisterResponse.Backend), by registered name. BackendAuto, the
+	// default, leaves the choice to each worker; a named backend pins
+	// the whole cluster (a worker's explicit setting still wins).
+	Backend core.Backend
+
 	// LeaseTTL is how long a granted lease survives without a heartbeat
 	// or publish from its worker before its target is redistributed.
 	// Zero means 10 s.
@@ -479,6 +485,10 @@ func (c *Coordinator) Register(ctx context.Context, req RegisterRequest) (resp *
 	if c.cfg.Storage != core.StorageAuto {
 		storage = c.cfg.Storage.String()
 	}
+	backendGrant := ""
+	if c.cfg.Backend != core.BackendAuto {
+		backendGrant = c.cfg.Backend.String()
+	}
 	return &RegisterResponse{
 		WorkerID:        w.id,
 		Problem:         c.problemText,
@@ -488,6 +498,7 @@ func (c *Coordinator) Register(ctx context.Context, req RegisterRequest) (resp *
 		LeaseBatch:      c.cfg.LeaseBatch,
 		TargetEnergy:    c.cfg.TargetEnergy,
 		Storage:         storage,
+		Backend:         backendGrant,
 		Trace:           c.trace.Traceparent(),
 		Done:            c.isDone(),
 	}, nil

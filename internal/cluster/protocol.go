@@ -80,6 +80,11 @@ type RegisterResponse struct {
 	// one cluster-wide flag reaches every worker with the problem.
 	// A worker's own explicit -storage setting wins over this.
 	Storage string `json:"storage,omitempty"`
+	// Backend is the coordinator's solver-backend choice by registered
+	// name ("straight", "sb", "tabu", "race"; empty means decide
+	// locally), granted the same way Storage is. A worker's own
+	// explicit -backend setting wins over this.
+	Backend string `json:"backend,omitempty"`
 	// Trace is the run's root span context as a W3C-traceparent-style
 	// value (telemetry.ParseTraceparent). Workers parent their own spans
 	// under it, so one stitched trace covers the whole cluster run.

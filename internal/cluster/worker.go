@@ -49,6 +49,12 @@ type WorkerConfig struct {
 	// node may know better than the cluster-wide default).
 	Storage core.Storage
 
+	// Backend pins the local solver backend. The default,
+	// core.BackendAuto, defers to the coordinator's registration grant
+	// when it names one and otherwise to the straight default; an
+	// explicit backend here always wins.
+	Backend core.Backend
+
 	// Reconnect paces re-registration after losing the coordinator.
 	// The zero value means {Base: 100ms, Factor: 2, Max: 5s,
 	// Jitter: 0.25} — the same retry vocabulary the block supervisor
@@ -353,6 +359,14 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 			return MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad storage grant: %w", err))
 		}
 		opt.Storage = s
+	}
+	opt.Backend = w.cfg.Backend
+	if opt.Backend == core.BackendAuto && reg.Backend != "" {
+		b, err := core.ParseBackend(reg.Backend)
+		if err != nil {
+			return MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad backend grant: %w", err))
+		}
+		opt.Backend = b
 	}
 	opt.MaxDuration = w.cfg.MaxDuration
 	opt.Telemetry = w.cfg.Registry

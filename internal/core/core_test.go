@@ -192,29 +192,9 @@ func TestSolveAutoSelectsBitsPerThread(t *testing.T) {
 	}
 }
 
-func TestBlockWindowBounds(t *testing.T) {
-	o := Options{WindowMin: 4, WindowMax: 256}
-	for g := 0; g < 100; g++ {
-		l := blockWindow(g, 100, o, 512)
-		if l < 4 || l > 256 {
-			t.Fatalf("block %d window %d outside [4,256]", g, l)
-		}
-	}
-	if blockWindow(0, 100, o, 512) != 4 {
-		t.Error("first block should get WindowMin")
-	}
-	if blockWindow(99, 100, o, 512) != 256 {
-		t.Error("last block should get WindowMax")
-	}
-	// Single block gets the minimum; window clamps to n.
-	if blockWindow(0, 1, o, 512) != 4 {
-		t.Error("single-block window wrong")
-	}
-	o2 := Options{WindowMin: 100, WindowMax: 1000}
-	if blockWindow(99, 100, o2, 64) != 64 {
-		t.Error("window not clamped to n")
-	}
-}
+// The §2.1 window ladder itself now lives in internal/backend
+// (WindowFor) and is unit-tested there; nothing Options-specific
+// remains to cover here.
 
 func TestSolveSingleBlockConfiguration(t *testing.T) {
 	// A device trimmed to one resident block must still run the whole

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"abs/internal/backend"
 	"abs/internal/bitvec"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
@@ -51,6 +52,8 @@ type Engine struct {
 	blockFn   gpusim.BlockFunc
 
 	storage          Storage
+	backendName      Backend  // resolved, never BackendAuto
+	slotBackend      []string // per-slot backend name (differs per slot under race)
 	evaluatedPerFlip float64
 	occ              gpusim.Occupancy
 	blocksPerDevice  int
@@ -64,6 +67,13 @@ type Engine struct {
 	emitProgress bool
 	reachedTrgt  bool
 	injectCursor int // round-robin slot cursor for InjectTargets
+
+	// Pump-goroutine best-so-far over admitted publications, used to
+	// attribute strict improvements to the backend that produced them,
+	// and the per-backend tally surfaced as Result.BackendStats.
+	ingestBest      int64
+	ingestBestKnown bool
+	backendTally    map[string]BackendStat
 
 	// Live snapshot for readers outside the pump goroutine.
 	bestE     atomic.Int64
@@ -124,6 +134,33 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		evaluatedPerFlip = float64(n)
 	}
 
+	// Backend selection: the registered solver program every unit runs
+	// over that state representation. BackendAuto resolves to straight
+	// (the paper's algorithm); normalize already rejected unknown
+	// names, so New failing here means a factory rejected the config.
+	backendName := opt.Backend
+	if backendName == BackendAuto {
+		backendName = BackendStraight
+	}
+	be, err := backend.New(string(backendName), backend.Config{
+		Problem:          p,
+		NewState:         newState,
+		Units:            totalSlots,
+		Seed:             opt.Seed,
+		LocalSteps:       opt.LocalSteps,
+		WindowMin:        opt.WindowMin,
+		WindowMax:        opt.WindowMax,
+		Adaptive:         opt.Adaptive,
+		AdaptivePatience: opt.AdaptivePatience,
+	})
+	if err != nil {
+		return nil, err
+	}
+	slotBackend := make([]string, totalSlots)
+	for g := range slotBackend {
+		slotBackend[g] = be.UnitName(g)
+	}
+
 	bufCap := opt.SolutionBufferCap
 	if bufCap == 0 {
 		bufCap = 4 * totalSlots
@@ -173,15 +210,21 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		stats:            stats,
 		metrics:          metrics,
 		storage:          storage,
+		backendName:      backendName,
+		slotBackend:      slotBackend,
 		evaluatedPerFlip: evaluatedPerFlip,
 		occ:              occ,
 		blocksPerDevice:  blocksPerDevice,
 		maxDevices:       opt.NumGPUs,
 		totalSlots:       totalSlots,
+		backendTally:     make(map[string]BackendStat),
 		runs:             make(map[int]*gpusim.DeviceRun),
 	}
+	// Every launch — first attach or supervisor respawn — gets a fresh
+	// unit from the backend, exactly as incarnations used to get a
+	// fresh Δ-register engine.
 	e.blockFn = func(bc gpusim.BlockContext) {
-		deviceBlock(bc, newState(), opt, targets, solutions, stats, metrics)
+		deviceBlock(bc, be.NewUnit(bc.GlobalBlock), opt, targets, solutions, stats, metrics)
 	}
 	e.gate = &ingestGate{
 		adm:          NewGate(p, opt.TrustPublications),
@@ -219,6 +262,29 @@ func (e *Engine) Options() Options { return e.opt }
 // instance (never StorageAuto): what every block — including
 // supervisor respawns, which reuse the same state factory — runs on.
 func (e *Engine) Storage() Storage { return e.storage }
+
+// Backend returns the solver backend the engine resolved (never
+// BackendAuto): the program every unit — including supervisor
+// respawns, which get fresh units from the same backend — runs.
+func (e *Engine) Backend() Backend { return e.backendName }
+
+// ingestRecord updates the per-backend admission counters for one
+// admitted publication from slot. Pump goroutine only.
+func (e *Engine) ingestRecord(slot int, energy int64) {
+	e.stats.slots[slot].inserted.Add(1)
+	improved := !e.ingestBestKnown || energy < e.ingestBest
+	if improved {
+		e.ingestBest, e.ingestBestKnown = energy, true
+	}
+	name := e.slotBackend[slot]
+	t := e.backendTally[name]
+	t.Inserted++
+	if improved {
+		t.Improvements++
+	}
+	e.backendTally[name] = t
+	e.metrics.backendIngest(name, improved)
+}
 
 // Occupancy returns the per-device occupancy of the chosen shape.
 func (e *Engine) Occupancy() gpusim.Occupancy { return e.occ }
@@ -347,7 +413,7 @@ func (e *Engine) Pump(now time.Time) {
 		for _, s := range batch {
 			slot, inserted, retarget := e.gate.ingest(e.host, s)
 			if inserted {
-				e.stats.slots[slot].inserted.Add(1)
+				e.ingestRecord(slot, s.Energy)
 			}
 			if retarget {
 				e.targets.Store(slot, e.host.NewTarget())
@@ -445,7 +511,7 @@ func (e *Engine) Finish(cancelled bool) *Result {
 	for _, s := range e.solutions.Drain() {
 		slot, inserted, _ := e.gate.ingest(e.host, s)
 		if inserted {
-			e.stats.slots[slot].inserted.Add(1)
+			e.ingestRecord(slot, s.Energy)
 		}
 	}
 
@@ -453,6 +519,7 @@ func (e *Engine) Finish(cancelled bool) *Result {
 		Blocks:           e.totalSlots,
 		Occupancy:        e.occ,
 		Storage:          e.storage,
+		Backend:          e.backendName,
 		EvaluatedPerFlip: e.evaluatedPerFlip,
 		Cancelled:        cancelled,
 		ReachedTarget:    e.reachedTrgt,
@@ -495,12 +562,17 @@ func (e *Engine) Finish(cancelled bool) *Result {
 		res.Recovered = e.sup.recovered
 		res.Retired = e.sup.numRetired
 	}
+	res.BackendStats = make(map[string]BackendStat, len(e.backendTally))
+	for name, t := range e.backendTally {
+		res.BackendStats[name] = t
+	}
 	res.BlockStats = make([]BlockStat, e.totalSlots)
 	for g := range res.BlockStats {
 		slot := &e.stats.slots[g]
 		res.BlockStats[g] = BlockStat{
 			Device:    g / e.blocksPerDevice,
 			Block:     g % e.blocksPerDevice,
+			Backend:   e.slotBackend[g],
 			Window:    int(slot.window.Load()),
 			Flips:     slot.flips.Load(),
 			Published: slot.published.Load(),

@@ -53,6 +53,9 @@ type runMetrics struct {
 
 	faultsInjected telemetry.CounterVec
 
+	backendInserted     telemetry.CounterVec
+	backendImprovements telemetry.CounterVec
+
 	bestEnergy *telemetry.Gauge
 	elapsed    *telemetry.Gauge
 
@@ -125,6 +128,11 @@ func newRunMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer, sc telemet
 
 		faultsInjected: reg.CounterVec("abs_faults_injected_total",
 			"injected faults that fired in device blocks (testing runs only)", "kind"),
+
+		backendInserted: reg.CounterVec("abs_backend_inserted_total",
+			"publications admitted to the GA pool, by the solver backend of the producing unit", "backend"),
+		backendImprovements: reg.CounterVec("abs_backend_improvements_total",
+			"admitted publications that strictly improved the run's best energy, by producing backend", "backend"),
 
 		bestEnergy: reg.Gauge("abs_best_energy",
 			"best evaluated energy in the GA pool"),
@@ -214,6 +222,19 @@ func (m *runMetrics) ingestReject(s gpusim.Solution, c *telemetry.Counter, reaso
 		Kind: telemetry.EventIngestReject, Device: s.Device, Block: s.Block,
 		Energy: s.Energy, Detail: reason,
 	})
+}
+
+// backendIngest attributes one admitted publication to the solver
+// backend of the unit that produced it; improved marks a strict
+// improvement of the run's best-so-far energy.
+func (m *runMetrics) backendIngest(name string, improved bool) {
+	if m == nil {
+		return
+	}
+	m.backendInserted.With(name).Inc()
+	if improved {
+		m.backendImprovements.With(name).Inc()
+	}
 }
 
 // ingestBatch records one drained batch's host-side processing time.

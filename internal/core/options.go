@@ -16,8 +16,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
+	"abs/internal/backend"
 	"abs/internal/bitvec"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
@@ -112,6 +114,14 @@ type Options struct {
 	// (30 %, chosen from BenchmarkFlipCrossover measurements), where
 	// the O(deg) flip decisively beats the dense O(n) kernel.
 	Storage Storage
+
+	// Backend selects the solver backend every search unit runs — the
+	// device-side algorithm behind the shared pool protocol. The zero
+	// value (BackendAuto) defers: a cluster worker takes the
+	// coordinator's registration grant, and an engine falls back to
+	// BackendStraight, the paper's algorithm. Validate rejects names
+	// with no registered factory with ErrUnknownBackend.
+	Backend Backend
 
 	// Warm starts: vectors inserted into the solution pool before the
 	// run, e.g. a 2-opt tour for a TSP instance. They enter with
@@ -245,6 +255,65 @@ func ParseStorage(s string) (Storage, error) {
 	}
 }
 
+// Backend names a registered solver backend (see internal/backend):
+// the per-block search program raced behind the shared ABS pool
+// protocol. The zero value (BackendAuto) defers the choice — a
+// cluster worker takes the coordinator's registration grant, and an
+// engine resolves it to BackendStraight, the paper's single-algorithm
+// behaviour.
+type Backend string
+
+const (
+	// BackendAuto defers the backend choice (grant, then straight).
+	BackendAuto Backend = ""
+	// BackendStraight is the paper's §3.2 program: straight search to
+	// the pool target, then bulk local search on the offset-window
+	// ladder.
+	BackendStraight Backend = "straight"
+	// BackendSB runs simulated bifurcation dynamics on float spins
+	// over the Ising form of the instance.
+	BackendSB Backend = "sb"
+	// BackendTabu runs diversified multi-start tabu search.
+	BackendTabu Backend = "tabu"
+	// BackendRace splits the fleet's units across straight, sb and
+	// tabu, racing the portfolio through the one shared pool.
+	BackendRace Backend = "race"
+)
+
+func (b Backend) String() string {
+	if b == BackendAuto {
+		return "auto"
+	}
+	return string(b)
+}
+
+// ErrUnknownBackend is the typed sentinel behind backend-validation
+// failures (ParseBackend, Options.Validate): the named backend has no
+// registered factory. Match with errors.Is.
+var ErrUnknownBackend = backend.ErrUnknown
+
+// ParseBackend parses a backend name ("auto" or the empty string for
+// BackendAuto, else a registered name) — the shared decoder for CLI
+// -backend flags, serve job specs and the cluster protocol's backend
+// grant. Unknown names fail with ErrUnknownBackend, listing what is
+// registered.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	}
+	if !backend.Known(s) {
+		return BackendAuto, fmt.Errorf("core: %w %q (registered: %s)",
+			ErrUnknownBackend, s, strings.Join(backend.Names(), ", "))
+	}
+	return Backend(s), nil
+}
+
+// Backends lists the registered solver backends with their one-line
+// descriptions, sorted by name — what GET /v1/backends and CLI usage
+// strings render.
+func Backends() []backend.Info { return backend.List() }
+
 // DefaultOptions returns options sized for solving on a CPU host: a
 // small virtual cluster (one device with a few SMs keeps per-flip
 // throughput high while preserving search diversity), automatic block
@@ -295,6 +364,11 @@ func (o Options) normalize(n int) (Options, error) {
 	if o.TargetEnergy == nil && o.MaxDuration == 0 && o.MaxFlips == 0 {
 		return o, fmt.Errorf("core: no stop condition set (TargetEnergy, MaxDuration or MaxFlips)")
 	}
+	b, err := ParseBackend(string(o.Backend))
+	if err != nil {
+		return o, err
+	}
+	o.Backend = b
 	if o.BitsPerThread == 0 {
 		p, err := o.Device.BestBitsPerThread(n)
 		if err != nil {

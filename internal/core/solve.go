@@ -2,10 +2,10 @@ package core
 
 import (
 	"context"
-	"math"
 	"sync/atomic"
 	"time"
 
+	"abs/internal/backend"
 	"abs/internal/bitvec"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
@@ -80,9 +80,32 @@ type Result struct {
 	Storage          Storage
 	EvaluatedPerFlip float64
 
+	// Backend is the solver backend the run's units executed (after
+	// auto resolution, never BackendAuto). Per-unit assignments — which
+	// matter for BackendRace, where units split across the portfolio —
+	// are in BlockStats.
+	Backend Backend
+
 	// BlockStats holds one record per search unit, ordered by global
 	// block index.
 	BlockStats []BlockStat
+
+	// BackendStats aggregates pool admissions by producing backend —
+	// one entry per backend that had at least one publication admitted
+	// (the full portfolio under BackendRace, at most one entry
+	// otherwise). It is the Result-side mirror of the
+	// abs_backend_inserted_total / abs_backend_improvements_total run
+	// counters.
+	BackendStats map[string]BackendStat
+}
+
+// BackendStat is Result.BackendStats' per-backend admission record.
+type BackendStat struct {
+	// Inserted counts the backend's publications the host admitted to
+	// the pool; Improvements counts the subset that strictly improved
+	// the run's best energy when they arrived.
+	Inserted     uint64
+	Improvements uint64
 }
 
 // BlockStat is the per-search-unit record returned in Result.BlockStats:
@@ -92,8 +115,12 @@ type Result struct {
 // temperature-like ladder (§2.1) actually feed the pool.
 type BlockStat struct {
 	Device, Block int
+	// Backend is the solver backend this unit ran ("straight", "sb",
+	// ...) — under BackendRace the portfolio member assigned to the
+	// slot.
+	Backend string
 	// Window is the block's offset-window length (final value when
-	// adaptive rescheduling is on).
+	// adaptive rescheduling is on; 0 for backends without a window).
 	Window int
 	// Flips and Published count the block's work; Inserted counts its
 	// publications that the host admitted to the pool. Totals cover all
@@ -192,31 +219,20 @@ func nextDeadline(prev, now time.Time, every time.Duration) time.Time {
 	return prev.Add(steps * every)
 }
 
-// deviceBlock is the device-side program of §3.2: the body of one CUDA
-// block, run as a goroutine. The engine arrives initialized at the
-// zero vector — E(0) = 0, Δ_i = W_ii — so the very first straight
-// search already runs at O(1) efficiency (Step 1). Respawned
-// incarnations run the same program with a fresh engine; the target
+// deviceBlock is the device-side round protocol of §3.2: the body of
+// one CUDA block, run as a goroutine, generic over the solver backend.
+// The unit arrives freshly built (its Δ-register engine initialized at
+// the zero vector — E(0) = 0, Δ_i = W_ii — so the very first straight
+// search already runs at O(1) efficiency, Step 1). Respawned
+// incarnations run the same program with a fresh unit; the target
 // buffer's version counter makes them pick up the slot's current
 // target immediately.
-func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
+func deviceBlock(bc gpusim.BlockContext, unit backend.Unit, opt Options,
 	targets *gpusim.TargetBuffer, solutions *gpusim.SolutionBuffer, stats *blockStats,
 	metrics *runMetrics) {
 
-	// Window length: interpolate across blocks geometrically between
-	// WindowMin and WindowMax so the population covers exploration
-	// temperatures (§2.1); like parallel tempering, but static — unless
-	// Adaptive is set, in which case each block reschedules itself when
-	// it stagnates.
-	initialWindow := blockWindow(bc.GlobalBlock, targets.Slots(), opt, state.N())
-	policy := search.NewOffsetWindow(initialWindow)
-	var adapt *adaptiveWindow
-	if opt.Adaptive {
-		adapt = newAdaptiveWindow(initialWindow, opt.WindowMin, opt.WindowMax, opt.AdaptivePatience)
-	}
-
 	my := &stats.slots[bc.GlobalBlock]
-	defer func() { my.window.Store(int64(policy.L)) }()
+	defer func() { my.window.Store(int64(unit.Window())) }()
 
 	var targetVersion uint64
 	// meter batches the round's flip tallies; the flush below is the
@@ -255,17 +271,19 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 		// iteration chain of Fig. 4 continues unbroken either way).
 		if t, v, ok := targets.Load(bc.GlobalBlock, targetVersion); ok {
 			targetVersion = v
-			// Step 4a: straight search from the current solution C to
-			// the target T (Algorithm 5). Flip count = Hamming(C, T).
-			meter.Straight(search.StraightUntil(state, t, stopped))
+			// Step 4a: the unit adopts the target T (for flip-based
+			// backends, Algorithm 5's straight search from the current
+			// solution; flip count = Hamming(C, T)).
+			meter.Straight(unit.Retarget(t, stopped))
 		}
-		// Step 4b: bulk local search with the forced-flip policy.
-		meter.Local(search.RunUntil(state, opt.LocalSteps, policy, stopped))
+		// Step 4b: one bulk search phase of the unit's algorithm.
+		flips, x, e, ok := unit.Round(stopped)
+		meter.Local(flips)
 
-		// Step 5: publish the best solution found this round, then
-		// reset it (Step 3 of the next round) so successive rounds
-		// publish fresh solutions rather than one old champion.
-		x, e, ok := state.Best()
+		// Step 5: publish the best solution found this round (the unit
+		// resets its round-best itself, Step 3 of the next round, so
+		// successive rounds publish fresh solutions rather than one old
+		// champion).
 		if ok {
 			s := gpusim.Solution{X: x, Energy: e, Device: bc.Device, Block: bc.Block}
 			if opt.Faults != nil {
@@ -273,10 +291,6 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 			}
 			solutions.Publish(s)
 			my.published.Add(1)
-		}
-		state.ResetBest()
-		if adapt != nil {
-			policy.L = adapt.Observe(e, ok)
 		}
 
 		meter.Round()
@@ -288,22 +302,4 @@ func deviceBlock(bc gpusim.BlockContext, state qubo.Engine, opt Options,
 		// blocks stop stamping, which is what the supervisor watches.
 		my.heartbeat.Store(time.Now().UnixNano())
 	}
-}
-
-// blockWindow assigns block g of total a window length log-interpolated
-// in [opt.WindowMin, opt.WindowMax] and clamped to [1, n].
-func blockWindow(g, total int, opt Options, n int) int {
-	lo, hi := float64(opt.WindowMin), float64(opt.WindowMax)
-	frac := 0.0
-	if total > 1 {
-		frac = float64(g) / float64(total-1)
-	}
-	l := int(math.Round(lo * math.Pow(hi/lo, frac)))
-	if l < 1 {
-		l = 1
-	}
-	if l > n {
-		l = n
-	}
-	return l
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"abs/internal/core"
 	"abs/internal/health"
 	"abs/internal/qubo"
 	"abs/internal/randqubo"
@@ -24,6 +25,7 @@ import (
 //	GET    /v1/jobs/{id}/events NDJSON stream of status snapshots
 //	GET    /v1/jobs/{id}/trace  the job's spans + events (NDJSON;
 //	                            ?format=chrome for chrome://tracing JSON)
+//	GET    /v1/backends         the registered solver backends
 //	GET    /healthz             liveness probe (always 200)
 //	GET    /readyz              readiness probe (503 once closed)
 //
@@ -39,6 +41,7 @@ func NewHTTPHandler(s *Service, reg *telemetry.Registry, tr *telemetry.Tracer) h
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.trace)
+	mux.HandleFunc("GET /v1/backends", h.backends)
 	health.Register(mux, func() bool { return !s.Closed() })
 	if reg != nil {
 		mux.Handle("/", telemetry.NewHandler(reg, tr))
@@ -70,6 +73,10 @@ type jobRequest struct {
 	Seed         uint64 `json:"seed,omitempty"`
 	// MaxDevices caps the job's fair share of the fleet (0 = no cap).
 	MaxDevices int `json:"max_devices,omitempty"`
+	// Backend selects the solver backend by registered name; empty
+	// inherits the service default. Unknown names get a 400 listing the
+	// registered backends (see GET /v1/backends).
+	Backend string `json:"backend,omitempty"`
 }
 
 type randomSpec struct {
@@ -112,6 +119,7 @@ type resultJSON struct {
 	SearchRate     float64 `json:"search_rate"`
 	Blocks         int     `json:"blocks"`
 	Storage        string  `json:"storage"`
+	Backend        string  `json:"backend"`
 	Recovered      uint64  `json:"recovered,omitempty"`
 	Quarantined    uint64  `json:"quarantined,omitempty"`
 }
@@ -155,6 +163,7 @@ func statusJSON(j *Job) jobJSON {
 			SearchRate:     res.SearchRate,
 			Blocks:         res.Blocks,
 			Storage:        res.Storage.String(),
+			Backend:        res.Backend.String(),
 			Recovered:      res.Recovered,
 			Quarantined:    res.Quarantined,
 		}
@@ -214,6 +223,7 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 		TargetEnergy: req.TargetEnergy,
 		Seed:         req.Seed,
 		MaxDevices:   req.MaxDevices,
+		Backend:      req.Backend,
 	}
 	if req.Time != "" {
 		d, err := time.ParseDuration(req.Time)
@@ -238,6 +248,12 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, statusJSON(job))
+}
+
+// backends lists the registered solver backends — the valid values for
+// the submit body's "backend" field.
+func (h *httpAPI) backends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"backends": core.Backends()})
 }
 
 func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {

@@ -253,6 +253,7 @@ func TestHTTPBadRequests(t *testing.T) {
 		{"bad time", `{"random": {"n": 8}, "time": "yesterday"}`},
 		{"negative n", `{"random": {"n": -4}, "max_flips": 10}`},
 		{"unknown field", `{"random": {"n": 8}, "max_flips": 10, "frobnicate": 1}`},
+		{"unknown backend", `{"random": {"n": 8}, "max_flips": 10, "backend": "columnar"}`},
 	}
 	for _, tc := range cases {
 		if code, _ := postJob(t, ts, tc.body); code != http.StatusBadRequest {
@@ -288,5 +289,62 @@ func TestHTTPInlineProblem(t *testing.T) {
 	}
 	if final.Result.Solution != "101" {
 		t.Errorf("solution %q, want 101", final.Result.Solution)
+	}
+}
+
+// TestHTTPBackendSelection submits under an explicit backend, checks
+// the result reports it, that an unknown name is a 400 naming the
+// registered set, and that GET /v1/backends lists the registry.
+func TestHTTPBackendSelection(t *testing.T) {
+	ts, _ := newTestServer(t, testConfig(1))
+	code, j := postJob(t, ts, `{"random": {"n": 24, "seed": 3}, "time": "200ms", "backend": "tabu"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	final := waitJob(t, ts, j.ID, "completion", func(j jobJSON) bool { return j.State == StateDone })
+	if final.Result == nil || final.Result.Backend != "tabu" {
+		t.Fatalf("result backend = %+v, want tabu", final.Result)
+	}
+
+	// The 400 body for an unknown backend names the registered set.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"random": {"n": 8}, "max_flips": 10, "backend": "columnar"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend: %d, want 400", resp.StatusCode)
+	}
+	for _, name := range []string{"straight", "sb", "tabu", "race"} {
+		if !strings.Contains(body.String(), name) {
+			t.Errorf("400 body does not name %q: %s", name, body.String())
+		}
+	}
+
+	// GET /v1/backends lists the registry with descriptions.
+	resp, err = http.Get(ts.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Backends []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Backends) < 4 {
+		t.Fatalf("GET /v1/backends listed %d backends, want >= 4", len(list.Backends))
+	}
+	for _, b := range list.Backends {
+		if b.Name == "" || b.Description == "" {
+			t.Errorf("backend entry incomplete: %+v", b)
+		}
 	}
 }

@@ -52,6 +52,12 @@ type JobSpec struct {
 	// Seed overrides the default host seed when non-zero.
 	Seed uint64
 
+	// Backend selects the solver backend for this job by registered
+	// name ("straight", "sb", "tabu", "race", ...). Empty inherits the
+	// service's default options. Unknown names are rejected at submit
+	// time with core.ErrUnknownBackend.
+	Backend string
+
 	// MaxDevices caps how many fleet devices the scheduler may ever
 	// allocate to this job. Zero means no cap (the whole fleet);
 	// values above the fleet size are clamped.

@@ -26,6 +26,14 @@ type serveMetrics struct {
 	persistFails  *telemetry.Counter
 	stageSeconds  telemetry.HistogramVec // label: pipeline stage (queue, run)
 
+	// Per-backend pool admissions, rolled up from each job's
+	// Result.BackendStats at settle. Backend-labeled counters are safe
+	// to sum across concurrent jobs (unlike the device-keyed run
+	// instruments), and keeping the run-registry names means one query
+	// works against abs-solve's -metrics-addr and abs-serve alike.
+	backendInserted     telemetry.CounterVec // label: backend
+	backendImprovements telemetry.CounterVec // label: backend
+
 	tracer *telemetry.Tracer
 }
 
@@ -62,6 +70,12 @@ func newServeMetrics(reg *telemetry.Registry, tr *telemetry.Tracer) *serveMetric
 		stageSeconds: reg.HistogramVec("abs_serve_stage_seconds",
 			"time a job spent in each pipeline stage", "stage",
 			telemetry.LogBuckets(1e-4, 4, 12)),
+		backendInserted: reg.CounterVec("abs_backend_inserted_total",
+			"publications admitted to the GA pool, by the solver backend of the producing unit",
+			"backend"),
+		backendImprovements: reg.CounterVec("abs_backend_improvements_total",
+			"admitted publications that strictly improved their run's best energy, by producing backend",
+			"backend"),
 		tracer: tr,
 	}
 }
@@ -123,6 +137,12 @@ func (m *serveMetrics) settled(j *Job, queueDepth, running int) {
 		m.stage("run", st.Finished.Sub(st.Started))
 	}
 	m.jobsSettled.With(string(st.State)).Inc()
+	if res, err := j.Result(); err == nil && res != nil {
+		for name, bs := range res.BackendStats {
+			m.backendInserted.With(name).Add(bs.Inserted)
+			m.backendImprovements.With(name).Add(bs.Improvements)
+		}
+	}
 	m.jobsQueued.SetInt(queueDepth)
 	m.jobsRunning.SetInt(running)
 	m.jobDevs.With(j.id).SetInt(0)

@@ -44,6 +44,7 @@ type jobRecord struct {
 	TargetEnergy    *int64 `json:"target_energy,omitempty"`
 	Seed            uint64 `json:"seed,omitempty"`
 	MaxDevices      int    `json:"max_devices,omitempty"`
+	Backend         string `json:"backend,omitempty"`
 	SubmittedUnixMS int64  `json:"submitted_unix_ms,omitempty"`
 
 	// Done records.
@@ -74,6 +75,7 @@ func specRecord(j *Job) (jobRecord, error) {
 		TargetEnergy:    j.spec.TargetEnergy,
 		Seed:            j.spec.Seed,
 		MaxDevices:      j.spec.MaxDevices,
+		Backend:         j.spec.Backend,
 		SubmittedUnixMS: j.submitted.UnixMilli(),
 	}, nil
 }
@@ -205,6 +207,7 @@ func loadJobs(st store.Store, retain int) (*restoredState, error) {
 			TargetEnergy: e.spec.TargetEnergy,
 			Seed:         e.spec.Seed,
 			MaxDevices:   e.spec.MaxDevices,
+			Backend:      e.spec.Backend,
 		}
 		submitted := time.UnixMilli(e.spec.SubmittedUnixMS)
 		p, perr := qubo.ReadText(strings.NewReader(e.spec.Problem))

@@ -334,6 +334,9 @@ func (s *Service) jobOptions(spec JobSpec) core.Options {
 	if spec.Seed != 0 {
 		opt.Seed = spec.Seed
 	}
+	if spec.Backend != "" {
+		opt.Backend = core.Backend(spec.Backend)
+	}
 	if lim := s.cfg.MaxJobDuration; lim > 0 && (opt.MaxDuration == 0 || opt.MaxDuration > lim) {
 		opt.MaxDuration = lim
 	}

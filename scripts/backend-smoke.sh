@@ -1,0 +1,105 @@
+#!/bin/sh
+# Backend smoke: boot abs-serve with the race meta-backend as the
+# service default and assert the solver-backend surface end to end —
+#   * GET /v1/backends lists every registered backend (straight, sb,
+#     tabu, race);
+#   * a job that names "backend": "race" runs and reports backend
+#     "race" in its result;
+#   * a bogus backend name is a 400 whose body lists the registry;
+#   * /metrics carries the per-backend abs_backend_* ingest counters.
+# Needs only the Go toolchain and curl.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+
+TMP=$(mktemp -d)
+SRV_PID=
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "backend-smoke: FAIL: $*" >&2
+	if [ -s "$TMP/serve.log" ]; then
+		echo "--- abs-serve log ---" >&2
+		cat "$TMP/serve.log" >&2
+	fi
+	exit 1
+}
+
+echo "backend-smoke: building abs-serve"
+$GO build -o "$TMP/abs-serve" ./cmd/abs-serve
+
+"$TMP/abs-serve" -addr 127.0.0.1:0 -gpus 1 -sms 1 -backend race >"$TMP/serve.log" 2>&1 &
+SRV_PID=$!
+
+# The service binds an ephemeral port; read it off the listen line.
+BASE=
+i=0
+while [ $i -lt 50 ]; do
+	BASE=$(sed -n 's#.*listening on http://\([^/]*\)/v1/jobs.*#\1#p' "$TMP/serve.log" | head -1)
+	[ -n "$BASE" ] && break
+	kill -0 "$SRV_PID" 2>/dev/null || fail "abs-serve exited before listening"
+	sleep 0.2
+	i=$((i + 1))
+done
+[ -n "$BASE" ] || fail "no listen address after 10s"
+echo "backend-smoke: abs-serve on $BASE (default backend: race)"
+
+# The registry listing.
+LIST=$(curl -sf "http://$BASE/v1/backends") || fail "GET /v1/backends"
+for want in straight sb tabu race; do
+	printf '%s' "$LIST" | grep -q "\"name\":[[:space:]]*\"$want\"" ||
+		fail "/v1/backends missing \"$want\": $LIST"
+done
+echo "backend-smoke: /v1/backends lists the registry"
+
+# A job pinned to the race meta-backend.
+SUBMIT=$(curl -sf -X POST "http://$BASE/v1/jobs" \
+	-d '{"random": {"n": 32, "seed": 7}, "max_flips": 200000, "backend": "race", "name": "backend-smoke"}') ||
+	fail "job submit"
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit reply has no job id: $SUBMIT"
+
+STATE=
+i=0
+while [ $i -lt 150 ]; do
+	STATE=$(curl -sf "http://$BASE/v1/jobs/$ID" | sed -n 's/.*"state":[[:space:]]*"\([^"]*\)".*/\1/p')
+	[ "$STATE" = done ] && break
+	[ "$STATE" = failed ] && fail "job failed"
+	sleep 0.2
+	i=$((i + 1))
+done
+[ "$STATE" = done ] || fail "job still '$STATE' after 30s"
+
+FINAL=$(curl -sf "http://$BASE/v1/jobs/$ID") || fail "final job fetch"
+printf '%s' "$FINAL" | grep -q '"backend":[[:space:]]*"race"' ||
+	fail "result does not report backend \"race\": $FINAL"
+echo "backend-smoke: job $ID done on the race backend"
+
+# An unknown backend is a 400 that lists the registry.
+CODE=$(curl -s -o "$TMP/bad.json" -w '%{http_code}' -X POST "http://$BASE/v1/jobs" \
+	-d '{"random": {"n": 32, "seed": 7}, "max_flips": 1000, "backend": "columnar"}')
+[ "$CODE" = 400 ] || fail "unknown backend returned HTTP $CODE, want 400"
+for want in straight sb tabu race; do
+	grep -q "$want" "$TMP/bad.json" ||
+		fail "400 body does not list \"$want\": $(cat "$TMP/bad.json")"
+done
+echo "backend-smoke: unknown backend rejected with the registry listed"
+
+# The per-backend ingest counters on /metrics.
+curl -sf "http://$BASE/metrics" >"$TMP/metrics.prom" || fail "/metrics scrape"
+grep -q '^abs_backend_inserted_total{backend=' "$TMP/metrics.prom" ||
+	fail "/metrics missing abs_backend_inserted_total series"
+grep -q '^abs_backend_improvements_total{backend=' "$TMP/metrics.prom" ||
+	fail "/metrics missing abs_backend_improvements_total series"
+echo "backend-smoke: metrics ok ($(grep -c '^abs_backend_' "$TMP/metrics.prom") abs_backend_* samples)"
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+echo "backend-smoke: PASS"
