@@ -7,7 +7,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X abs/internal/telemetry.version=$(VERSION) -X abs/internal/telemetry.commit=$(COMMIT)
 
-.PHONY: build test vet race check ci bench obs-demo obs-smoke backend-smoke serve apicheck cluster-demo
+.PHONY: build test vet race check ci bench obs-demo obs-smoke backend-smoke diversity-smoke serve apicheck cluster-demo
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -81,6 +81,13 @@ obs-smoke:
 # short lane.
 backend-smoke:
 	./scripts/backend-smoke.sh
+
+# Diversity smoke: boots abs-serve with the race backend under a DABS
+# spec and asserts the abs_alloc_units gauges move (the adaptive
+# allocator reassigns units) and the pool occupies >= 2 distance
+# buckets. CI runs this in the short lane.
+diversity-smoke:
+	./scripts/diversity-smoke.sh
 
 obs-demo:
 	$(GO) build -o /tmp/abs-solve ./cmd/abs-solve

@@ -17,6 +17,7 @@ import (
 	"abs/internal/chaos"
 	"abs/internal/cluster"
 	"abs/internal/core"
+	"abs/internal/diversity"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
@@ -52,6 +53,15 @@ type (
 	Backend = core.Backend
 	// BackendInfo describes one registered solver backend.
 	BackendInfo = backend.Info
+	// BackendStat is the per-backend tally in Result.BackendStats:
+	// publications, admissions, best energy and the final allocator
+	// unit split.
+	BackendStat = core.BackendStat
+	// DiversitySpec bundles the DABS control knobs (arXiv 2207.03069)
+	// accepted by Options.Diversity: the pool's Hamming admission
+	// radius, distance-bucket shape, and the race backend's adaptive
+	// allocator floor/window/interval. The zero value means defaults.
+	DiversitySpec = diversity.Spec
 
 	// Progress is the periodic run snapshot passed to Options.Progress
 	// and reported live by Job.Status.
@@ -140,6 +150,22 @@ func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
 // Backends lists the registered solver backends with their one-line
 // descriptions, sorted by name (the body of GET /v1/backends).
 func Backends() []BackendInfo { return core.Backends() }
+
+// ParseDiversitySpec parses a "radius=8,floor=0.2"-style key=value
+// string into a DiversitySpec (the decoder behind every -diversity CLI
+// flag, the serve job field and the cluster grant). The empty string
+// is the defaults; the literal "off" is StaticDiversitySpec.
+func ParseDiversitySpec(s string) (DiversitySpec, error) { return diversity.ParseSpec(s) }
+
+// DefaultDiversitySpec returns the adaptive defaults: pool admission
+// off (radius 0 is opt-in), race allocator adaptive with a 10%
+// exploration floor over a 3s window, rebalancing every second.
+func DefaultDiversitySpec() DiversitySpec { return diversity.DefaultSpec() }
+
+// StaticDiversitySpec returns the "off" spec — no admission policy and
+// a frozen allocator, bit-for-bit the pre-DABS behaviour (elite pool,
+// static race split).
+func StaticDiversitySpec() DiversitySpec { return diversity.StaticSpec() }
 
 // NewProblem returns an all-zero n-variable QUBO instance; fill it with
 // SetWeight/AddWeight.

@@ -43,6 +43,7 @@ import (
 
 	"abs/internal/backendflag"
 	"abs/internal/bench"
+	"abs/internal/diversityflag"
 )
 
 // renderFunc is one report section.
@@ -107,9 +108,11 @@ func main() {
 		ratio    = flag.Float64("assert-ratio", 0, "with -sparse-report: fail unless sparse/dense flips ratio is at least this on below-threshold instances (0 disables)")
 		backendR = flag.String("backend-report", "", "write a per-backend time-to-target comparison JSON to this file")
 		backend  = backendflag.Register("auto means straight; applies to every benchmark solve except -backend-report, which sweeps all backends")
+		divFlag  = diversityflag.Register("applies to every benchmark solve; -backend-report additionally sweeps a race-static row at floor=1.0")
 	)
 	flag.Parse()
 	bench.SetDefaultBackend(backend.Backend())
+	bench.SetDefaultDiversity(divFlag.Spec())
 
 	s, err := parseScale(*scale)
 	if err != nil {

@@ -61,6 +61,7 @@ import (
 	"abs/internal/backendflag"
 	"abs/internal/cluster"
 	"abs/internal/core"
+	"abs/internal/diversityflag"
 	"abs/internal/gpusim"
 	"abs/internal/health"
 	"abs/internal/qubo"
@@ -78,6 +79,7 @@ type config struct {
 	defaultTime time.Duration
 	maxTime     time.Duration
 	backend     *backendflag.Value
+	diversity   *diversityflag.Value
 
 	// Durability (both modes).
 	storeDir   string
@@ -122,6 +124,7 @@ func main() {
 	flag.DurationVar(&cfg.linger, "linger", 3*time.Second, "coordinator: how long to keep serving after the run finishes so workers can flush")
 	flag.StringVar(&cfg.storage, "storage", "auto", "coordinator: engine representation granted to workers (auto|dense|sparse)")
 	cfg.backend = backendflag.Register("job mode: default for jobs that name none; coordinator mode: granted to workers")
+	cfg.diversity = diversityflag.Register("job mode: default for jobs that name no spec; coordinator mode: granted to workers")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "target" {
@@ -211,6 +214,7 @@ func runCoordinator(ctx context.Context, cfg config, out *os.File) error {
 		LeaseBatch:  cfg.leaseBatch,
 		Storage:     storage,
 		Backend:     cfg.backend.Backend(),
+		Diversity:   cfg.diversity.Raw(),
 		Registry:    reg,
 		Tracer:      tr,
 		Checkpoint:  cfg.checkpoint,
@@ -333,6 +337,7 @@ func newService(cfg config) (*serve.Service, *telemetry.Registry, *telemetry.Tra
 	defaults := core.DefaultOptions()
 	defaults.MaxDuration = cfg.defaultTime
 	defaults.Backend = cfg.backend.Backend()
+	defaults.Diversity = cfg.diversity.Spec()
 
 	var device gpusim.DeviceSpec
 	if cfg.sms == 0 {

@@ -7,6 +7,7 @@
 //	          [-time 5s] [-target -12345 -use-target] [-gpus 1] [-sms 2]
 //	          [-bits-per-thread 0] [-seed 1] [-storage auto|dense|sparse]
 //	          [-backend auto|straight|sb|tabu|race]
+//	          [-diversity radius=8,floor=0.1|off]
 //	          [-solution] [-v] [-presolve]
 //	          [-metrics-addr :9090] [-trace-out run.jsonl]
 //
@@ -41,6 +42,7 @@ import (
 	"abs/internal/backendflag"
 	"abs/internal/bitvec"
 	"abs/internal/core"
+	"abs/internal/diversityflag"
 	"abs/internal/gpusim"
 	"abs/internal/ising"
 	"abs/internal/maxcut"
@@ -60,6 +62,7 @@ type config struct {
 	seed          uint64
 	storage       string
 	backend       *backendflag.Value
+	diversity     *diversityflag.Value
 	showSolution  bool
 	verbose       bool
 	presolve      bool
@@ -81,6 +84,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
 	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse")
 	cfg.backend = backendflag.Register("")
+	cfg.diversity = diversityflag.Register("")
 	flag.BoolVar(&cfg.showSolution, "solution", false, "print the solution bit vector")
 	flag.BoolVar(&cfg.verbose, "v", false, "print progress once per second")
 	flag.BoolVar(&cfg.presolve, "presolve", false, "apply persistency-based variable fixing before solving")
@@ -200,6 +204,7 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	opt.Backend = cfg.backend.Backend()
+	opt.Diversity = cfg.diversity.Spec()
 	opt.TrustPublications = cfg.trustDevices
 	opt.SupervisorGrace = cfg.grace
 	if cfg.verbose {

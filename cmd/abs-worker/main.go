@@ -9,6 +9,7 @@
 //	abs-worker -coordinator http://host:8080 [-id worker-a]
 //	           [-devices 1] [-sms 2] [-exchange 200ms] [-publish-k 8]
 //	           [-backend auto|straight|sb|tabu|race]
+//	           [-diversity radius=8,floor=0.1|off]
 //	           [-addr :9090] [-metrics-addr :9091] [-trace-out run.jsonl]
 //
 // The worker needs nothing but the coordinator's address — the
@@ -40,6 +41,7 @@ import (
 	"abs/internal/backendflag"
 	"abs/internal/cluster"
 	"abs/internal/core"
+	"abs/internal/diversityflag"
 	"abs/internal/gpusim"
 	"abs/internal/health"
 	"abs/internal/obsflags"
@@ -56,6 +58,7 @@ type config struct {
 	maxTime     time.Duration
 	storage     string
 	backend     *backendflag.Value
+	diversity   *diversityflag.Value
 	addr        string
 	obs         obsflags.Config
 }
@@ -71,6 +74,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTime, "max-time", 24*time.Hour, "local backstop budget for an orphaned worker")
 	flag.StringVar(&cfg.storage, "storage", "auto", "engine representation: auto|dense|sparse (auto defers to the coordinator's grant, then density)")
 	cfg.backend = backendflag.Register("auto defers to the coordinator's grant, then straight")
+	cfg.diversity = diversityflag.Register("unset defers to the coordinator's grant, then defaults; 'off' refuses the grant")
 	flag.StringVar(&cfg.addr, "addr", "", "health/metrics listen address (empty = no listener)")
 	cfg.obs.Register(flag.CommandLine)
 	flag.Parse()
@@ -131,6 +135,7 @@ func run(ctx context.Context, cfg config, out *os.File) error {
 		MaxDuration: cfg.maxTime,
 		Storage:     storage,
 		Backend:     cfg.backend.Backend(),
+		Diversity:   cfg.diversity.Raw(),
 		Registry:    reg,
 		Tracer:      tr,
 	})

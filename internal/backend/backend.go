@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"abs/internal/bitvec"
 	"abs/internal/qubo"
@@ -61,6 +62,15 @@ type Config struct {
 	Adaptive bool
 	// AdaptivePatience is the stagnant-round threshold; zero means 8.
 	AdaptivePatience int
+
+	// Alloc tunes the adaptive portfolio allocator of meta-backends
+	// (race): the exploration floor, rate window and rebalance period
+	// of diversity.Spec. Plain backends ignore it. The zero value
+	// means diversity.DefaultSpec's allocator settings; AllocFloor >=
+	// 1.0 pins the static g mod k split.
+	AllocFloor    float64
+	AllocWindow   time.Duration
+	AllocInterval time.Duration
 }
 
 // validate checks the fields every factory relies on.

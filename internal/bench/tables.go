@@ -8,6 +8,7 @@ import (
 
 	"abs/internal/chimera"
 	"abs/internal/core"
+	"abs/internal/diversity"
 	"abs/internal/gpusim"
 	"abs/internal/maxcut"
 	"abs/internal/qubo"
@@ -25,12 +26,23 @@ var defaultBackend core.Backend
 // benchmark solves (abs-bench -backend).
 func SetDefaultBackend(b core.Backend) { defaultBackend = b }
 
+// defaultDiversity is the DABS tuning every benchmark run uses; the
+// zero Spec normalizes to diversity.DefaultSpec (admission off,
+// adaptive allocator for the race backend). Set once from the
+// -diversity flag before any benchmark runs.
+var defaultDiversity diversity.Spec
+
+// SetDefaultDiversity pins the DABS tuning for all subsequent
+// benchmark solves (abs-bench -diversity).
+func SetDefaultDiversity(d diversity.Spec) { defaultDiversity = d }
+
 // solveOptions returns the solver configuration shared by all
 // time-to-solution rows.
 func solveOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Seed = 20200701 // fixed for reproducibility across report runs
 	o.Backend = defaultBackend
+	o.Diversity = defaultDiversity
 	return o
 }
 

@@ -541,3 +541,87 @@ func TestBackendGrantOmittedOnAuto(t *testing.T) {
 		t.Errorf("auto coordinator granted backend %q, want empty (decide locally)", reg.Backend)
 	}
 }
+
+func TestDiversityGrantPropagatesToWorkerEngine(t *testing.T) {
+	p := testProblem(48, 8)
+	c := newCoord(t, p, CoordinatorConfig{Diversity: "radius=4,floor=0.2"})
+	reg := mustRegister(t, c, "w-grant")
+	if reg.Diversity != "radius=4,floor=0.2" {
+		t.Fatalf("registration grant diversity = %q", reg.Diversity)
+	}
+	// The coordinator's own authoritative pool runs the granted
+	// admission policy too.
+	if c.cfg.GA.Policy == nil {
+		t.Error("coordinator pool has no admission policy despite radius > 0")
+	}
+
+	// A worker with no local spec inherits the grant.
+	w, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-grant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w.engine.Finish(true)
+	if got := w.engine.Options().Diversity; got.Radius != 4 || got.Floor != 0.2 {
+		t.Errorf("auto worker diversity = %+v, want radius 4 floor 0.2 from the grant", got)
+	}
+
+	// An explicit local spec wins over the grant — including the "off"
+	// opt-out, which pins the static pre-DABS behaviour.
+	w2, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-local", Diversity: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.buildEngine(p, reg); err != nil {
+		t.Fatalf("buildEngine: %v", err)
+	}
+	defer w2.engine.Finish(true)
+	if got := w2.engine.Options().Diversity; got.Radius != 0 || got.Floor < 1.0 {
+		t.Errorf("locally opted-out worker diversity = %+v, want the static spec", got)
+	}
+
+	// A corrupt grant is a hard (permanent) registration error.
+	w3, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-bad"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *reg
+	bad.Diversity = "radius=banana"
+	if err := w3.buildEngine(p, &bad); err == nil {
+		w3.engine.Finish(true)
+		t.Error("buildEngine accepted a corrupt diversity grant")
+	} else if !Permanent(err) {
+		t.Errorf("corrupt grant error should be permanent, got %v", err)
+	}
+
+	// A corrupt LOCAL spec is also permanent, and blamed on the worker.
+	w4, err := NewWorker(WorkerConfig{Transport: NewLocalTransport(c), WorkerID: "w-bad-local", Diversity: "turbo=1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w4.buildEngine(p, reg); err == nil {
+		w4.engine.Finish(true)
+		t.Error("buildEngine accepted a corrupt local diversity spec")
+	} else if !Permanent(err) || !strings.Contains(err.Error(), "local") {
+		t.Errorf("corrupt local spec error = %v, want permanent mentioning 'local'", err)
+	}
+}
+
+func TestDiversityGrantRejectedAtCoordinator(t *testing.T) {
+	_, err := NewCoordinator(testProblem(16, 9), CoordinatorConfig{
+		MaxDuration: time.Minute,
+		Diversity:   "radius=banana",
+	})
+	if err == nil {
+		t.Fatal("NewCoordinator accepted a malformed diversity grant")
+	}
+}
+
+func TestDiversityGrantOmittedByDefault(t *testing.T) {
+	c := newCoord(t, testProblem(32, 10), CoordinatorConfig{})
+	if reg := mustRegister(t, c, "w"); reg.Diversity != "" {
+		t.Errorf("default coordinator granted diversity %q, want empty (decide locally)", reg.Diversity)
+	}
+}

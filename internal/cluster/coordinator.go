@@ -9,6 +9,7 @@ import (
 
 	"abs/internal/bitvec"
 	"abs/internal/core"
+	"abs/internal/diversity"
 	"abs/internal/ga"
 	"abs/internal/qubo"
 	"abs/internal/rng"
@@ -52,6 +53,13 @@ type CoordinatorConfig struct {
 	// default, leaves the choice to each worker; a named backend pins
 	// the whole cluster (a worker's explicit setting still wins).
 	Backend core.Backend
+
+	// Diversity is the DABS tuning granted to workers at registration
+	// (RegisterResponse.Diversity), as a diversity.ParseSpec string.
+	// Empty leaves each worker on its own setting; a non-empty spec
+	// pins the whole cluster (a worker's explicit -diversity still
+	// wins). Validated by NewCoordinator.
+	Diversity string
 
 	// LeaseTTL is how long a granted lease survives without a heartbeat
 	// or publish from its worker before its target is redistributed.
@@ -98,6 +106,18 @@ func (c CoordinatorConfig) normalize() (CoordinatorConfig, error) {
 	}
 	if c.TargetEnergy == nil && c.MaxDuration == 0 && c.MaxFlips == 0 {
 		return c, fmt.Errorf("cluster: no stop condition set (TargetEnergy, MaxDuration or MaxFlips)")
+	}
+	if c.Diversity != "" {
+		spec, err := diversity.ParseSpec(c.Diversity)
+		if err != nil {
+			return c, err
+		}
+		// The grant also applies to the coordinator's own authoritative
+		// pool: cluster publishes pass the same diversity admission the
+		// workers run locally.
+		if spec.Radius > 0 && c.GA.Policy == nil {
+			c.GA.Policy = diversity.NewPolicy(spec)
+		}
 	}
 	if c.LeaseTTL == 0 {
 		c.LeaseTTL = 10 * time.Second
@@ -499,6 +519,7 @@ func (c *Coordinator) Register(ctx context.Context, req RegisterRequest) (resp *
 		TargetEnergy:    c.cfg.TargetEnergy,
 		Storage:         storage,
 		Backend:         backendGrant,
+		Diversity:       c.cfg.Diversity,
 		Trace:           c.trace.Traceparent(),
 		Done:            c.isDone(),
 	}, nil

@@ -85,6 +85,11 @@ type RegisterResponse struct {
 	// locally), granted the same way Storage is. A worker's own
 	// explicit -backend setting wins over this.
 	Backend string `json:"backend,omitempty"`
+	// Diversity is the coordinator's DABS tuning as a
+	// diversity.ParseSpec string (empty means decide locally), granted
+	// the same way Storage and Backend are. A worker's own explicit
+	// -diversity setting wins over this.
+	Diversity string `json:"diversity,omitempty"`
 	// Trace is the run's root span context as a W3C-traceparent-style
 	// value (telemetry.ParseTraceparent). Workers parent their own spans
 	// under it, so one stitched trace covers the whole cluster run.

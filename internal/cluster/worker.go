@@ -11,6 +11,7 @@ import (
 
 	"abs/internal/bitvec"
 	"abs/internal/core"
+	"abs/internal/diversity"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
 	"abs/internal/retry"
@@ -54,6 +55,13 @@ type WorkerConfig struct {
 	// when it names one and otherwise to the straight default; an
 	// explicit backend here always wins.
 	Backend core.Backend
+
+	// Diversity pins the local DABS tuning as a diversity.ParseSpec
+	// string. Empty defers to the coordinator's registration grant
+	// when it carries one and otherwise to the defaults; an explicit
+	// spec here always wins (the literal "off" is how a node opts out
+	// locally against a cluster-wide grant).
+	Diversity string
 
 	// Reconnect paces re-registration after losing the coordinator.
 	// The zero value means {Base: 100ms, Factor: 2, Max: 5s,
@@ -367,6 +375,20 @@ func (w *Worker) buildEngine(p *qubo.Problem, reg *RegisterResponse) error {
 			return MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad backend grant: %w", err))
 		}
 		opt.Backend = b
+	}
+	divSpec := w.cfg.Diversity
+	if divSpec == "" {
+		divSpec = reg.Diversity
+	}
+	if divSpec != "" {
+		d, err := diversity.ParseSpec(divSpec)
+		if err != nil {
+			if w.cfg.Diversity != "" {
+				return MarkPermanent(fmt.Errorf("cluster: bad local diversity spec: %w", err))
+			}
+			return MarkPermanent(fmt.Errorf("cluster: coordinator sent a bad diversity grant: %w", err))
+		}
+		opt.Diversity = d
 	}
 	opt.MaxDuration = w.cfg.MaxDuration
 	opt.Telemetry = w.cfg.Registry

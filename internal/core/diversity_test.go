@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"abs/internal/diversity"
+	"abs/internal/qubo"
+)
+
+// TestSolveWithDiversityPolicy runs the full Solve path with the DABS
+// admission policy installed and checks it still reaches a small
+// instance's exact optimum: the diversified pool must not cost
+// feasibility, only crowding.
+func TestSolveWithDiversityPolicy(t *testing.T) {
+	p := randomProblem(24, 91)
+	_, optE, err := qubo.ExactSolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Diversity = diversity.Spec{Radius: 2}
+	o.TargetEnergy = &optE
+	o.MaxDuration = 20 * time.Second // safety net; target expected fast
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachedTarget {
+		t.Fatalf("diversified solve missed optimum %d; best %d", optE, res.BestEnergy)
+	}
+	if got := p.Energy(res.Best); got != res.BestEnergy {
+		t.Errorf("best vector energy %d != reported %d", got, res.BestEnergy)
+	}
+}
+
+// TestSolveRejectsBadDiversitySpec pins option validation: a malformed
+// spec is an error before any engine is built.
+func TestSolveRejectsBadDiversitySpec(t *testing.T) {
+	p := randomProblem(16, 92)
+	o := tinyOptions()
+	o.MaxFlips = 100
+	o.Diversity = diversity.Spec{Radius: -4}
+	if _, err := Solve(p, o); err == nil {
+		t.Fatal("Solve accepted a negative diversity radius")
+	}
+}
+
+// TestRaceStaticFloorKeepsStaticSplit is the equivalence guarantee at
+// the Solve level: floor 1.0 (the "off" spec) pins the race backend's
+// unit assignment to the g mod k split for the whole run, so the
+// reported per-member unit counts are exactly the static ones.
+func TestRaceStaticFloorKeepsStaticSplit(t *testing.T) {
+	p := randomProblem(48, 93)
+	o := tinyOptions()
+	o.Backend = BackendRace
+	o.Diversity = diversity.StaticSpec()
+	o.MaxDuration = 200 * time.Millisecond
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []string{"straight", "sb", "tabu"}
+	want := make(map[string]int)
+	for g := 0; g < res.Blocks; g++ {
+		want[members[g%len(members)]]++
+	}
+	total := 0
+	for _, name := range members {
+		st, ok := res.BackendStats[name]
+		if !ok {
+			t.Fatalf("BackendStats missing member %q: %+v", name, res.BackendStats)
+		}
+		if st.Units != want[name] {
+			t.Errorf("member %q has %d units, want static %d", name, st.Units, want[name])
+		}
+		total += st.Units
+	}
+	if total != res.Blocks {
+		t.Errorf("unit counts sum %d != %d blocks", total, res.Blocks)
+	}
+}
+
+// TestRaceAdaptiveReportsUnits checks the adaptive path end to end:
+// a race run under the default (adaptive) spec reports a full
+// per-member unit split that still covers every block, whatever the
+// allocator decided during the run.
+func TestRaceAdaptiveReportsUnits(t *testing.T) {
+	p := randomProblem(48, 94)
+	o := tinyOptions()
+	o.Backend = BackendRace
+	o.Diversity = diversity.Spec{Floor: 0.1, Window: time.Second, Interval: 50 * time.Millisecond}
+	o.MaxDuration = 400 * time.Millisecond
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for name, st := range res.BackendStats {
+		if st.Units < 0 {
+			t.Errorf("member %q has negative units %d", name, st.Units)
+		}
+		total += st.Units
+	}
+	if total != res.Blocks {
+		t.Errorf("adaptive unit counts sum %d != %d blocks (stats %+v)", total, res.Blocks, res.BackendStats)
+	}
+	// Every member keeps its exploration floor: with floor 0.1 over 3
+	// members no count may hit zero unless there are fewer blocks than
+	// members.
+	if res.Blocks >= 3 {
+		for _, name := range []string{"straight", "sb", "tabu"} {
+			if st := res.BackendStats[name]; st.Units < 1 {
+				t.Errorf("member %q starved below the exploration floor: %d units", name, st.Units)
+			}
+		}
+	}
+}
+
+// TestNonRaceBackendUnitsAreWholeFleet pins the degenerate shape: a
+// single-engine backend owns every block in the reported split.
+func TestNonRaceBackendUnitsAreWholeFleet(t *testing.T) {
+	p := randomProblem(32, 95)
+	o := tinyOptions()
+	o.Backend = BackendStraight
+	o.MaxDuration = 100 * time.Millisecond
+	res, err := Solve(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := res.BackendStats["straight"]
+	if !ok {
+		t.Fatalf("BackendStats missing the only backend: %+v", res.BackendStats)
+	}
+	if st.Units != res.Blocks {
+		t.Errorf("straight owns %d units, want all %d blocks", st.Units, res.Blocks)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"abs/internal/backend"
 	"abs/internal/bitvec"
+	"abs/internal/diversity"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
@@ -52,8 +53,10 @@ type Engine struct {
 	blockFn   gpusim.BlockFunc
 
 	storage          Storage
-	backendName      Backend  // resolved, never BackendAuto
-	slotBackend      []string // per-slot backend name (differs per slot under race)
+	backendName      Backend         // resolved, never BackendAuto
+	be               backend.Backend // live per-slot attribution via UnitName
+	alloc            *diversity.Allocator
+	divPolicy        *diversity.Policy
 	evaluatedPerFlip float64
 	occ              gpusim.Occupancy
 	blocksPerDevice  int
@@ -78,6 +81,10 @@ type Engine struct {
 	// Live snapshot for readers outside the pump goroutine.
 	bestE     atomic.Int64
 	bestKnown atomic.Bool
+	// Occupied-distance-bucket count as of the last progress deadline
+	// (pool reads are pump-only; this cache makes the figure available
+	// to any goroutine, e.g. the serve-plane gauge refresher).
+	bucketsOcc atomic.Int64
 
 	mu       sync.Mutex
 	runs     map[int]*gpusim.DeviceRun // device ID → this job's launch on it
@@ -104,6 +111,17 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 	}
 	blocksPerDevice := occ.ActiveBlocks
 	totalSlots := blocksPerDevice * opt.NumGPUs
+
+	// Diversity admission (DABS): a positive radius installs the
+	// Hamming-bucket policy on the pool before it is seeded, so random
+	// seeds, warm starts, injected cluster targets and device
+	// publications all pass through the same rule. Radius 0 (the
+	// default) leaves the paper's plain elite pool untouched.
+	var divPolicy *diversity.Policy
+	if opt.Diversity.Radius > 0 {
+		divPolicy = diversity.NewPolicy(opt.Diversity)
+		opt.GA.Policy = divPolicy
+	}
 
 	hostRNG := rng.New(opt.Seed)
 	host, err := ga.NewHost(n, opt.GA, hostRNG)
@@ -152,13 +170,19 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		WindowMax:        opt.WindowMax,
 		Adaptive:         opt.Adaptive,
 		AdaptivePatience: opt.AdaptivePatience,
+		AllocFloor:       opt.Diversity.Floor,
+		AllocWindow:      opt.Diversity.Window,
+		AllocInterval:    opt.Diversity.Interval,
 	})
 	if err != nil {
 		return nil, err
 	}
-	slotBackend := make([]string, totalSlots)
-	for g := range slotBackend {
-		slotBackend[g] = be.UnitName(g)
+	// Meta-backends that split units across a portfolio expose their
+	// allocator; the engine feeds it improvement records from the
+	// ingest path and drives its rebalance clock from the pump loop.
+	var alloc *diversity.Allocator
+	if ab, ok := be.(interface{ Allocator() *diversity.Allocator }); ok {
+		alloc = ab.Allocator()
 	}
 
 	bufCap := opt.SolutionBufferCap
@@ -180,6 +204,11 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		solutions.SetObserver(metrics)
 		targets.SetObserver(metrics)
 		host.Pool().SetObserver(metrics)
+		if alloc != nil {
+			// Publish the starting split so the abs_alloc_units gauges
+			// are correct before the first rebalance.
+			metrics.allocUnits(alloc.UnitCounts())
+		}
 	}
 
 	// Warm starts join the pool with unknown energy (the host never
@@ -211,7 +240,9 @@ func NewEngine(p *qubo.Problem, opt Options) (*Engine, error) {
 		metrics:          metrics,
 		storage:          storage,
 		backendName:      backendName,
-		slotBackend:      slotBackend,
+		be:               be,
+		alloc:            alloc,
+		divPolicy:        divPolicy,
 		evaluatedPerFlip: evaluatedPerFlip,
 		occ:              occ,
 		blocksPerDevice:  blocksPerDevice,
@@ -276,7 +307,7 @@ func (e *Engine) ingestRecord(slot int, energy int64) {
 	if improved {
 		e.ingestBest, e.ingestBestKnown = energy, true
 	}
-	name := e.slotBackend[slot]
+	name := e.be.UnitName(slot)
 	t := e.backendTally[name]
 	t.Inserted++
 	if improved {
@@ -284,7 +315,38 @@ func (e *Engine) ingestRecord(slot int, energy int64) {
 	}
 	e.backendTally[name] = t
 	e.metrics.backendIngest(name, improved)
+	if e.alloc != nil {
+		// The adaptive allocator's rate signal: the same admission
+		// stream the abs_backend_* counters measure.
+		e.alloc.Record(name, improved, time.Now())
+	}
 }
+
+// BackendUnits returns the live per-backend unit counts: the
+// allocator's current split under a portfolio meta-backend, or every
+// unit on the single resolved backend otherwise. Safe from any
+// goroutine (GET /v1/backends reads it from running jobs).
+func (e *Engine) BackendUnits() map[string]int {
+	if e.alloc != nil {
+		return e.alloc.UnitCounts()
+	}
+	return map[string]int{string(e.backendName): e.totalSlots}
+}
+
+// AllocMoves returns the total unit reassignments the adaptive
+// allocator has performed so far (0 without one). Safe from any
+// goroutine.
+func (e *Engine) AllocMoves() uint64 {
+	if e.alloc == nil {
+		return 0
+	}
+	return e.alloc.Moves()
+}
+
+// OccupiedDistanceBuckets returns how many Hamming-distance buckets of
+// the GA pool held at least one entry as of the last progress deadline
+// (0 without the diversity admission policy). Safe from any goroutine.
+func (e *Engine) OccupiedDistanceBuckets() int { return int(e.bucketsOcc.Load()) }
 
 // Occupancy returns the per-device occupancy of the chosen shape.
 func (e *Engine) Occupancy() gpusim.Occupancy { return e.occ }
@@ -391,15 +453,25 @@ func (e *Engine) Halt(g int) {
 // supervisor scan heartbeats. The driver calls it in a loop with
 // Options.PollInterval sleeps; see SolveContext for the canonical shape.
 func (e *Engine) Pump(now time.Time) {
-	if e.emitProgress && !now.Before(e.nextProgress) {
+	if !now.Before(e.nextProgress) {
 		e.nextProgress = nextDeadline(e.nextProgress, now, e.opt.ProgressEvery)
-		pr := e.progressLocked(now)
-		e.metrics.progressTick(now, pr, e.host.Pool().Len())
-		if e.opt.ProgressWriter != nil {
-			fmt.Fprintln(e.opt.ProgressWriter, pr)
+		if e.divPolicy != nil {
+			// Refresh the bucket figure even when no run metrics are
+			// installed: OccupiedDistanceBuckets readers (the serve
+			// plane) rely on this cache.
+			occ := e.divPolicy.OccupiedBuckets(e.host.Pool())
+			e.bucketsOcc.Store(int64(occ))
+			e.metrics.poolBuckets(occ)
 		}
-		if e.opt.Progress != nil {
-			e.opt.Progress(pr)
+		if e.emitProgress {
+			pr := e.progressLocked(now)
+			e.metrics.progressTick(now, pr, e.host.Pool().Len())
+			if e.opt.ProgressWriter != nil {
+				fmt.Fprintln(e.opt.ProgressWriter, pr)
+			}
+			if e.opt.Progress != nil {
+				e.opt.Progress(pr)
+			}
 		}
 	}
 	// Step 2: poll the global counter without draining.
@@ -426,6 +498,18 @@ func (e *Engine) Pump(now time.Time) {
 	if best, ok := e.host.Pool().Best(); ok {
 		e.bestE.Store(best.E)
 		e.bestKnown.Store(true)
+	}
+	// DABS allocator tick: when the rebalance interval has elapsed,
+	// move units toward the members currently paying off and surface
+	// every move as a trace event; the abs_alloc_units gauges follow
+	// the new split.
+	if e.alloc != nil {
+		if moves := e.alloc.MaybeRebalance(now); len(moves) > 0 {
+			for _, mv := range moves {
+				e.metrics.allocReassign(mv)
+			}
+			e.metrics.allocUnits(e.alloc.UnitCounts())
+		}
 	}
 	if e.sup != nil {
 		e.sup.scan(now)
@@ -566,13 +650,22 @@ func (e *Engine) Finish(cancelled bool) *Result {
 	for name, t := range e.backendTally {
 		res.BackendStats[name] = t
 	}
+	// Final unit split: under the adaptive allocator this is where the
+	// controller left the fleet; entries are created even for members
+	// that never had a publication admitted, so the split is always
+	// visible.
+	for name, units := range e.BackendUnits() {
+		t := res.BackendStats[name]
+		t.Units = units
+		res.BackendStats[name] = t
+	}
 	res.BlockStats = make([]BlockStat, e.totalSlots)
 	for g := range res.BlockStats {
 		slot := &e.stats.slots[g]
 		res.BlockStats[g] = BlockStat{
 			Device:    g / e.blocksPerDevice,
 			Block:     g % e.blocksPerDevice,
-			Backend:   e.slotBackend[g],
+			Backend:   e.be.UnitName(g),
 			Window:    int(slot.window.Load()),
 			Flips:     slot.flips.Load(),
 			Published: slot.published.Load(),

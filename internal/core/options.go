@@ -21,6 +21,7 @@ import (
 
 	"abs/internal/backend"
 	"abs/internal/bitvec"
+	"abs/internal/diversity"
 	"abs/internal/ga"
 	"abs/internal/gpusim"
 	"abs/internal/telemetry"
@@ -122,6 +123,16 @@ type Options struct {
 	// BackendStraight, the paper's algorithm. Validate rejects names
 	// with no registered factory with ErrUnknownBackend.
 	Backend Backend
+
+	// Diversity tunes the DABS control loops (arXiv 2207.03069; see
+	// internal/diversity): Radius/Buckets/MinPerBucket configure the
+	// Hamming-distance pool admission policy (Radius 0 — the default —
+	// keeps the paper's plain elite pool), and Floor/Window/Interval
+	// tune the race backend's adaptive unit allocator (Floor >= 1.0
+	// pins the static g mod 3 split). The zero value means
+	// diversity.DefaultSpec: admission off, allocator adaptive with a
+	// 10% exploration floor.
+	Diversity diversity.Spec
 
 	// Warm starts: vectors inserted into the solution pool before the
 	// run, e.g. a 2-opt tour for a TSP instance. They enter with
@@ -369,6 +380,13 @@ func (o Options) normalize(n int) (Options, error) {
 		return o, err
 	}
 	o.Backend = b
+	if o.Diversity == (diversity.Spec{}) {
+		o.Diversity = diversity.DefaultSpec()
+	}
+	o.Diversity, err = o.Diversity.Normalize()
+	if err != nil {
+		return o, err
+	}
 	if o.BitsPerThread == 0 {
 		p, err := o.Device.BestBitsPerThread(n)
 		if err != nil {

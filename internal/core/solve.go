@@ -106,6 +106,11 @@ type BackendStat struct {
 	// the run's best energy when they arrived.
 	Inserted     uint64
 	Improvements uint64
+	// Units is the number of search units assigned to the backend when
+	// the run finished — the adaptive allocator's final split under
+	// BackendRace, every unit otherwise. It mirrors the live
+	// abs_alloc_units gauges.
+	Units int
 }
 
 // BlockStat is the per-search-unit record returned in Result.BlockStats:

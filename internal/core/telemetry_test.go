@@ -22,7 +22,12 @@ import (
 func TestTelemetryEndToEnd(t *testing.T) {
 	p := randqubo.Generate(96, 11)
 	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(1 << 12)
+	// The ring must outsize the whole run's event volume (~20k on this
+	// shape): the shutdown drain emits thousands of ingest events with
+	// no retargeting, and on a loaded 1-CPU host a smaller ring lets
+	// that tail evict every earlier target_publish, flaking the
+	// event-kind assertions below.
+	tracer := telemetry.NewTracer(1 << 16)
 
 	srv, err := telemetry.Serve("127.0.0.1:0", reg, tracer)
 	if err != nil {

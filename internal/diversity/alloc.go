@@ -1,0 +1,276 @@
+package diversity
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAllocEvents bounds the improvement ring so a pathological ingest
+// burst cannot grow it without bound; old events beyond the window are
+// pruned on every append anyway.
+const maxAllocEvents = 8192
+
+// Move records one unit reassignment performed by a rebalance.
+type Move struct {
+	// Unit is the global slot index that moved.
+	Unit int
+	// From and To are the member names the unit left and joined.
+	From, To string
+}
+
+// allocEvent is one admitted publication attributed to a member.
+type allocEvent struct {
+	t        time.Time
+	member   int
+	improved bool
+}
+
+// Allocator is the DABS adaptive portfolio controller: it owns the
+// unit→member assignment of a meta-backend (race) and periodically
+// moves units toward whichever member is producing pool improvements,
+// measured over a sliding window, subject to an exploration floor so
+// every member keeps enough units for its rate to stay measurable.
+//
+// Threading: MemberFor and UnitCounts are lock-free over atomics and
+// safe from any goroutine (block goroutines call MemberFor every
+// round; HTTP handlers call UnitCounts). Record and MaybeRebalance are
+// called by the engine's pump goroutine only; they share a mutex with
+// each other for the event ring.
+type Allocator struct {
+	names    []string
+	index    map[string]int
+	floor    float64
+	window   time.Duration
+	interval time.Duration
+	frozen   bool
+
+	assign []atomic.Int32 // unit g → member index
+
+	mu     sync.Mutex
+	events []allocEvent
+	last   time.Time // last rebalance; zero until the first Record
+
+	moves atomic.Uint64
+}
+
+// NewAllocator builds the controller for a portfolio of the named
+// members over `units` global slots, starting from the static
+// g mod k split. A Floor of 1.0 or more (or a single-member
+// portfolio) freezes the allocator: the assignment never changes, so
+// behaviour is bit-for-bit the static split.
+func NewAllocator(names []string, units int, s Spec) *Allocator {
+	if len(names) == 0 {
+		panic("diversity: NewAllocator with no members")
+	}
+	if units <= 0 {
+		panic("diversity: NewAllocator with no units")
+	}
+	a := &Allocator{
+		names:    append([]string(nil), names...),
+		index:    make(map[string]int, len(names)),
+		floor:    s.Floor,
+		window:   s.Window,
+		interval: s.Interval,
+		frozen:   s.Floor >= 1.0 || len(names) <= 1,
+		assign:   make([]atomic.Int32, units),
+	}
+	for i, n := range a.names {
+		a.index[n] = i
+	}
+	k := len(a.names)
+	for g := range a.assign {
+		a.assign[g].Store(int32(g % k))
+	}
+	return a
+}
+
+// Names returns the portfolio member names in assignment order.
+func (a *Allocator) Names() []string { return append([]string(nil), a.names...) }
+
+// Units returns the number of slots the allocator manages.
+func (a *Allocator) Units() int { return len(a.assign) }
+
+// Frozen reports whether the assignment is pinned to the static split
+// (exploration floor >= 1.0, or a single-member portfolio).
+func (a *Allocator) Frozen() bool { return a.frozen }
+
+// MemberFor returns the member index unit g currently runs. Lock-free;
+// out-of-range slots (which a correctly sized engine never produces)
+// fall back to the static split.
+func (a *Allocator) MemberFor(g int) int {
+	if g < 0 {
+		g = -g
+	}
+	if g >= len(a.assign) {
+		return g % len(a.names)
+	}
+	return int(a.assign[g].Load())
+}
+
+// MemberName returns the name of the member unit g currently runs.
+func (a *Allocator) MemberName(g int) string { return a.names[a.MemberFor(g)] }
+
+// UnitCounts returns the current per-member unit counts by name. Safe
+// from any goroutine; under a concurrent rebalance the counts are a
+// momentary mix but always sum to Units().
+func (a *Allocator) UnitCounts() map[string]int {
+	out := make(map[string]int, len(a.names))
+	for _, n := range a.names {
+		out[n] = 0
+	}
+	for g := range a.assign {
+		out[a.names[a.assign[g].Load()]]++
+	}
+	return out
+}
+
+// Moves returns the total number of unit reassignments performed.
+func (a *Allocator) Moves() uint64 { return a.moves.Load() }
+
+// Record attributes one admitted publication to the named member
+// (unknown names are ignored — defensive; the engine records what
+// UnitName reported). improved marks a strict best-so-far improvement,
+// the primary rate signal. Pump goroutine only.
+func (a *Allocator) Record(member string, improved bool, now time.Time) {
+	i, ok := a.index[member]
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.last.IsZero() {
+		// Anchor the first rebalance interval at the first signal, not
+		// at construction, so setup time is not counted as quiet time.
+		a.last = now
+	}
+	a.events = append(a.events, allocEvent{t: now, member: i, improved: improved})
+	a.prune(now)
+}
+
+// prune drops events older than the window and enforces the ring cap.
+// Caller holds mu.
+func (a *Allocator) prune(now time.Time) {
+	cut := now.Add(-a.window)
+	keep := a.events[:0]
+	for _, ev := range a.events {
+		if ev.t.After(cut) {
+			keep = append(keep, ev)
+		}
+	}
+	a.events = keep
+	if len(a.events) > maxAllocEvents {
+		a.events = a.events[len(a.events)-maxAllocEvents:]
+	}
+}
+
+// MaybeRebalance recomputes desired shares and moves units when the
+// rebalance interval has elapsed, returning the moves performed (nil
+// when it is not yet time, there is no signal, or the allocator is
+// frozen). Pump goroutine only.
+//
+// Shares are proportional to each member's windowed improvement count
+// (falling back to windowed insertion count when no member improved),
+// allocated by largest remainder on top of the exploration floor —
+// ceil(Floor · units/k) slots that every member keeps unconditionally.
+// Moves are deterministic given the event history: donors give up
+// their highest-index units first, to the member with the largest
+// deficit (ties to the lowest member index), at most
+// max(1, units/4) moves per rebalance so the fleet re-specializes
+// over a few intervals instead of thrashing on one noisy window.
+func (a *Allocator) MaybeRebalance(now time.Time) []Move {
+	if a.frozen {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.last.IsZero() || now.Sub(a.last) < a.interval {
+		return nil
+	}
+	a.last = now
+	a.prune(now)
+
+	k := len(a.names)
+	improvements := make([]int, k)
+	inserted := make([]int, k)
+	for _, ev := range a.events {
+		inserted[ev.member]++
+		if ev.improved {
+			improvements[ev.member]++
+		}
+	}
+	scores := improvements
+	total := 0
+	for _, s := range scores {
+		total += s
+	}
+	if total == 0 {
+		scores = inserted
+		for _, s := range scores {
+			total += s
+		}
+	}
+	if total == 0 {
+		return nil // quiet window: no evidence to act on
+	}
+
+	units := len(a.assign)
+	minU := int(math.Ceil(a.floor * float64(units) / float64(k)))
+	if minU*k > units {
+		minU = units / k
+	}
+	free := units - minU*k
+
+	// Largest-remainder apportionment of the free slots over scores.
+	desired := make([]int, k)
+	rem := make([]int, k)
+	assigned := 0
+	for i := range desired {
+		desired[i] = minU + free*scores[i]/total
+		rem[i] = (free * scores[i]) % total
+		assigned += desired[i]
+	}
+	for assigned < units {
+		bestI, bestR := -1, -1
+		for i := range rem {
+			if rem[i] > bestR {
+				bestI, bestR = i, rem[i]
+			}
+		}
+		desired[bestI]++
+		rem[bestI] = -1
+		assigned++
+	}
+
+	cur := make([]int, k)
+	for g := range a.assign {
+		cur[a.assign[g].Load()]++
+	}
+	maxMoves := units / 4
+	if maxMoves < 1 {
+		maxMoves = 1
+	}
+	var moves []Move
+	for g := units - 1; g >= 0 && len(moves) < maxMoves; g-- {
+		from := int(a.assign[g].Load())
+		if cur[from] <= desired[from] {
+			continue
+		}
+		to, deficit := -1, 0
+		for i := range cur {
+			if d := desired[i] - cur[i]; d > deficit {
+				to, deficit = i, d
+			}
+		}
+		if to < 0 {
+			break
+		}
+		a.assign[g].Store(int32(to))
+		cur[from]--
+		cur[to]++
+		moves = append(moves, Move{Unit: g, From: a.names[from], To: a.names[to]})
+	}
+	a.moves.Add(uint64(len(moves)))
+	return moves
+}

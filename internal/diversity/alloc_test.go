@@ -1,0 +1,196 @@
+package diversity
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func adaptiveSpec() Spec {
+	s := DefaultSpec()
+	s.Floor = 0.25
+	s.Window = 3 * time.Second
+	s.Interval = time.Second
+	return s
+}
+
+func TestAllocatorStartsAtStaticSplit(t *testing.T) {
+	a := NewAllocator([]string{"a", "b", "c"}, 9, DefaultSpec())
+	for g := 0; g < 9; g++ {
+		if got := a.MemberFor(g); got != g%3 {
+			t.Fatalf("MemberFor(%d) = %d, want %d", g, got, g%3)
+		}
+	}
+	counts := a.UnitCounts()
+	if counts["a"] != 3 || counts["b"] != 3 || counts["c"] != 3 {
+		t.Fatalf("initial UnitCounts = %v", counts)
+	}
+	if a.Frozen() {
+		t.Fatal("default spec should not freeze a 3-member allocator")
+	}
+}
+
+func TestAllocatorFloorOneIsBitForBitStatic(t *testing.T) {
+	// The PR's equivalence guarantee: floor >= 1.0 pins the g mod k
+	// split no matter what signal arrives.
+	a := NewAllocator([]string{"a", "b", "c"}, 12, StaticSpec())
+	if !a.Frozen() {
+		t.Fatal("floor 1.0 should freeze the allocator")
+	}
+	now := t0
+	for i := 0; i < 50; i++ {
+		a.Record("a", true, now)
+		now = now.Add(100 * time.Millisecond)
+		if moves := a.MaybeRebalance(now); moves != nil {
+			t.Fatalf("frozen allocator rebalanced: %v", moves)
+		}
+	}
+	for g := 0; g < 12; g++ {
+		if got := a.MemberFor(g); got != g%3 {
+			t.Fatalf("MemberFor(%d) = %d after signal, want static %d", g, got, g%3)
+		}
+	}
+	if a.Moves() != 0 {
+		t.Fatalf("Moves() = %d on a frozen allocator", a.Moves())
+	}
+}
+
+func TestAllocatorSingleMemberFrozen(t *testing.T) {
+	a := NewAllocator([]string{"solo"}, 4, adaptiveSpec())
+	if !a.Frozen() {
+		t.Fatal("single-member portfolio should be frozen")
+	}
+}
+
+func TestAllocatorMovesUnitsTowardWinner(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 8, adaptiveSpec())
+	now := t0
+	// Only "a" improves. Rebalance repeatedly: units should drain from
+	// "b" down to its exploration floor, never below, at a bounded rate.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 5; i++ {
+			a.Record("a", true, now)
+			now = now.Add(50 * time.Millisecond)
+		}
+		now = now.Add(time.Second)
+		moves := a.MaybeRebalance(now)
+		if len(moves) > 2 { // maxMoves = units/4
+			t.Fatalf("round %d moved %d units, cap is 2", round, len(moves))
+		}
+		for _, mv := range moves {
+			if mv.From != "b" || mv.To != "a" {
+				t.Fatalf("unexpected move %+v", mv)
+			}
+		}
+	}
+	counts := a.UnitCounts()
+	// floor 0.25 over 8 units, 2 members → minU = ceil(0.25*8/2) = 1.
+	if counts["b"] != 1 || counts["a"] != 7 {
+		t.Fatalf("steady-state UnitCounts = %v, want a=7 b=1", counts)
+	}
+	if counts["a"]+counts["b"] != a.Units() {
+		t.Fatalf("counts %v do not sum to %d units", counts, a.Units())
+	}
+	if a.Moves() == 0 {
+		t.Fatal("Moves() counter never advanced")
+	}
+}
+
+func TestAllocatorFallsBackToInsertionsWhenNoImprovements(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 8, adaptiveSpec())
+	now := t0
+	for i := 0; i < 10; i++ {
+		a.Record("b", false, now) // inserted but never best-improving
+		now = now.Add(50 * time.Millisecond)
+	}
+	now = now.Add(time.Second)
+	moves := a.MaybeRebalance(now)
+	if len(moves) == 0 {
+		t.Fatal("insert-only signal produced no rebalance")
+	}
+	for _, mv := range moves {
+		if mv.To != "b" {
+			t.Fatalf("units should flow toward the only active member, got %+v", mv)
+		}
+	}
+}
+
+func TestAllocatorQuietWindowHoldsStill(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 8, adaptiveSpec())
+	// No signal at all: nothing to act on, even well past the interval.
+	if moves := a.MaybeRebalance(t0.Add(time.Hour)); moves != nil {
+		t.Fatalf("signal-free rebalance moved units: %v", moves)
+	}
+	// Signal, then a long silence: the window empties and the
+	// assignment freezes where it is rather than thrashing on nothing.
+	a.Record("a", true, t0)
+	if moves := a.MaybeRebalance(t0.Add(time.Hour)); moves != nil {
+		t.Fatalf("stale-window rebalance moved units: %v", moves)
+	}
+}
+
+func TestAllocatorIntervalGatesRebalance(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 8, adaptiveSpec())
+	a.Record("a", true, t0)
+	if moves := a.MaybeRebalance(t0.Add(200 * time.Millisecond)); moves != nil {
+		t.Fatalf("rebalanced before the interval elapsed: %v", moves)
+	}
+	if moves := a.MaybeRebalance(t0.Add(1100 * time.Millisecond)); len(moves) == 0 {
+		t.Fatal("no rebalance after the interval elapsed")
+	}
+}
+
+func TestAllocatorIgnoresUnknownMembers(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 4, adaptiveSpec())
+	a.Record("ghost", true, t0)
+	if moves := a.MaybeRebalance(t0.Add(2 * time.Second)); moves != nil {
+		t.Fatalf("unknown-member signal caused moves: %v", moves)
+	}
+}
+
+func TestAllocatorDeterministic(t *testing.T) {
+	run := func() map[string]int {
+		a := NewAllocator([]string{"a", "b", "c"}, 9, adaptiveSpec())
+		now := t0
+		for i := 0; i < 30; i++ {
+			member := []string{"a", "a", "b"}[i%3]
+			a.Record(member, i%2 == 0, now)
+			now = now.Add(120 * time.Millisecond)
+			a.MaybeRebalance(now)
+		}
+		return a.UnitCounts()
+	}
+	first, second := run(), run()
+	for k, v := range first {
+		if second[k] != v {
+			t.Fatalf("nondeterministic allocation: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestAllocatorMemberForOutOfRange(t *testing.T) {
+	a := NewAllocator([]string{"a", "b"}, 4, adaptiveSpec())
+	if got := a.MemberFor(100); got != 0 {
+		t.Fatalf("MemberFor(100) = %d, want static fallback 0", got)
+	}
+	if got := a.MemberName(-3); got == "" {
+		t.Fatal("MemberName on a negative slot returned empty")
+	}
+}
+
+func TestAllocatorPanicsOnMisuse(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no members": func() { NewAllocator(nil, 4, DefaultSpec()) },
+		"no units":   func() { NewAllocator([]string{"a"}, 0, DefaultSpec()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package diversity
+
+import (
+	"fmt"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+)
+
+// Policy is the DABS pool admission rule (arXiv 2207.03069), an
+// implementation of ga.AdmissionPolicy. It layers two guards on top of
+// the pool's plain elitism:
+//
+//   - near-duplicate replacement: a candidate within Radius Hamming
+//     distance of resident entries is admitted only when it is
+//     strictly better than every one of them, and the admission
+//     evicts them all — so no two residents ever sit within Radius of
+//     each other, and a basin is represented by its best-known point
+//     instead of a crowd;
+//   - bucket-preserving eviction: the pool is partitioned into
+//     Buckets distance buckets keyed by Hamming distance to the
+//     incumbent best, and eviction from a full pool skips victims
+//     whose bucket would drop below MinPerBucket (unless the
+//     candidate itself refills that bucket) — so far-from-best
+//     regions keep representation even while most admissions cluster
+//     near the best.
+//
+// Policy is stateless per call: bucket membership is recomputed
+// against the current pool on every Decide, so the bucket keying
+// follows the incumbent best as it moves without any cache to
+// invalidate. With a pool of m entries each Decide costs m Hamming
+// distances — microseconds at the paper's m=64.
+type Policy struct {
+	radius       int
+	buckets      int
+	minPerBucket int
+}
+
+// NewPolicy builds the admission policy for s (s.Radius must be
+// positive — a zero radius means "no policy"; callers skip
+// installation instead).
+func NewPolicy(s Spec) *Policy {
+	if s.Buckets < 1 {
+		s.Buckets = DefaultSpec().Buckets
+	}
+	return &Policy{
+		radius:       s.Radius,
+		buckets:      s.Buckets,
+		minPerBucket: s.MinPerBucket,
+	}
+}
+
+// Radius returns the policy's Hamming near-duplicate radius.
+func (pol *Policy) Radius() int { return pol.radius }
+
+// Buckets returns the number of distance buckets.
+func (pol *Policy) Buckets() int { return pol.buckets }
+
+// bucketOf maps a Hamming distance d (to the incumbent best) into a
+// bucket index for n-bit vectors: distances [0, n] are split into
+// `buckets` equal-width ranges, so bucket 0 is "at or near the best"
+// and the last bucket is "maximally far".
+func (pol *Policy) bucketOf(d, n int) int {
+	b := d * pol.buckets / (n + 1)
+	if b >= pol.buckets {
+		b = pol.buckets - 1
+	}
+	return b
+}
+
+// Decide implements ga.AdmissionPolicy. The pool has already filtered
+// exact duplicates (same vector, same energy) before this is called.
+func (pol *Policy) Decide(p *ga.Pool, x *bitvec.Vector, e int64) ga.Decision {
+	m := p.Len()
+	if m == 0 {
+		return ga.Decision{Admit: true}
+	}
+	n := x.Len()
+
+	// Near set: every resident within the radius of the candidate. The
+	// candidate must strictly beat them all (equivalently, the best of
+	// them) or it is a crowding duplicate and is rejected; on
+	// admission they are all evicted, which is what maintains the
+	// pairwise no-near-pair invariant. Distance-0 entries (same vector,
+	// different recorded energy) are skipped when the ablation toggle
+	// allows duplicates, so the prefilter and the policy agree with the
+	// pool's own duplicate rule.
+	var near []int
+	for i := 0; i < m; i++ {
+		ent := p.At(i)
+		d := x.Hamming(ent.X)
+		if d == 0 && p.AllowsDuplicates() {
+			continue
+		}
+		if d <= pol.radius {
+			if e >= ent.E {
+				return ga.Decision{} // crowding an equal-or-better resident
+			}
+			near = append(near, i)
+		}
+	}
+	if len(near) > 0 {
+		// Replacing at least one resident always leaves room.
+		return ga.Decision{Admit: true, Evict: near}
+	}
+	if m < p.Cap() {
+		return ga.Decision{Admit: true}
+	}
+
+	// Full pool, no near residents: evict one victim, preserving the
+	// elitist base rule (never evict an entry better than the
+	// candidate, so a worse-than-everything candidate is rejected) and
+	// the bucket floor (never empty a protected bucket unless the
+	// candidate itself refills it). The incumbent best (index 0) is
+	// never a victim.
+	pos := p.InsertPos(x, e)
+	if pos == m {
+		return ga.Decision{}
+	}
+	best := p.At(0).X
+	counts := make([]int, pol.buckets)
+	entBucket := make([]int, m)
+	for i := 0; i < m; i++ {
+		b := pol.bucketOf(best.Hamming(p.At(i).X), n)
+		entBucket[i] = b
+		counts[b]++
+	}
+	candBucket := pol.bucketOf(best.Hamming(x), n)
+	lo := pos
+	if lo < 1 {
+		lo = 1
+	}
+	for i := m - 1; i >= lo; i-- {
+		b := entBucket[i]
+		if counts[b] > pol.minPerBucket || b == candBucket {
+			return ga.Decision{Admit: true, Evict: []int{i}}
+		}
+	}
+	return ga.Decision{} // every displaceable victim is bucket-protected
+}
+
+// BucketCounts returns the per-bucket occupancy of the pool's current
+// entries, keyed by Hamming distance to the incumbent best (index 0).
+// An empty pool returns all zeros.
+func (pol *Policy) BucketCounts(p *ga.Pool) []int {
+	counts := make([]int, pol.buckets)
+	if p.Len() == 0 {
+		return counts
+	}
+	best := p.At(0).X
+	n := best.Len()
+	for i := 0; i < p.Len(); i++ {
+		counts[pol.bucketOf(best.Hamming(p.At(i).X), n)]++
+	}
+	return counts
+}
+
+// OccupiedBuckets returns how many distance buckets currently hold at
+// least one entry — the gauge behind abs_pool_distance_buckets_occupied.
+func (pol *Policy) OccupiedBuckets(p *ga.Pool) int {
+	occ := 0
+	for _, c := range pol.BucketCounts(p) {
+		if c > 0 {
+			occ++
+		}
+	}
+	return occ
+}
+
+// CheckPool implements ga.PolicyChecker: the pairwise invariant the
+// admission rule maintains — no two residents within the radius of
+// each other (distance-0 pairs excepted when the duplicate ablation is
+// on). ga.Pool.CheckInvariants calls it automatically when this policy
+// is installed.
+func (pol *Policy) CheckPool(p *ga.Pool) error {
+	m := p.Len()
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := p.At(i).X.Hamming(p.At(j).X)
+			if d == 0 && p.AllowsDuplicates() {
+				continue
+			}
+			if d <= pol.radius {
+				return fmt.Errorf("diversity: entries %d and %d are near-duplicates (Hamming %d <= radius %d)",
+					i, j, d, pol.radius)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package diversity
+
+import (
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/ga"
+	"abs/internal/rng"
+)
+
+// withBits builds an n-bit vector with exactly the listed bits set.
+func withBits(n int, bits ...int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for _, b := range bits {
+		v.Set(b, 1)
+	}
+	return v
+}
+
+// rangeBits builds an n-bit vector with bits [lo, hi) set.
+func rangeBits(n, lo, hi int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for b := lo; b < hi; b++ {
+		v.Set(b, 1)
+	}
+	return v
+}
+
+func newPolicyPool(n, capacity int, s Spec) (*ga.Pool, *Policy) {
+	p := ga.NewPool(n, capacity)
+	pol := NewPolicy(s)
+	p.SetPolicy(pol)
+	return p, pol
+}
+
+func TestPolicyRejectsNearDuplicateUnlessStrictlyBetter(t *testing.T) {
+	p, _ := newPolicyPool(32, 8, Spec{Radius: 4})
+	if !p.Insert(bitvec.New(32), 10) {
+		t.Fatal("first insert rejected")
+	}
+	near := withBits(32, 0, 1) // Hamming 2 from the resident
+
+	if p.Insert(near, 10) {
+		t.Fatal("equal-energy near-duplicate admitted")
+	}
+	if p.Insert(near, 50) {
+		t.Fatal("worse near-duplicate admitted")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool len %d after rejections, want 1", p.Len())
+	}
+
+	// Strictly better: admitted, and the crowded resident is evicted.
+	if !p.Insert(near, 5) {
+		t.Fatal("strictly better near candidate rejected")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool len %d after replacement, want 1", p.Len())
+	}
+	if got := p.At(0); got.E != 5 || !got.X.Equal(near) {
+		t.Fatalf("replacement kept the wrong entry: %v e=%d", got.X, got.E)
+	}
+}
+
+func TestPolicyEvictsEveryCrowdedResident(t *testing.T) {
+	p, _ := newPolicyPool(32, 8, Spec{Radius: 8})
+	r1 := bitvec.New(32)       // all zeros
+	r2 := rangeBits(32, 0, 10) // Hamming 10 from r1 — legal pair
+	if !p.Insert(r1, 10) || !p.Insert(r2, 20) {
+		t.Fatal("setup inserts rejected")
+	}
+	// Candidate within radius of BOTH residents (5 from r1, 5 from r2)
+	// and strictly better than both: admitted, both evicted.
+	cand := rangeBits(32, 0, 5)
+	if !p.Insert(cand, 5) {
+		t.Fatal("dominating candidate rejected")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("pool len %d, want 1 (both crowded residents evicted)", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyBucketFloorProtectsFarEntries(t *testing.T) {
+	spec := Spec{Radius: 1, Buckets: 4, MinPerBucket: 1}
+	p, pol := newPolicyPool(32, 4, spec)
+	best := bitvec.New(32)        // bucket 0
+	mid1 := rangeBits(32, 0, 16)  // d=16 → bucket 1
+	mid2 := rangeBits(32, 16, 32) // d=16 → bucket 1
+	far := rangeBits(32, 0, 32)   // d=32 → bucket 3
+	for _, ins := range []struct {
+		x *bitvec.Vector
+		e int64
+	}{{best, -100}, {mid1, 10}, {mid2, 20}, {far, 50}} {
+		if !p.Insert(ins.x, ins.e) {
+			t.Fatalf("setup insert rejected")
+		}
+	}
+	if p.Len() != p.Cap() {
+		t.Fatalf("setup should fill the pool: %d/%d", p.Len(), p.Cap())
+	}
+
+	// A near-best candidate displaces a mid entry, NOT the sole far
+	// entry: bucket 3 is at its floor and the candidate lands in
+	// bucket 0.
+	cand := withBits(32, 0, 1)
+	if !p.Insert(cand, -50) {
+		t.Fatal("candidate rejected")
+	}
+	foundFar := false
+	for i := 0; i < p.Len(); i++ {
+		if p.At(i).X.Equal(far) {
+			foundFar = true
+		}
+		if p.At(i).X.Equal(mid2) {
+			t.Fatal("worst unprotected entry (mid2) should have been the victim")
+		}
+	}
+	if !foundFar {
+		t.Fatal("bucket floor failed: the sole far entry was evicted")
+	}
+	if got := pol.OccupiedBuckets(p); got < 2 {
+		t.Fatalf("OccupiedBuckets = %d, want >= 2", got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyRejectsWhenEveryVictimProtected(t *testing.T) {
+	spec := Spec{Radius: 1, Buckets: 4, MinPerBucket: 1}
+	p, _ := newPolicyPool(32, 2, spec)
+	best := bitvec.New(32)
+	far := rangeBits(32, 0, 32)
+	if !p.Insert(best, -100) || !p.Insert(far, 50) {
+		t.Fatal("setup inserts rejected")
+	}
+	// Near-best candidate (bucket 0): the only displaceable victim is
+	// the far entry, whose bucket would empty — rejected.
+	cand := withBits(32, 0, 1)
+	if p.WouldAdmit(cand, 0) {
+		t.Fatal("WouldAdmit said yes to a fully protected pool")
+	}
+	if p.Insert(cand, 0) {
+		t.Fatal("insert displaced a floor-protected bucket")
+	}
+	// Same energy, but landing in the protected bucket itself: the
+	// candidate refills what it evicts, so the floor allows it.
+	cand2 := rangeBits(32, 0, 30) // d(best)=30 → bucket 3, d(far)=2 > radius
+	if !p.Insert(cand2, 0) {
+		t.Fatal("candidate refilling the protected bucket was rejected")
+	}
+}
+
+func TestPolicyWouldAdmitAgreesWithInsert(t *testing.T) {
+	// Property: WouldAdmit must predict Insert exactly, under churn,
+	// with the policy installed (the PR-9 regression seam).
+	r := rng.New(42)
+	p, _ := newPolicyPool(24, 6, Spec{Radius: 3, Buckets: 4, MinPerBucket: 1})
+	for i := 0; i < 500; i++ {
+		x := bitvec.Random(24, r)
+		e := int64(r.Intn(200) - 100)
+		want := p.WouldAdmit(x, e)
+		got := p.Insert(x, e)
+		if got != want {
+			t.Fatalf("step %d: WouldAdmit=%v but Insert=%v (x=%v e=%d, pool %d/%d)",
+				i, want, got, x, e, p.Len(), p.Cap())
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+func TestPolicyNoNearPairsUnderChurn(t *testing.T) {
+	// Property: after any insert sequence, no two residents are within
+	// the radius of each other. CheckInvariants delegates to
+	// Policy.CheckPool, so this also covers the PolicyChecker wiring.
+	for _, radius := range []int{1, 4, 8} {
+		r := rng.New(uint64(radius) * 7)
+		p, pol := newPolicyPool(32, 8, Spec{Radius: radius})
+		for i := 0; i < 300; i++ {
+			p.Insert(bitvec.Random(32, r), int64(r.Intn(100)-50))
+		}
+		if err := pol.CheckPool(p); err != nil {
+			t.Fatalf("radius %d: %v", radius, err)
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("radius %d: %v", radius, err)
+		}
+	}
+}
+
+func TestPolicySeedRandomRespectsPolicy(t *testing.T) {
+	p, _ := newPolicyPool(16, 8, Spec{Radius: 2})
+	p.SeedRandom(rng.New(3))
+	if p.Len() == 0 {
+		t.Fatal("seeding produced an empty pool")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyBucketCounts(t *testing.T) {
+	spec := Spec{Radius: 1, Buckets: 4, MinPerBucket: 1}
+	p, pol := newPolicyPool(32, 8, spec)
+	if got := pol.OccupiedBuckets(p); got != 0 {
+		t.Fatalf("empty pool OccupiedBuckets = %d", got)
+	}
+	p.Insert(bitvec.New(32), -10)      // bucket 0
+	p.Insert(rangeBits(32, 0, 32), 10) // bucket 3
+	p.Insert(rangeBits(32, 0, 16), 0)  // bucket 1
+	counts := pol.BucketCounts(p)
+	if len(counts) != 4 {
+		t.Fatalf("BucketCounts len %d, want 4", len(counts))
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 0 || counts[3] != 1 {
+		t.Fatalf("BucketCounts = %v, want [1 1 0 1]", counts)
+	}
+	if got := pol.OccupiedBuckets(p); got != 3 {
+		t.Fatalf("OccupiedBuckets = %d, want 3", got)
+	}
+}
+
+func TestPolicyUnknownEnergyCandidates(t *testing.T) {
+	// An unevaluated candidate (UnknownEnergy) near a known resident is
+	// never "strictly better", so it is rejected; far ones are admitted.
+	p, _ := newPolicyPool(32, 8, Spec{Radius: 4})
+	if !p.Insert(bitvec.New(32), 10) {
+		t.Fatal("setup insert rejected")
+	}
+	if p.Insert(withBits(32, 0), ga.UnknownEnergy) {
+		t.Fatal("unknown-energy near candidate admitted")
+	}
+	if !p.Insert(rangeBits(32, 0, 16), ga.UnknownEnergy) {
+		t.Fatal("unknown-energy far candidate rejected")
+	}
+}
+
+func FuzzPolicyInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(8))
+	f.Add(uint64(99), uint8(1), uint8(3))
+	f.Add(uint64(7), uint8(12), uint8(16))
+	f.Fuzz(func(t *testing.T, seed uint64, radius, capacity uint8) {
+		rad := int(radius%16) + 1
+		capN := int(capacity%12) + 2
+		r := rng.New(seed)
+		p, pol := newPolicyPool(32, capN, Spec{Radius: rad, Buckets: 4, MinPerBucket: 1})
+		for i := 0; i < 120; i++ {
+			x := bitvec.Random(32, r)
+			e := int64(r.Intn(64) - 32)
+			want := p.WouldAdmit(x, e)
+			if got := p.Insert(x, e); got != want {
+				t.Fatalf("WouldAdmit=%v Insert=%v at step %d", want, got, i)
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pol.CheckPool(p); err != nil {
+			t.Fatal(err)
+		}
+		// Bucket accounting must always total the pool size.
+		sum := 0
+		for _, c := range pol.BucketCounts(p) {
+			sum += c
+		}
+		if sum != p.Len() {
+			t.Fatalf("bucket counts sum %d != pool len %d", sum, p.Len())
+		}
+	})
+}

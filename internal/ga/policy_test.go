@@ -1,0 +1,172 @@
+package ga
+
+import (
+	"errors"
+	"testing"
+
+	"abs/internal/bitvec"
+	"abs/internal/rng"
+)
+
+// recordingPolicy is a scriptable AdmissionPolicy for seam tests: it
+// returns a fixed decision and counts Decide calls.
+type recordingPolicy struct {
+	decision Decision
+	calls    int
+}
+
+func (rp *recordingPolicy) Decide(p *Pool, x *bitvec.Vector, e int64) Decision {
+	rp.calls++
+	return rp.decision
+}
+
+// worstEvictPolicy reimplements plain elitism through the policy seam,
+// so churn tests exercise the policy path with realistic decisions.
+type worstEvictPolicy struct{}
+
+func (worstEvictPolicy) Decide(p *Pool, x *bitvec.Vector, e int64) Decision {
+	if p.Len() < p.Cap() {
+		return Decision{Admit: true}
+	}
+	if p.InsertPos(x, e) == p.Len() {
+		return Decision{}
+	}
+	return Decision{Admit: true, Evict: []int{p.Len() - 1}}
+}
+
+// failingChecker always reports a violation, proving CheckInvariants
+// consults an installed PolicyChecker.
+type failingChecker struct{ recordingPolicy }
+
+var errCheckerTripped = errors.New("checker tripped")
+
+func (failingChecker) CheckPool(p *Pool) error { return errCheckerTripped }
+
+func TestPoolDuplicatesFilteredBeforePolicy(t *testing.T) {
+	p := NewPool(8, 4)
+	rp := &recordingPolicy{decision: Decision{Admit: true}}
+	p.SetPolicy(rp)
+	x := bitvec.New(8)
+	if !p.Insert(x.Clone(), 5) {
+		t.Fatal("first insert rejected")
+	}
+	calls := rp.calls
+	// An exact duplicate never reaches the policy: the pool's own
+	// distinctness prefilter rejects it first, and WouldAdmit agrees.
+	if p.WouldAdmit(x, 5) {
+		t.Fatal("WouldAdmit accepted an exact duplicate")
+	}
+	if p.Insert(x.Clone(), 5) {
+		t.Fatal("Insert admitted an exact duplicate")
+	}
+	if rp.calls != calls {
+		t.Fatalf("policy consulted %d times for duplicates", rp.calls-calls)
+	}
+
+	// With the ablation toggle on, duplicates DO reach the policy, and
+	// the policy's verdict is what both Insert and WouldAdmit report.
+	p.SetAllowDuplicates(true)
+	if !p.WouldAdmit(x, 5) {
+		t.Fatal("allow-duplicates WouldAdmit disagreed with the admitting policy")
+	}
+	if !p.Insert(x.Clone(), 5) {
+		t.Fatal("allow-duplicates Insert rejected what the policy admitted")
+	}
+	if rp.calls != calls+2 {
+		t.Fatalf("policy consulted %d extra times, want 2", rp.calls-calls)
+	}
+}
+
+func TestPoolPolicyCapacityBackstop(t *testing.T) {
+	// A buggy policy that admits into a full pool without making room
+	// must be refused by Insert — and WouldAdmit must predict that
+	// refusal, not the policy's raw verdict.
+	p := NewPool(8, 2)
+	r := rng.New(1)
+	p.Insert(bitvec.Random(8, r), 1)
+	p.Insert(bitvec.Random(8, r), 2)
+	rp := &recordingPolicy{decision: Decision{Admit: true}} // no evictions
+	p.SetPolicy(rp)
+	x := bitvec.Random(8, r)
+	if p.WouldAdmit(x, 0) {
+		t.Fatal("WouldAdmit ignored the capacity backstop")
+	}
+	if p.Insert(x, 0) {
+		t.Fatal("Insert exceeded capacity on a roomless admission")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("pool len %d, want 2", p.Len())
+	}
+}
+
+func TestPoolPolicyBoundsCheckedEvictions(t *testing.T) {
+	// Out-of-range eviction indices from a buggy policy are skipped,
+	// never corrupting the pool.
+	p := NewPool(8, 4)
+	r := rng.New(2)
+	p.Insert(bitvec.Random(8, r), 1)
+	p.SetPolicy(&recordingPolicy{decision: Decision{Admit: true, Evict: []int{-1, 99}}})
+	if !p.Insert(bitvec.Random(8, r), 2) {
+		t.Fatal("insert rejected")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("pool len %d, want 2 (bogus evictions skipped)", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolWouldAdmitAgreesWithInsertUnderPolicy(t *testing.T) {
+	// The satellite regression: Insert and WouldAdmit share one Decide
+	// path, so they can never disagree — with or without the duplicate
+	// ablation toggle.
+	for _, allowDup := range []bool{false, true} {
+		r := rng.New(7)
+		p := NewPool(6, 5) // tiny space: plenty of duplicate collisions
+		p.SetAllowDuplicates(allowDup)
+		p.SetPolicy(worstEvictPolicy{})
+		for i := 0; i < 400; i++ {
+			x := bitvec.Random(6, r)
+			e := int64(r.Intn(20) - 10)
+			want := p.WouldAdmit(x, e)
+			if got := p.Insert(x, e); got != want {
+				t.Fatalf("allowDup=%v step %d: WouldAdmit=%v, Insert=%v", allowDup, i, want, got)
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("allowDup=%v step %d: %v", allowDup, i, err)
+			}
+		}
+	}
+}
+
+func TestPoolCheckInvariantsConsultsPolicyChecker(t *testing.T) {
+	p := NewPool(8, 4)
+	p.Insert(bitvec.Random(8, rng.New(9)), 3)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("clean pool failed base invariants: %v", err)
+	}
+	p.SetPolicy(&failingChecker{recordingPolicy{decision: Decision{Admit: true}}})
+	if err := p.CheckInvariants(); !errors.Is(err, errCheckerTripped) {
+		t.Fatalf("CheckInvariants = %v, want the installed checker's error", err)
+	}
+}
+
+func TestPoolPolicyAccessors(t *testing.T) {
+	p := NewPool(8, 4)
+	if p.Policy() != nil {
+		t.Fatal("new pool has a policy installed")
+	}
+	rp := &recordingPolicy{}
+	p.SetPolicy(rp)
+	if p.Policy() != AdmissionPolicy(rp) {
+		t.Fatal("Policy() did not return the installed policy")
+	}
+	if p.AllowsDuplicates() {
+		t.Fatal("AllowsDuplicates true by default")
+	}
+	p.SetAllowDuplicates(true)
+	if !p.AllowsDuplicates() {
+		t.Fatal("SetAllowDuplicates(true) not reflected")
+	}
+}

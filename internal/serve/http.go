@@ -77,6 +77,10 @@ type jobRequest struct {
 	// inherits the service default. Unknown names get a 400 listing the
 	// registered backends (see GET /v1/backends).
 	Backend string `json:"backend,omitempty"`
+	// Diversity tunes the job's DABS control loops as a spec string
+	// ("radius=8,floor=0.2", "off"); empty inherits the service
+	// default. Malformed specs get a 400.
+	Diversity string `json:"diversity,omitempty"`
 }
 
 type randomSpec struct {
@@ -224,6 +228,7 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		MaxDevices:   req.MaxDevices,
 		Backend:      req.Backend,
+		Diversity:    req.Diversity,
 	}
 	if req.Time != "" {
 		d, err := time.ParseDuration(req.Time)
@@ -250,10 +255,32 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, statusJSON(job))
 }
 
+// backendJSON is one GET /v1/backends entry: the registry info plus
+// the live unit count — how many search units across all running jobs
+// are currently assigned to this backend (the adaptive allocator's
+// split under race, which would otherwise be invisible outside trace
+// logs).
+type backendJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Units       int    `json:"units"`
+}
+
 // backends lists the registered solver backends — the valid values for
-// the submit body's "backend" field.
+// the submit body's "backend" field — with each backend's live unit
+// count summed over the running jobs.
 func (h *httpAPI) backends(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"backends": core.Backends()})
+	units := h.svc.BackendUnits()
+	infos := core.Backends()
+	out := make([]backendJSON, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, backendJSON{
+			Name:        info.Name,
+			Description: info.Description,
+			Units:       units[info.Name],
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"backends": out})
 }
 
 func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {

@@ -348,3 +348,81 @@ func TestHTTPBackendSelection(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPDiversitySpec submits under an explicit DABS spec, checks a
+// malformed spec is rejected at submit time with a 400 naming the bad
+// key, and that GET /v1/backends reports live per-backend unit counts
+// while a race job runs.
+func TestHTTPDiversitySpec(t *testing.T) {
+	ts, _ := newTestServer(t, testConfig(1))
+
+	// A valid spec rides the job spec end to end.
+	code, j := postJob(t, ts, `{"random": {"n": 24, "seed": 5}, "time": "150ms", "diversity": "radius=2,floor=0.2"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with diversity: %d", code)
+	}
+	waitJob(t, ts, j.ID, "completion", func(j jobJSON) bool { return j.State == StateDone })
+
+	// A malformed spec is a 400 at submit, not a later failure.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"random": {"n": 8}, "max_flips": 10, "diversity": "radius=banana"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad diversity spec: %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(body.String(), "radius") {
+		t.Errorf("400 body does not name the bad key: %s", body.String())
+	}
+
+	// While a race job runs, /v1/backends exposes the allocator's live
+	// unit split: the portfolio members carry units that sum over zero.
+	code, j = postJob(t, ts, `{"random": {"n": 32, "seed": 6}, "time": "5s", "backend": "race"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit race job: %d", code)
+	}
+	defer deleteJob(t, ts, j.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/backends")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Backends []struct {
+				Name  string `json:"name"`
+				Units int    `json:"units"`
+			} `json:"backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		byName := map[string]int{}
+		for _, b := range list.Backends {
+			total += b.Units
+			byName[b.Name] = b.Units
+		}
+		if total > 0 {
+			// The race meta-backend runs its members, not itself: units
+			// land on the portfolio names.
+			if byName["race"] != 0 {
+				t.Errorf("race itself holds %d units; members should", byName["race"])
+			}
+			if byName["straight"]+byName["sb"]+byName["tabu"] != total {
+				t.Errorf("units outside the portfolio: %v", byName)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("GET /v1/backends never showed live units for the running race job")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

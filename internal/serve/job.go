@@ -58,6 +58,13 @@ type JobSpec struct {
 	// time with core.ErrUnknownBackend.
 	Backend string
 
+	// Diversity tunes the job's DABS control loops as a
+	// diversity.ParseSpec string ("radius=8,floor=0.2", "off", ...):
+	// the pool's Hamming-distance admission policy and the race
+	// backend's adaptive unit allocator. Empty inherits the service's
+	// default options; malformed specs are rejected at submit time.
+	Diversity string
+
 	// MaxDevices caps how many fleet devices the scheduler may ever
 	// allocate to this job. Zero means no cap (the whole fleet);
 	// values above the fleet size are clamped.

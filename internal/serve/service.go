@@ -35,6 +35,7 @@ import (
 
 	"abs/internal/bitvec"
 	"abs/internal/core"
+	"abs/internal/diversity"
 	"abs/internal/gpusim"
 	"abs/internal/qubo"
 	"abs/internal/store"
@@ -128,6 +129,13 @@ type Service struct {
 
 	mu   sync.Mutex
 	jobs map[string]*Job
+
+	// divMu guards lastMoves: each running job's high-water mark of
+	// adaptive-allocator reassignments already rolled into the
+	// abs_alloc_reassignments_total counter, so the refresher ticks and
+	// the settle-time flush never double-count a move.
+	divMu     sync.Mutex
+	lastMoves map[string]uint64
 }
 
 // Scheduler events. Submit/cancel come from API goroutines; release and
@@ -194,6 +202,7 @@ func New(cfg Config) (*Service, error) {
 		events:    make(chan event),
 		schedDone: make(chan struct{}),
 		jobs:      make(map[string]*Job),
+		lastMoves: make(map[string]uint64),
 	}
 	var restored *restoredState
 	if cfg.Store != nil {
@@ -212,6 +221,7 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 	go s.scheduler()
+	go s.diversityRefresher()
 	if restored != nil {
 		for _, q := range restored.requeue {
 			s.resubmit(q)
@@ -266,6 +276,103 @@ func (s *Service) Fleet() (spec gpusim.DeviceSpec, size int) {
 	return s.fleet.Spec(), s.fleet.Size()
 }
 
+// BackendUnits aggregates the live per-backend search-unit counts over
+// every running job: the adaptive allocator's current split under a
+// race backend, every unit on the single resolved backend otherwise.
+// Safe from any goroutine (it reads only engine atomics); GET
+// /v1/backends serves it.
+func (s *Service) BackendUnits() map[string]int {
+	out := make(map[string]int)
+	for _, j := range s.Jobs() {
+		if j.Status().State != StateRunning {
+			continue
+		}
+		eng := j.engine()
+		if eng == nil {
+			continue
+		}
+		for name, c := range eng.BackendUnits() {
+			out[name] += c
+		}
+	}
+	return out
+}
+
+// diversityRefresher keeps the serve-plane DABS instruments
+// (abs_alloc_units, abs_alloc_reassignments_total,
+// abs_pool_distance_buckets_occupied) live while jobs run. Engine
+// reads are lock-free atomics, so a sub-second cadence costs nothing.
+func (s *Service) diversityRefresher() {
+	if s.metrics == nil {
+		return
+	}
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.schedDone:
+			return
+		case <-t.C:
+			s.refreshDiversity()
+		}
+	}
+}
+
+// refreshDiversity aggregates the live DABS view over running jobs —
+// per-member unit counts summed, occupied distance buckets maxed — and
+// advances the reassignment counter by each engine's move delta since
+// the last refresh.
+func (s *Service) refreshDiversity() {
+	units := make(map[string]int)
+	buckets := 0
+	var delta uint64
+	s.divMu.Lock()
+	for _, j := range s.Jobs() {
+		if j.Status().State != StateRunning {
+			continue
+		}
+		eng := j.engine()
+		if eng == nil {
+			continue
+		}
+		for name, c := range eng.BackendUnits() {
+			units[name] += c
+		}
+		if b := eng.OccupiedDistanceBuckets(); b > buckets {
+			buckets = b
+		}
+		moves := eng.AllocMoves()
+		if prev := s.lastMoves[j.id]; moves > prev {
+			delta += moves - prev
+		}
+		s.lastMoves[j.id] = moves
+	}
+	s.divMu.Unlock()
+	if len(units) == 0 && delta == 0 && buckets == 0 {
+		return // idle service: leave the last run's gauges in place
+	}
+	s.metrics.allocGauges(units, buckets)
+	s.metrics.allocMoved(delta)
+}
+
+// settleDiversity flushes a settling job's final reassignment delta —
+// moves performed between the last refresher tick and the engine's
+// finish — and forgets its high-water mark.
+func (s *Service) settleDiversity(j *Job) {
+	eng := j.engine()
+	if eng == nil {
+		return
+	}
+	s.divMu.Lock()
+	moves := eng.AllocMoves()
+	prev := s.lastMoves[j.id]
+	delete(s.lastMoves, j.id)
+	s.divMu.Unlock()
+	if moves > prev {
+		s.metrics.allocMoved(moves - prev)
+	}
+}
+
 // Submit validates and enqueues one job. The returned Job is live:
 // Wait/Status/Cancel follow it through the lifecycle. Cancelling ctx
 // cancels the job itself, queued or running. Submit fails fast with
@@ -277,6 +384,11 @@ func (s *Service) Submit(ctx context.Context, p *qubo.Problem, spec JobSpec) (*J
 	}
 	if spec.MaxDevices < 0 {
 		return nil, fmt.Errorf("serve: MaxDevices must be non-negative, got %d", spec.MaxDevices)
+	}
+	if spec.Diversity != "" {
+		if _, err := diversity.ParseSpec(spec.Diversity); err != nil {
+			return nil, err
+		}
 	}
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -336,6 +448,14 @@ func (s *Service) jobOptions(spec JobSpec) core.Options {
 	}
 	if spec.Backend != "" {
 		opt.Backend = core.Backend(spec.Backend)
+	}
+	if spec.Diversity != "" {
+		// Submit rejected malformed specs; a corrupt persisted spec on
+		// the resubmit path falls back to the service defaults rather
+		// than losing the job.
+		if d, err := diversity.ParseSpec(spec.Diversity); err == nil {
+			opt.Diversity = d
+		}
 	}
 	if lim := s.cfg.MaxJobDuration; lim > 0 && (opt.MaxDuration == 0 || opt.MaxDuration > lim) {
 		opt.MaxDuration = lim
@@ -504,6 +624,7 @@ func (s *Service) settleQueuedCancel(st *schedState, j *Job) {
 // settleJob does the scheduler-side bookkeeping for a terminal job:
 // telemetry and the bounded retention of settled handles.
 func (s *Service) settleJob(st *schedState, j *Job) {
+	s.settleDiversity(j)
 	s.metrics.settled(j, len(st.queued), len(st.running))
 	if stt := j.Status(); stt.State == StateFailed {
 		// A failed job is an incident: preserve the last spans, events

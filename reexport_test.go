@@ -234,3 +234,43 @@ func TestReexportedDurabilityAndChaosSurface(t *testing.T) {
 		t.Errorf("dropped call = %v, want ErrChaosInjected", err)
 	}
 }
+
+// TestReexportedDiversitySurface checks the DABS names: the spec type,
+// its parser and the two canonical constructors, driven through a real
+// diversified race run whose BackendStats expose the allocator split.
+func TestReexportedDiversitySurface(t *testing.T) {
+	var spec abs.DiversitySpec = abs.DefaultDiversitySpec()
+	if spec.Buckets == 0 {
+		t.Fatal("default diversity spec has no buckets")
+	}
+	if static := abs.StaticDiversitySpec(); static.Floor < 1.0 {
+		t.Errorf("static spec floor %v does not freeze the allocator", static.Floor)
+	}
+	parsed, err := abs.ParseDiversitySpec("radius=2,floor=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Radius != 2 || parsed.Floor != 0.2 {
+		t.Fatalf("ParseDiversitySpec = %+v", parsed)
+	}
+	if _, err := abs.ParseDiversitySpec("turbo=1"); err == nil {
+		t.Error("ParseDiversitySpec accepted an unknown key")
+	}
+
+	opt := abs.DefaultOptions()
+	opt.MaxDuration = 100 * time.Millisecond
+	opt.Backend = abs.BackendRace
+	opt.Diversity = parsed
+	res, err := abs.SolveContext(context.Background(), abs.RandomProblem(32, 11), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stat abs.BackendStat // the per-backend tally, by name
+	total := 0
+	for _, stat = range res.BackendStats {
+		total += stat.Units
+	}
+	if total != res.Blocks {
+		t.Errorf("allocator units sum %d != %d blocks", total, res.Blocks)
+	}
+}

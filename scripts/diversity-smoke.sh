@@ -1,0 +1,119 @@
+#!/bin/sh
+# Diversity smoke: boot abs-serve with the race meta-backend and a DABS
+# spec (admission radius on, fast allocator cadence) and assert the
+# diversity-control surface end to end —
+#   * /metrics carries the abs_alloc_units{backend=...} gauges and they
+#     MOVE: the adaptive allocator performs at least one reassignment
+#     (abs_alloc_reassignments_total > 0) while the job runs;
+#   * the distance-bucketed pool reports at least 2 occupied buckets
+#     (abs_pool_distance_buckets_occupied >= 2);
+#   * the unit gauges always account for the whole fleet (sum > 0,
+#     spread across the portfolio members).
+# Needs only the Go toolchain and curl.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+
+TMP=$(mktemp -d)
+SRV_PID=
+cleanup() {
+	[ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "diversity-smoke: FAIL: $*" >&2
+	if [ -s "$TMP/serve.log" ]; then
+		echo "--- abs-serve log ---" >&2
+		cat "$TMP/serve.log" >&2
+	fi
+	if [ -s "$TMP/metrics.prom" ]; then
+		echo "--- last /metrics (abs_alloc_*, abs_pool_*) ---" >&2
+		grep -E '^abs_(alloc|pool)_' "$TMP/metrics.prom" >&2 || true
+	fi
+	exit 1
+}
+
+echo "diversity-smoke: building abs-serve"
+$GO build -o "$TMP/abs-serve" ./cmd/abs-serve
+
+# Fast allocator cadence so the smoke sees movement within seconds;
+# radius 2 turns the Hamming admission policy on for every job.
+"$TMP/abs-serve" -addr 127.0.0.1:0 -gpus 2 -sms 2 -backend race \
+	-diversity "radius=2,floor=0.1,window=2s,interval=200ms" \
+	>"$TMP/serve.log" 2>&1 &
+SRV_PID=$!
+
+BASE=
+i=0
+while [ $i -lt 50 ]; do
+	BASE=$(sed -n 's#.*listening on http://\([^/]*\)/v1/jobs.*#\1#p' "$TMP/serve.log" | head -1)
+	[ -n "$BASE" ] && break
+	kill -0 "$SRV_PID" 2>/dev/null || fail "abs-serve exited before listening"
+	sleep 0.2
+	i=$((i + 1))
+done
+[ -n "$BASE" ] || fail "no listen address after 10s"
+echo "diversity-smoke: abs-serve on $BASE (race + DABS spec)"
+
+SUBMIT=$(curl -sf -X POST "http://$BASE/v1/jobs" \
+	-d '{"random": {"n": 64, "seed": 7}, "time": "20s", "backend": "race", "name": "diversity-smoke"}') ||
+	fail "job submit"
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":[[:space:]]*"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "submit reply has no job id: $SUBMIT"
+echo "diversity-smoke: job $ID running"
+
+# Poll /metrics until every assertion holds (or time out at ~15s).
+UNITS_OK=
+MOVED=
+BUCKETS_OK=
+i=0
+while [ $i -lt 50 ]; do
+	curl -sf "http://$BASE/metrics" >"$TMP/metrics.prom" || fail "/metrics scrape"
+
+	# The allocator's unit gauges: per-member series summing over zero.
+	if [ -z "$UNITS_OK" ]; then
+		SERIES=$(grep -c '^abs_alloc_units{backend=' "$TMP/metrics.prom" || true)
+		SUM=$(awk -F' ' '/^abs_alloc_units\{backend=/ { s += $2 } END { print s+0 }' "$TMP/metrics.prom")
+		if [ "$SERIES" -ge 2 ] && [ "$SUM" -gt 0 ]; then
+			UNITS_OK=1
+			echo "diversity-smoke: abs_alloc_units up ($SERIES members, $SUM units)"
+		fi
+	fi
+
+	# The gauges must MOVE: the adaptive controller reassigns units.
+	if [ -z "$MOVED" ]; then
+		REASSIGNS=$(awk -F' ' '/^abs_alloc_reassignments_total / { print int($2) }' "$TMP/metrics.prom")
+		if [ "${REASSIGNS:-0}" -gt 0 ]; then
+			MOVED=1
+			echo "diversity-smoke: allocator moved units ($REASSIGNS reassignments)"
+		fi
+	fi
+
+	# The distance-bucketed pool keeps spread: >= 2 occupied buckets.
+	if [ -z "$BUCKETS_OK" ]; then
+		BUCKETS=$(awk -F' ' '/^abs_pool_distance_buckets_occupied / { print int($2) }' "$TMP/metrics.prom")
+		if [ "${BUCKETS:-0}" -ge 2 ]; then
+			BUCKETS_OK=1
+			echo "diversity-smoke: pool occupies $BUCKETS distance buckets"
+		fi
+	fi
+
+	[ -n "$UNITS_OK" ] && [ -n "$MOVED" ] && [ -n "$BUCKETS_OK" ] && break
+	sleep 0.3
+	i=$((i + 1))
+done
+[ -n "$UNITS_OK" ] || fail "abs_alloc_units gauges never appeared with a positive sum"
+[ -n "$MOVED" ] || fail "abs_alloc_reassignments_total never advanced (allocator did not move)"
+[ -n "$BUCKETS_OK" ] || fail "abs_pool_distance_buckets_occupied never reached 2"
+
+# The job is still within budget: cancel it, we have what we came for.
+curl -sf -X DELETE "http://$BASE/v1/jobs/$ID" >/dev/null || true
+
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+echo "diversity-smoke: PASS"
