@@ -7,7 +7,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X abs/internal/telemetry.version=$(VERSION) -X abs/internal/telemetry.commit=$(COMMIT)
 
-.PHONY: build test vet race check ci bench obs-demo obs-smoke backend-smoke diversity-smoke serve apicheck cluster-demo
+.PHONY: build test vet race check ci bench bench-dense obs-demo obs-smoke backend-smoke diversity-smoke serve apicheck cluster-demo
 
 build:
 	$(GO) build -ldflags '$(LDFLAGS)' ./...
@@ -47,6 +47,12 @@ serve:
 
 bench:
 	$(GO) run ./cmd/abs-bench -all -scale quick
+
+# Scalar-vs-batched dense-kernel report with the ≥2× gate, exactly as
+# CI's bench-smoke lane runs it (BENCH_pr10.json is the committed
+# medium-scale run with the ≥3× bar).
+bench-dense:
+	$(GO) run ./cmd/abs-bench -dense-report bench-dense.json -assert-dense-ratio 2 -scale quick
 
 # Observability demo: a short solve with the live telemetry endpoint
 # up, scraped once mid-run with curl. Needs nothing beyond the Go

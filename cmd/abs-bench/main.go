@@ -13,6 +13,7 @@
 //	abs-bench -report BENCH.json [-scale quick|medium|full]
 //	abs-bench -cluster-report BENCH.json [-scale quick|medium|full]
 //	abs-bench -sparse-report BENCH.json [-assert-ratio 2.0]
+//	abs-bench -dense-report BENCH.json [-assert-dense-ratio 2.0]
 //	abs-bench -backend-report BENCH.json [-scale quick|medium|full]
 //
 // Every benchmark solve accepts -backend to pin the solver backend
@@ -29,9 +30,15 @@
 // -assert-ratio additionally fails the process unless the sparse
 // engine delivers at least that multiple of the dense flips/sec on
 // every below-threshold instance (the CI regression gate).
-// -backend-report runs every registered solver backend over the sparse
-// sweep's instance families and writes time-to-target side by side,
-// with a per-family winner.
+// -dense-report solves fully dense random instances twice — the dense
+// flip pinned to the scalar reference loop, then to the batched
+// delta-evaluation kernel — and writes flips/sec side by side;
+// -assert-dense-ratio fails the process unless the batched kernel
+// delivers at least that multiple of the scalar flips/sec on every
+// instance (the CI dense-kernel regression gate). -backend-report runs
+// every registered solver backend over the sparse sweep's instance
+// families and writes time-to-target side by side, with a per-family
+// winner.
 package main
 
 import (
@@ -106,6 +113,8 @@ func main() {
 		clusterR = flag.String("cluster-report", "", "write a single-node vs loopback-cluster comparison JSON to this file")
 		sparseR  = flag.String("sparse-report", "", "write a dense-vs-sparse engine comparison JSON to this file")
 		ratio    = flag.Float64("assert-ratio", 0, "with -sparse-report: fail unless sparse/dense flips ratio is at least this on below-threshold instances (0 disables)")
+		denseR   = flag.String("dense-report", "", "write a scalar-vs-batched dense-kernel comparison JSON to this file")
+		dratio   = flag.Float64("assert-dense-ratio", 0, "with -dense-report: fail unless batched/scalar flips ratio is at least this on every instance (0 disables; relaxed to no-regression without SIMD)")
 		backendR = flag.String("backend-report", "", "write a per-backend time-to-target comparison JSON to this file")
 		backend  = backendflag.Register("auto means straight; applies to every benchmark solve except -backend-report, which sweeps all backends")
 		divFlag  = diversityflag.Register("applies to every benchmark solve; -backend-report additionally sweeps a race-static row at floor=1.0")
@@ -140,6 +149,13 @@ func main() {
 		}
 		fmt.Println("sparse report written to", *sparseR)
 	}
+	if *denseR != "" {
+		if err := writeDenseReport(*denseR, s, *dratio); err != nil {
+			fmt.Fprintln(os.Stderr, "abs-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dense report written to", *denseR)
+	}
 	if *backendR != "" {
 		if err := writeBackendReport(*backendR, s); err != nil {
 			fmt.Fprintln(os.Stderr, "abs-bench:", err)
@@ -147,7 +163,7 @@ func main() {
 		}
 		fmt.Println("backend report written to", *backendR)
 	}
-	if (*report != "" || *clusterR != "" || *sparseR != "" || *backendR != "") &&
+	if (*report != "" || *clusterR != "" || *sparseR != "" || *denseR != "" || *backendR != "") &&
 		!*all && *table == "" && *figure == "" && *ablation == "" {
 		return
 	}
@@ -199,6 +215,34 @@ func writeSparseReport(path string, s bench.Scale, minRatio float64) error {
 	}
 	if minRatio > 0 {
 		return bench.CheckSparseRatios(rep, minRatio)
+	}
+	return nil
+}
+
+// writeDenseReport builds the scalar-vs-batched kernel comparison
+// once, writes it to path and, when minRatio > 0, enforces the
+// speedup gate on the same measurement (written first so a failing
+// run still leaves the evidence on disk).
+func writeDenseReport(path string, s bench.Scale, minRatio float64) error {
+	rep, err := bench.BuildDenseReport(s)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if minRatio > 0 {
+		return bench.CheckDenseRatios(rep, minRatio)
 	}
 	return nil
 }

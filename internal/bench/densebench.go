@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"abs/internal/dkernel"
+	"abs/internal/qubo"
+	"abs/internal/randqubo"
+	"abs/internal/search"
+)
+
+// DenseReport is the scalar-vs-batched dense-kernel comparison written
+// by `abs-bench -dense-report FILE` (BENCH_pr10.json in the repo):
+// Algorithm 4's forced-flip inner loop — offset-window selection plus
+// the full-row Eq. (6) flip, the exact code path the batched kernel
+// restructures — driven for a fixed number of steps on fully dense
+// instances, once with the dense flip pinned to the scalar reference
+// loop and once on the batched dkernel path. Fixed work rather than a
+// fixed time budget means the two runs take the identical trajectory,
+// so the report both isolates pure kernel throughput and doubles as
+// end-to-end evidence of bit-for-bit equivalence: best energies must
+// match exactly, and CheckDenseRatios fails the gate if they do not.
+type DenseReport struct {
+	Schema    string    `json:"schema"` // "abs-dense-report/1"
+	Scale     string    `json:"scale"`
+	Generated time.Time `json:"generated"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	// Kernel is the batched implementation measured ("avx2", "generic",
+	// ...); Accelerated says whether a SIMD path was available. The
+	// ratio gate is only run at full strength when it was.
+	Kernel      string          `json:"kernel"`
+	Accelerated bool            `json:"accelerated"`
+	Instances   []DenseInstance `json:"instances"`
+}
+
+// DenseInstance is one instance measured on both flip paths.
+type DenseInstance struct {
+	Name string `json:"name"`
+	Bits int    `json:"bits"`
+	// Steps is the fixed flip count both paths execute; Window the
+	// offset-window length driving selection.
+	Steps  int `json:"steps"`
+	Window int `json:"window"`
+
+	Scalar  DenseKernelRun `json:"scalar"`
+	Batched DenseKernelRun `json:"batched"`
+
+	// FlipRatio is batched flips/sec over scalar flips/sec (>1 means
+	// the batched kernel is faster). TrajectoryMatch records that both
+	// paths ended at the same energy, best energy and solution vector —
+	// the same-work design makes any divergence a correctness bug.
+	FlipRatio       float64 `json:"flip_ratio"`
+	TrajectoryMatch bool    `json:"trajectory_match"`
+}
+
+// DenseKernelRun is one flip path's measurement on one instance.
+type DenseKernelRun struct {
+	Kernel      string  `json:"kernel"`
+	WallSeconds float64 `json:"wall_seconds"`
+	FlipsPerSec float64 `json:"flips_per_sec"`
+	BestEnergy  int64   `json:"best_energy"`
+	FinalEnergy int64   `json:"final_energy"`
+}
+
+// denseWindow is the offset-window length for the report runs: large
+// enough that selection is realistic, small enough that the O(n) flip
+// dominates — the regime Algorithm 4 runs in under core's defaults.
+const denseWindow = 64
+
+// denseInstances builds the fixed instance pair: fully dense random
+// QUBOs (§4.1.3) at the paper's shape and at 4× that, so the report
+// shows the ratio both inside and well past L2-resident rows.
+func denseInstances(s Scale) []*qubo.Problem {
+	sizes := []int{1024, 4096}
+	if s.Name == "quick" {
+		sizes = []int{512, 2048}
+	}
+	ps := make([]*qubo.Problem, len(sizes))
+	for i, n := range sizes {
+		ps[i] = randqubo.Generate(n, 9100+uint64(i))
+	}
+	return ps
+}
+
+// denseSteps sizes the fixed workload so the scalar side lands near the
+// scale's rate budget: a short pinned-scalar calibration run estimates
+// the per-flip cost, and both measured runs then execute the same step
+// count.
+func denseSteps(p *qubo.Problem, s Scale) int {
+	qubo.SetDenseKernelScalar(true)
+	defer qubo.SetDenseKernelScalar(false)
+	st := qubo.NewZeroState(p)
+	pol := search.NewOffsetWindow(denseWindow)
+	const probe = 2000
+	start := time.Now()
+	search.Run(st, probe, pol)
+	perFlip := time.Since(start) / probe
+	if perFlip <= 0 {
+		perFlip = time.Nanosecond
+	}
+	steps := int(s.RateBudget / perFlip)
+	if steps < probe {
+		steps = probe
+	}
+	return steps
+}
+
+// measureKernel drives Algorithm 4's inner loop for exactly steps
+// flips on one flip path. The process-wide kernel switch is pinned
+// while the state is constructed and restored after the run.
+func measureKernel(p *qubo.Problem, scalar bool, steps int) (DenseKernelRun, *qubo.State, error) {
+	qubo.SetDenseKernelScalar(scalar)
+	defer qubo.SetDenseKernelScalar(false)
+	run := DenseKernelRun{Kernel: qubo.DenseKernelName()}
+
+	st := qubo.NewZeroState(p)
+	pol := search.NewOffsetWindow(denseWindow)
+	start := time.Now()
+	search.Run(st, steps, pol)
+	run.WallSeconds = time.Since(start).Seconds()
+	if run.WallSeconds > 0 {
+		run.FlipsPerSec = float64(steps) / run.WallSeconds
+	}
+	run.BestEnergy = st.BestEnergy()
+	run.FinalEnergy = st.Energy()
+	if err := st.CheckConsistency(); err != nil {
+		return run, nil, err
+	}
+	return run, st, nil
+}
+
+// BuildDenseReport measures the instance set on both flip paths.
+func BuildDenseReport(s Scale) (*DenseReport, error) {
+	rep := &DenseReport{
+		Schema:      "abs-dense-report/1",
+		Scale:       s.Name,
+		Generated:   time.Now().UTC().Round(time.Second),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Kernel:      dkernel.Name(),
+		Accelerated: dkernel.Accelerated(),
+	}
+	for _, p := range denseInstances(s) {
+		inst := DenseInstance{
+			Name:   p.Name(),
+			Bits:   p.N(),
+			Steps:  denseSteps(p, s),
+			Window: denseWindow,
+		}
+		var sState, bState *qubo.State
+		var err error
+		if inst.Scalar, sState, err = measureKernel(p, true, inst.Steps); err != nil {
+			return nil, err
+		}
+		if inst.Batched, bState, err = measureKernel(p, false, inst.Steps); err != nil {
+			return nil, err
+		}
+		if inst.Scalar.FlipsPerSec > 0 {
+			inst.FlipRatio = inst.Batched.FlipsPerSec / inst.Scalar.FlipsPerSec
+		}
+		inst.TrajectoryMatch = sState.Energy() == bState.Energy() &&
+			sState.BestEnergy() == bState.BestEnergy() &&
+			sState.X().Equal(bState.X())
+		rep.Instances = append(rep.Instances, inst)
+	}
+	return rep, nil
+}
+
+// CheckDenseRatios enforces the acceptance criteria behind
+// `abs-bench -dense-report -assert-dense-ratio`: the two paths must
+// have walked the identical trajectory, and with an accelerated kernel
+// available every instance must show at least minRatio× the scalar
+// flips/sec. On hosts without one (non-amd64 CI lanes) the portable
+// batched path must still not regress below ~parity — the tolerance
+// absorbs run-to-run noise, not a real slowdown.
+func CheckDenseRatios(rep *DenseReport, minRatio float64) error {
+	const portableFloor = 0.85
+	for _, inst := range rep.Instances {
+		if !inst.TrajectoryMatch {
+			return fmt.Errorf("bench: %s (n=%d, kernel %s): batched and scalar trajectories diverged",
+				inst.Name, inst.Bits, rep.Kernel)
+		}
+		want := minRatio
+		if !rep.Accelerated {
+			want = portableFloor
+		}
+		if inst.FlipRatio < want {
+			return fmt.Errorf("bench: %s (n=%d, kernel %s): batched/scalar flip ratio %.2f below required %.2f",
+				inst.Name, inst.Bits, rep.Kernel, inst.FlipRatio, want)
+		}
+	}
+	return nil
+}
+
+// WriteDenseReport builds the report and writes it as indented JSON.
+func WriteDenseReport(w io.Writer, s Scale) error {
+	rep, err := BuildDenseReport(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("encode dense report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package dkernel
+
+// Non-amd64 architectures run the portable tile kernel; the stubs
+// below exist so the dispatch sites compile and dead-code away.
+
+const (
+	hasAccel  = false
+	accelName = "generic"
+)
+
+func flipTilesAccel(d []int64, row []int16, sgnc []int16, tmins []int64, nt int, neg bool) {
+	panic("dkernel: no accelerated kernel on this architecture")
+}
+
+func minValAccel(d []int64) int64 {
+	panic("dkernel: no accelerated kernel on this architecture")
+}
+
+func firstEqAccel(d []int64, v int64) int {
+	panic("dkernel: no accelerated kernel on this architecture")
+}

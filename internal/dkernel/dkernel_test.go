@@ -1,0 +1,202 @@
+package dkernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refFlip is the trusted scalar model of one FlipTiles call: the plain
+// per-element loop with an interleaved running minimum.
+func refFlip(d []int64, row []int16, sgnc []int16, neg bool) int64 {
+	sign := int64(1)
+	if neg {
+		sign = -1
+	}
+	min := int64(math.MaxInt64)
+	for i := range d {
+		d[i] += sign * int64(sgnc[i]) * int64(row[i])
+		if d[i] < min {
+			min = d[i]
+		}
+	}
+	return min
+}
+
+// randInputs builds a random problem-row shape of length n, including
+// extreme int16 weights and the 0 sentinel in the sign array.
+func randInputs(r *rand.Rand, n int) (d []int64, row []int16, sgnc []int16) {
+	d = make([]int64, n)
+	row = make([]int16, n)
+	sgnc = make([]int16, n)
+	for i := range d {
+		d[i] = int64(r.Intn(1<<20) - 1<<19)
+		row[i] = int16(r.Intn(1<<16) - 1<<15) // full int16 range incl. −32768
+		switch r.Intn(5) {
+		case 0:
+			sgnc[i] = 0 // the flipped-bit sentinel
+		case 1, 2:
+			sgnc[i] = 2
+		default:
+			sgnc[i] = -2
+		}
+	}
+	return d, row, sgnc
+}
+
+// runFlip applies FlipTiles and folds the per-tile minima and tail
+// minimum into the global minimum, the way callers consume it.
+func runFlip(d []int64, row []int16, sgnc []int16, neg bool) int64 {
+	tmins := make([]int64, len(d)/TileWidth)
+	min := FlipTiles(d, row, sgnc, tmins, neg)
+	for _, m := range tmins {
+		if m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+func TestFlipTilesAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Sizes straddle every boundary: empty, pure tail, exact tiles,
+	// ragged tails of every alignment class.
+	for _, n := range []int{0, 1, 7, 8, 63, 64, 65, 100, 127, 128, 129, 192, 1000, 1024, 4096, 4100} {
+		for _, neg := range []bool{false, true} {
+			d1, row, sgnc := randInputs(r, n)
+			d2 := append([]int64(nil), d1...)
+			want := refFlip(d1, row, sgnc, neg)
+			got := runFlip(d2, row, sgnc, neg)
+			if want != got {
+				t.Errorf("n=%d neg=%v: min %d, want %d", n, neg, got, want)
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("n=%d neg=%v: delta drift at %d: %d vs %d", n, neg, i, d2[i], d1[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFlipTilesSentinelStaysInert(t *testing.T) {
+	// A MaxInt64 delta with a zero sign entry must pass through the
+	// kernel unchanged and never win a tile minimum — the exclusion
+	// mechanism qubo.State relies on for the flipped bit.
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{64, 65, 130, 1024} {
+		d, row, sgnc := randInputs(r, n)
+		k := r.Intn(n)
+		d[k] = math.MaxInt64
+		sgnc[k] = 0
+		min := runFlip(d, row, sgnc, r.Intn(2) == 0)
+		if d[k] != math.MaxInt64 {
+			t.Errorf("n=%d: sentinel at %d was modified: %d", n, k, d[k])
+		}
+		if min == math.MaxInt64 && n > 1 {
+			t.Errorf("n=%d: minimum collapsed to the sentinel", n)
+		}
+	}
+}
+
+func TestMinValAndFirstEq(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 3, 4, 5, 15, 16, 17, 100, 1024, 1027} {
+		d := make([]int64, n)
+		for i := range d {
+			d[i] = int64(r.Intn(64) - 32) // narrow range forces ties
+		}
+		wantMin := minValGeneric(d)
+		if got := MinVal(d); got != wantMin {
+			t.Errorf("MinVal n=%d: %d, want %d", n, got, wantMin)
+		}
+		if n == 0 {
+			if wantMin != math.MaxInt64 {
+				t.Errorf("empty MinVal reference: %d", wantMin)
+			}
+			continue
+		}
+		for trial := 0; trial < 20; trial++ {
+			v := int64(r.Intn(70) - 35)
+			want := firstEqGeneric(d, v)
+			if got := FirstEq(d, v); got != want {
+				t.Errorf("FirstEq n=%d v=%d: %d, want %d", n, v, got, want)
+			}
+		}
+		i, v := MinFirst(d)
+		if v != wantMin || i != firstEqGeneric(d, wantMin) {
+			t.Errorf("MinFirst n=%d: (%d, %d)", n, i, v)
+		}
+	}
+	if i, v := MinFirst(nil); i != -1 || v != math.MaxInt64 {
+		t.Errorf("MinFirst(nil) = (%d, %d)", i, v)
+	}
+}
+
+// TestQuickFlipAgreement drives randomized shapes through the batched
+// kernel and the scalar reference — the quick.Check sweep over batch
+// boundary alignments the PR 5 harness idiom asks for.
+func TestQuickFlipAgreement(t *testing.T) {
+	f := func(seed int64, sz uint16, neg bool) bool {
+		n := int(sz % 600)
+		r := rand.New(rand.NewSource(seed))
+		d1, row, sgnc := randInputs(r, n)
+		d2 := append([]int64(nil), d1...)
+		want := refFlip(d1, row, sgnc, neg)
+		got := runFlip(d2, row, sgnc, neg)
+		if want != got {
+			return false
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcceleratedAgainstGeneric(t *testing.T) {
+	if !Accelerated() {
+		t.Skip("no accelerated kernel on this host")
+	}
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := TileWidth * (1 + r.Intn(8))
+		d1, row, sgnc := randInputs(r, n)
+		d2 := append([]int64(nil), d1...)
+		neg := r.Intn(2) == 0
+		t1 := make([]int64, n/TileWidth)
+		t2 := make([]int64, n/TileWidth)
+		flipTilesGeneric(d1, row, sgnc, t1, neg)
+		flipTilesAccel(d2, row, sgnc, t2, n/TileWidth, neg)
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("trial %d: delta drift at %d", trial, i)
+			}
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Fatalf("trial %d: tile min drift at %d: %d vs %d", trial, i, t1[i], t2[i])
+			}
+		}
+		if a, b := minValGeneric(d1), minValAccel(d2[:n&^7]); n&^7 == n && a != b {
+			t.Fatalf("trial %d: MinVal drift: %d vs %d", trial, a, b)
+		}
+	}
+}
+
+func TestNameIsSelfDescribing(t *testing.T) {
+	name := Name()
+	if Accelerated() {
+		if name == "generic" || name == "" {
+			t.Errorf("accelerated kernel reports name %q", name)
+		}
+	} else if name != "generic" {
+		t.Errorf("portable kernel reports name %q", name)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"abs/internal/bitvec"
+	"abs/internal/dkernel"
 	"abs/internal/qubo"
 )
 
@@ -14,12 +15,14 @@ import (
 // register file, the best/current energies live in simulated shared
 // memory, and each search step performs
 //
-//  1. a per-thread scan of its own registers for the offset-window
+//  1. a scan of the window's registers for the offset-window
 //     candidates (Fig. 2),
-//  2. an explicit log₂(t) tree reduction across threads to find the
-//     window minimum,
-//  3. a per-thread Eq. (6) update of its own p registers for the chosen
-//     flip, with the owning thread negating Δ_k and updating E.
+//  2. a minimum reduction across the window to pick the flip — batched
+//     segment scans here, computing what the paper's log₂(t) tree
+//     reduction computes,
+//  3. an Eq. (6) update of all n registers for the chosen flip — the
+//     batched dkernel tile pass here — with the owning thread negating
+//     Δ_k and updating E.
 //
 // Functionally it must compute exactly what the serial qubo.State
 // computes — the equivalence test in kernel_test.go is the module's
@@ -30,8 +33,9 @@ import (
 // A block runs in one of two flip modes sharing the same register
 // layout, selection and best-tracking semantics:
 //
-//   - dense (NewKernelBlock): step 3 walks the full weight row, the
-//     paper's kernel verbatim;
+//   - dense (NewKernelBlock): step 3 walks the full weight row via the
+//     batched delta-evaluation kernel (dkernel), cache-blocked tiles
+//     with a sentinel excluding the flipped bit and a lazy argmin;
 //   - sparse (NewSparseKernelBlock): step 3 walks only the flipped
 //     bit's CSR neighbour list — each owning thread applies Eq. (6) to
 //     the touched register and refreshes its cached register-file
@@ -47,10 +51,15 @@ type KernelBlock struct {
 	threads int
 	p       int // bits per thread
 
-	// regs[t] is thread t's register file: Δ values of its bits. The
-	// paper stores these as 32-bit registers; int64 here, with the
-	// width argument made in qubo.State.
-	regs [][]int64
+	// regFile is the block's register file laid out flat — regFile[i]
+	// is Δ_i — and regs[t] is thread t's view into it (bits t·p …
+	// t·p+p−1). One contiguous backing array lets the dense flip and
+	// the window selection run the batched dkernel over whole tiles
+	// while the sparse mode's per-thread bookkeeping keeps indexing
+	// regs[t] unchanged. The paper stores these as 32-bit registers;
+	// int64 here, with the width argument made in qubo.State.
+	regFile []int64
+	regs    [][]int64
 	// x is the current solution (conceptually distributed: thread t
 	// owns bits t·p…t·p+p−1).
 	x *bitvec.Vector
@@ -67,6 +76,12 @@ type KernelBlock struct {
 	dirty   []bool
 	touched []int
 
+	// Dense-mode state for the batched dkernel path: the pre-scaled
+	// sign registers sgnc[i] = 2·(1−2x_i) and the per-tile minima
+	// scratch, exactly as in qubo.State's batched flip.
+	sgnc  []int16
+	tmins []int64
+
 	flips uint64
 }
 
@@ -78,12 +93,14 @@ func NewKernelBlock(prob *qubo.Problem, bitsPerThread int) (*KernelBlock, error)
 		return nil, err
 	}
 	kb.prob = prob
-	for t := 0; t < kb.threads; t++ {
-		lo, hi := kb.span(t)
-		for i := lo; i < hi; i++ {
-			kb.regs[t][i-lo] = int64(prob.Weight(i, i))
-		}
+	for i := 0; i < kb.n; i++ {
+		kb.regFile[i] = int64(prob.Weight(i, i))
 	}
+	kb.sgnc = make([]int16, kb.n)
+	for i := range kb.sgnc {
+		kb.sgnc[i] = 2 // all-zero start: 2·(1−2·0)
+	}
+	kb.tmins = make([]int64, kb.n/dkernel.TileWidth)
 	return kb, nil
 }
 
@@ -99,11 +116,10 @@ func NewSparseKernelBlock(sp *qubo.Sparse, bitsPerThread int) (*KernelBlock, err
 	kb.tmin = make([]candidate, kb.threads)
 	kb.dirty = make([]bool, kb.threads)
 	kb.touched = make([]int, 0, kb.threads)
+	for i := 0; i < kb.n; i++ {
+		kb.regFile[i] = int64(sp.Diag(i))
+	}
 	for t := 0; t < kb.threads; t++ {
-		lo, hi := kb.span(t)
-		for i := lo; i < hi; i++ {
-			kb.regs[t][i-lo] = int64(sp.Diag(i))
-		}
 		kb.tmin[t] = kb.scanThread(t, -1)
 	}
 	return kb, nil
@@ -119,13 +135,14 @@ func newKernelBlock(n, bitsPerThread int) (*KernelBlock, error) {
 		n:           n,
 		threads:     threads,
 		p:           bitsPerThread,
+		regFile:     make([]int64, n),
 		regs:        make([][]int64, threads),
 		x:           bitvec.New(n),
 		sharedBestE: math.MaxInt64,
 	}
 	for t := 0; t < threads; t++ {
 		lo, hi := kb.span(t)
-		kb.regs[t] = make([]int64, hi-lo)
+		kb.regs[t] = kb.regFile[lo:hi:hi]
 	}
 	return kb, nil
 }
@@ -155,9 +172,10 @@ func (kb *KernelBlock) Flips() uint64 { return kb.flips }
 // X returns the current solution (read-only).
 func (kb *KernelBlock) X() *bitvec.Vector { return kb.x }
 
-// Delta returns Δ_k from the owning thread's register file.
+// Delta returns Δ_k from the owning thread's register file (a view
+// into the flat file, so this is a direct load).
 func (kb *KernelBlock) Delta(k int) int64 {
-	return kb.regs[k/kb.p][k%kb.p]
+	return kb.regFile[k]
 }
 
 // BestEnergy returns the shared-memory best-energy cell.
@@ -179,10 +197,16 @@ func better(a, b candidate) bool {
 	return a.pos < b.pos
 }
 
-// SelectWindowMin performs steps 1–2 of the kernel: each thread scans
-// its own registers for window members, then a log₂(t) tree reduction
-// finds the global window minimum. offset and l define the window
-// [offset, offset+l) mod n.
+// SelectWindowMin performs steps 1–2 of the kernel: find the window
+// minimum over [offset, offset+l) mod n, resolving ties toward the
+// earlier window scan position. It used to materialize the per-thread
+// scan and a log₂(t) butterfly explicitly; the flat register file lets
+// it run as at most two contiguous dkernel.MinFirst segment scans —
+// O(l) instead of O(n) — computing the identical result: MinFirst
+// returns the first occurrence of the segment minimum, segments are
+// visited in window order, and the cross-segment fold keeps the first
+// segment on ties, which is exactly the (Δ, window position)
+// lexicographic order the tree reduction resolved.
 func (kb *KernelBlock) SelectWindowMin(offset, l int) int {
 	n := kb.n
 	if l < 1 {
@@ -191,81 +215,60 @@ func (kb *KernelBlock) SelectWindowMin(offset, l int) int {
 	if l > n {
 		l = n
 	}
-	// Step 1: per-thread local scan. Window position of bit i is
-	// (i − offset) mod n; the thread includes i iff that is < l.
-	locals := make([]candidate, kb.threads)
-	for t := range locals {
-		locals[t] = candidate{delta: math.MaxInt64, pos: math.MaxInt32}
-		lo, hi := kb.span(t)
-		for i := lo; i < hi; i++ {
-			pos := i - offset
-			if pos < 0 {
-				pos += n
-			}
-			if pos >= l {
-				continue
-			}
-			c := candidate{delta: kb.regs[t][i-lo], pos: pos, bit: i}
-			if better(c, locals[t]) {
-				locals[t] = c
-			}
-		}
+	hi := offset + l
+	if hi <= n {
+		i, _ := dkernel.MinFirst(kb.regFile[offset:hi])
+		return offset + i
 	}
-	// Step 2: pairwise tree reduction, as a butterfly over a
-	// power-of-two-padded array — the shape a __shfl/shared-memory
-	// reduction takes on the GPU.
-	width := 1
-	for width < kb.threads {
-		width *= 2
+	// Wrapped window: [offset, n) then [0, hi−n), in that scan order.
+	i1, m1 := dkernel.MinFirst(kb.regFile[offset:])
+	i2, m2 := dkernel.MinFirst(kb.regFile[:hi-n])
+	if m2 < m1 {
+		return i2
 	}
-	tree := make([]candidate, width)
-	for i := range tree {
-		if i < kb.threads {
-			tree[i] = locals[i]
-		} else {
-			tree[i] = candidate{delta: math.MaxInt64, pos: math.MaxInt32}
-		}
-	}
-	for stride := width / 2; stride > 0; stride /= 2 {
-		for i := 0; i < stride; i++ {
-			if better(tree[i+stride], tree[i]) {
-				tree[i] = tree[i+stride]
-			}
-		}
-	}
-	return tree[0].bit
+	return offset + i1
 }
 
-// Flip performs step 3 of the kernel for bit k: every thread applies
-// Eq. (6) to its own registers, the owner negates Δ_k, and the shared
-// energy and best cells update. Mirrors Algorithm 4's loop body. In
-// sparse mode only the threads owning a neighbour of k do Eq. (6)
-// work; both modes find the identical post-flip minimum candidate.
+// Flip performs step 3 of the kernel for bit k: Eq. (6) applied to
+// every register, the owner negating Δ_k, and the shared energy and
+// best cells updating. Mirrors Algorithm 4's loop body. Dense mode
+// runs the batched dkernel tile pass over the flat register file;
+// sparse mode touches only the threads owning a neighbour of k. Both
+// modes find the identical post-flip minimum candidate.
 func (kb *KernelBlock) Flip(k int) {
 	if kb.sp != nil {
 		kb.flipSparse(k)
 		return
 	}
+	d := kb.regFile
 	row := kb.prob.Row(k)
-	sk := int64(1 - 2*kb.x.Bit(k))
-	oldDk := kb.Delta(k)
+	oldDk := d[k]
+	oldSgn := kb.sgnc[k]
+	neg := oldSgn < 0 // sk = 1−2x_k < 0 iff x_k = 1
 
-	minC := candidate{delta: math.MaxInt64, pos: math.MaxInt32}
-	for t := 0; t < kb.threads; t++ {
-		lo, hi := kb.span(t)
-		regs := kb.regs[t]
-		for i := lo; i < hi; i++ {
-			if i == k {
-				continue
-			}
-			xi := int64(kb.x.Bit(i))
-			regs[i-lo] += 2 * sk * (1 - 2*xi) * int64(row[i])
-			if c := (candidate{delta: regs[i-lo], pos: i, bit: i}); better(c, minC) {
-				minC = c
-			}
+	// Exclude bit k from the update and the minimum by sentinel: a zero
+	// sign register keeps d[k] pinned at MaxInt64 through the tiles, and
+	// |Δ| ≤ 2·n·2¹⁵ ≪ MaxInt64 means it cannot win a tile minimum. This
+	// replaces the old per-element `i == k` branch, which the tile
+	// kernel hoists out of the inner loop.
+	d[k] = math.MaxInt64
+	kb.sgnc[k] = 0
+
+	tailMin := dkernel.FlipTiles(d, row, kb.sgnc, kb.tmins, neg)
+	minD := int64(math.MaxInt64)
+	minTile := -1
+	for t, m := range kb.tmins {
+		if m < minD {
+			minD, minTile = m, t
 		}
 	}
-	kb.regs[k/kb.p][k%kb.p] = -oldDk
+	inTail := false
+	if tailMin < minD {
+		minD, inTail = tailMin, true
+	}
+
+	d[k] = -oldDk
+	kb.sgnc[k] = -oldSgn
 	kb.sharedE += oldDk
 	kb.x.Flip(k)
 	kb.flips++
@@ -273,12 +276,31 @@ func (kb *KernelBlock) Flip(k int) {
 	if kb.sharedE < kb.sharedBestE {
 		kb.recordBest(kb.x, kb.sharedE)
 	}
-	// |Δ| is bounded by 2·n·2¹⁵ ≪ MaxInt64, so the sentinel is safe.
-	if minC.delta != math.MaxInt64 {
-		if cand := kb.sharedE + minC.delta; cand < kb.sharedBestE {
-			kb.recordBestNeighbour(minC.bit, cand)
+	if minD != math.MaxInt64 {
+		if cand := kb.sharedE + minD; cand < kb.sharedBestE {
+			kb.recordBestNeighbour(kb.locateMin(k, minD, minTile, inTail), cand)
 		}
 	}
+}
+
+// locateMin resolves the post-flip argmin index lazily: only the
+// winning tile (or the ragged tail) is rescanned for the first
+// occurrence of the minimum, skipping bit k whose register now holds
+// −Δ_k and may collide by value. The candidate ordering — smaller Δ
+// first, lower bit index on ties — is unchanged from the per-thread
+// scan it replaces.
+func (kb *KernelBlock) locateMin(k int, minD int64, minTile int, inTail bool) int {
+	var lo, hi int
+	if inTail {
+		lo, hi = len(kb.tmins)*dkernel.TileWidth, kb.n
+	} else {
+		lo, hi = minTile*dkernel.TileWidth, (minTile+1)*dkernel.TileWidth
+	}
+	i := lo + dkernel.FirstEq(kb.regFile[lo:hi], minD)
+	if i == k {
+		i = k + 1 + dkernel.FirstEq(kb.regFile[k+1:hi], minD)
+	}
+	return i
 }
 
 // scanThread returns thread t's register-file minimum candidate,
@@ -433,6 +455,12 @@ func (kb *KernelBlock) CheckConsistency() error {
 		if want := kb.scanThread(t, -1); kb.tmin[t] != want {
 			return fmt.Errorf("gpusim: stale cached minimum for thread %d: %+v, want %+v",
 				t, kb.tmin[t], want)
+		}
+	}
+	for i := range kb.sgnc {
+		if want := int16(2 - 4*kb.x.Bit(i)); kb.sgnc[i] != want {
+			return fmt.Errorf("gpusim: sign register drift at %d: %d, want %d",
+				i, kb.sgnc[i], want)
 		}
 	}
 	return nil

@@ -34,6 +34,14 @@ type State struct {
 	bestE   int64
 
 	flips uint64 // total accepted flips since construction
+
+	// Batched-kernel state (nil/false on the scalar path): sgnc is the
+	// pre-scaled sign register file sgnc[i] = 2·(1−2x_i) that replaces
+	// per-flip bit extraction, tmins the per-tile minima scratch. See
+	// batched.go and DESIGN.md §14.
+	batched bool
+	sgnc    []int16
+	tmins   []int64
 }
 
 // NewZeroState returns a State at the all-zero vector, for which
@@ -42,16 +50,7 @@ type State struct {
 // search is what lets the paper claim O(1) search efficiency from the
 // very first evaluated solution.
 func NewZeroState(p *Problem) *State {
-	s := &State{
-		p:     p,
-		x:     bitvec.New(p.n),
-		delta: make([]int64, p.n),
-		bestE: math.MaxInt64,
-	}
-	for i := 0; i < p.n; i++ {
-		s.delta[i] = int64(p.w[i*p.n+i])
-	}
-	return s
+	return newZeroStateMode(p, !denseKernelScalar.Load())
 }
 
 // NewState returns a State positioned at x, computing the energy and
@@ -59,15 +58,7 @@ func NewZeroState(p *Problem) *State {
 // baseline solvers, and wherever a search must begin at an arbitrary
 // vector without a straight-search walk.
 func NewState(p *Problem, x *bitvec.Vector) *State {
-	p.checkLen(x)
-	s := &State{
-		p:      p,
-		x:      x.Clone(),
-		delta:  p.DeltaAll(x, nil),
-		energy: p.Energy(x),
-		bestE:  math.MaxInt64,
-	}
-	return s
+	return newStateMode(p, x, !denseKernelScalar.Load())
 }
 
 // Problem returns the instance this state searches.
@@ -96,8 +87,21 @@ func (s *State) Snapshot() *bitvec.Vector { return s.x.Clone() }
 func (s *State) Flips() uint64 { return s.flips }
 
 // Flip flips bit k, updating E(X) via Eq. (5), every Δ_i via Eq. (6),
-// and the best-found solution as in Algorithm 4. O(n).
+// and the best-found solution as in Algorithm 4. O(n) either way: the
+// batched path (default) runs the dkernel tile kernel, the scalar path
+// the literal per-bit loop; both produce identical observable state.
 func (s *State) Flip(k int) {
+	if s.batched {
+		s.flipBatched(k)
+		return
+	}
+	s.flipScalar(k)
+}
+
+// flipScalar is the original per-bit implementation, kept verbatim as
+// the bit-for-bit reference the batched kernel is tested against (and
+// as the measured baseline of `abs-bench -dense-report`).
+func (s *State) flipScalar(k int) {
 	n := s.p.n
 	row := s.p.w[k*n : (k+1)*n]
 	d := s.delta
@@ -196,6 +200,14 @@ func (s *State) CheckConsistency() error {
 		if d := s.p.Delta(s.x, k); d != s.delta[k] {
 			return fmt.Errorf("qubo: delta drift at %d: incremental %d, direct %d",
 				k, s.delta[k], d)
+		}
+	}
+	if s.batched {
+		for i := 0; i < s.p.n; i++ {
+			if want := int16(2 - 4*s.x.Bit(i)); s.sgnc[i] != want {
+				return fmt.Errorf("qubo: sign register drift at %d: %d, want %d",
+					i, s.sgnc[i], want)
+			}
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ package search
 import (
 	"math"
 
+	"abs/internal/dkernel"
 	"abs/internal/qubo"
 	"abs/internal/rng"
 )
@@ -43,7 +44,11 @@ func NewOffsetWindow(l int) *OffsetWindow { return &OffsetWindow{L: l} }
 // Offset exposes the current window start, mostly for tests.
 func (p *OffsetWindow) Offset() int { return p.offset }
 
-// Select implements Policy.
+// Select implements Policy. The circular window is at most two
+// contiguous delta segments, each scanned with the batched
+// dkernel.MinFirst; the cross-segment fold keeps the first segment on
+// ties, so the result is the first minimum in window scan order —
+// exactly what the original element-at-a-time loop returned.
 func (p *OffsetWindow) Select(s qubo.Engine) int {
 	n := s.N()
 	l := p.L
@@ -54,19 +59,18 @@ func (p *OffsetWindow) Select(s qubo.Engine) int {
 		l = n
 	}
 	d := s.Deltas()
-	best := p.offset % n
-	bestD := d[best]
-	for t := 1; t < l; t++ {
-		i := p.offset + t
-		if i >= n {
-			i -= n
-		}
-		if d[i] < bestD {
-			best, bestD = i, d[i]
-		}
+	start := p.offset % n
+	p.offset = (start + l) % n
+	if hi := start + l; hi <= n {
+		i, _ := dkernel.MinFirst(d[start:hi])
+		return start + i
 	}
-	p.offset = (p.offset + l) % n
-	return best
+	i1, m1 := dkernel.MinFirst(d[start:])
+	i2, m2 := dkernel.MinFirst(d[:start+l-n])
+	if m2 < m1 {
+		return i2
+	}
+	return start + i1
 }
 
 // Greedy always flips the globally best neighbour (the l = n limit of
@@ -74,16 +78,11 @@ func (p *OffsetWindow) Select(s qubo.Engine) int {
 // policy baseline and for the straight-search endgame.
 type Greedy struct{}
 
-// Select implements Policy.
+// Select implements Policy. A single batched scan; MinFirst's
+// first-occurrence semantics preserve the ascending-index tie-break.
 func (Greedy) Select(s qubo.Engine) int {
-	d := s.Deltas()
-	best, bestD := 0, d[0]
-	for i := 1; i < len(d); i++ {
-		if d[i] < bestD {
-			best, bestD = i, d[i]
-		}
-	}
-	return best
+	i, _ := dkernel.MinFirst(s.Deltas())
+	return i
 }
 
 // RandomBit flips a uniformly random bit regardless of Δ (the l = 1
@@ -110,7 +109,10 @@ type MetropolisWindow struct {
 	offset int
 }
 
-// Select implements Policy.
+// Select implements Policy. Unlike OffsetWindow this scan cannot be
+// batched: the Metropolis draw consumes one RNG value per examined
+// bit, so any reordering or early exit would shift the RNG stream and
+// change the trajectory.
 func (p *MetropolisWindow) Select(s qubo.Engine) int {
 	n := s.N()
 	l := p.L

@@ -1,0 +1,38 @@
+package search
+
+import (
+	"testing"
+
+	"abs/internal/qubo"
+	"abs/internal/rng"
+)
+
+func denseBenchProblem(n int) *qubo.Problem {
+	p := qubo.New(n)
+	r := rng.New(1)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			p.SetWeight(i, j, int16(r.Intn(201)-100))
+		}
+	}
+	return p
+}
+
+// BenchmarkOffsetWindowSelect isolates the batched two-segment window
+// scan; BenchmarkRunStep adds the flip, giving the full Algorithm 4
+// step cost the dense report measures end to end.
+func BenchmarkOffsetWindowSelect(b *testing.B) {
+	s := qubo.NewZeroState(denseBenchProblem(1024))
+	pol := NewOffsetWindow(64)
+	for i := 0; i < b.N; i++ {
+		_ = pol.Select(s)
+	}
+}
+
+func BenchmarkRunStep(b *testing.B) {
+	s := qubo.NewZeroState(denseBenchProblem(1024))
+	pol := NewOffsetWindow(64)
+	for i := 0; i < b.N; i++ {
+		Run(s, 1, pol)
+	}
+}

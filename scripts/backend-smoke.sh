@@ -12,6 +12,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Guard: the cd above must have landed at the repository root. When it
+# did not (symlinked or copied script, exotic $0), every later step
+# would fail with a confusing Go error; fail fast and say why instead.
+if ! grep -q '^module abs$' go.mod 2>/dev/null; then
+	echo "$(basename "$0"): must run from the abs repository root (go.mod with 'module abs' not found in $(pwd))" >&2
+	echo "$(basename "$0"): invoke as scripts/$(basename "$0") from the checkout root" >&2
+	exit 2
+fi
+
 GO=${GO:-go}
 
 TMP=$(mktemp -d)
